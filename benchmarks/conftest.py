@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints the rows (so the output can be compared with the publication
+side by side) and asserts the qualitative anchors: orderings,
+crossovers and approximate factors.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print through pytest's capture so tables appear with -s or on
+    benchmark summaries."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

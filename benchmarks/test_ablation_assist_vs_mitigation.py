@@ -1,0 +1,108 @@
+"""Ablation — periphery assists (Section III) vs run-time mitigation.
+
+Section III surveys assist techniques that buy access-voltage margin
+in the periphery; Sections IV-V argue for cell libraries plus run-time
+mitigation instead.  This ablation puts both on one axis: minimum
+voltage and relative power for the assist catalogue, the mitigation
+ladder, and their composition.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.fit_solver import (
+    SCHEME_NONE,
+    SCHEME_OCEAN,
+    SCHEME_SECDED,
+    minimum_voltage,
+)
+from repro.memdev.assist import ALL_ASSISTS, assisted_instance
+from repro.memdev.library import cell_based_imec_40nm
+
+
+def assist_vs_mitigation():
+    base = cell_based_imec_40nm()
+    rows = []
+
+    def evaluate(label, instance, scheme, energy_factor):
+        solution = minimum_voltage(instance.access, scheme)
+        # Relative dynamic energy per access at the operating point:
+        # CV^2 at the solved voltage times the technique's access cost.
+        reference = minimum_voltage(base.access, SCHEME_NONE).vdd
+        relative = energy_factor * (solution.vdd / reference) ** 2
+        rows.append(
+            {
+                "label": label,
+                "vmin": solution.vdd,
+                "relative_energy": relative,
+            }
+        )
+
+    evaluate("baseline (no assist, no ECC)", base, SCHEME_NONE, 1.0)
+    for assist in ALL_ASSISTS:
+        evaluate(
+            f"assist: {assist.name}",
+            assisted_instance(base, assist),
+            SCHEME_NONE,
+            assist.access_energy_factor,
+        )
+    evaluate("mitigation: SECDED", base, SCHEME_SECDED, 1.35)
+    evaluate("mitigation: OCEAN", base, SCHEME_OCEAN, 1.12)
+    stacked = assisted_instance(base, ALL_ASSISTS[-1])
+    evaluate(
+        "stacked: full assists + OCEAN",
+        stacked,
+        SCHEME_OCEAN,
+        ALL_ASSISTS[-1].access_energy_factor * 1.12,
+    )
+    return rows
+
+
+def test_ablation_assist_vs_mitigation(benchmark, show):
+    rows = benchmark(assist_vs_mitigation)
+
+    show(
+        format_table(
+            ("technique", "V_min", "relative access energy"),
+            [
+                (
+                    r["label"],
+                    f"{r['vmin']:.3f}",
+                    f"{r['relative_energy']:.2f}",
+                )
+                for r in rows
+            ],
+            title="Ablation: periphery assists vs run-time mitigation "
+            "(imec cell-based memory, FIT 1e-15)",
+        )
+    )
+
+    by_label = {r["label"]: r for r in rows}
+    baseline = by_label["baseline (no assist, no ECC)"]
+
+    # Every assist lowers the minimum voltage, by exactly its shift.
+    for assist in ALL_ASSISTS:
+        entry = by_label[f"assist: {assist.name}"]
+        assert entry["vmin"] == pytest.approx(
+            baseline["vmin"] - assist.onset_shift_v, abs=1e-6
+        )
+
+    # The strongest assist stack and SECDED land in the same voltage
+    # class (~110-120 mV below baseline) — but OCEAN goes deeper than
+    # any periphery trick in the catalogue.
+    full_stack = by_label["assist: full-assist-stack"]
+    secded = by_label["mitigation: SECDED"]
+    ocean = by_label["mitigation: OCEAN"]
+    assert abs(full_stack["vmin"] - secded["vmin"]) < 0.02
+    assert ocean["vmin"] < full_stack["vmin"] - 0.08
+
+    # Energy at the operating point: OCEAN beats the deep assist stack
+    # (the stack's boost energy applies to every access forever).
+    assert ocean["relative_energy"] < full_stack["relative_energy"]
+
+    # And the approaches compose: assists + OCEAN goes lowest of all.
+    stacked = by_label["stacked: full assists + OCEAN"]
+    assert stacked["vmin"] < ocean["vmin"]
+    assert stacked["vmin"] == pytest.approx(
+        ocean["vmin"] - ALL_ASSISTS[-1].onset_shift_v, abs=1e-6
+    )

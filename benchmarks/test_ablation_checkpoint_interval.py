@@ -1,0 +1,126 @@
+"""Ablation — OCEAN checkpoint granularity.
+
+"OCEAN applies nonlinear programming to achieve the minimal energy
+overhead possible."  This ablation shows the trade-off the optimiser
+navigates, on the real simulation: checkpointing every phase pays
+maximal PM traffic, checkpointing only once pays maximal re-execution
+under rollbacks, and an interior interval wins — then checks the NLP
+optimiser reproduces the same U-shape analytically.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.access import AccessErrorModel
+from repro.mitigation import OceanRunner, optimize_checkpoint_granularity
+from repro.mitigation.ocean import _expected_energy
+from repro.workloads.fft import build_fft_program
+
+#: A stress model with errors frequent enough that rollback economics
+#: are visible within a few runs (the onset sits well above the test
+#: voltage, unlike the production models).
+STRESS_MODEL = AccessErrorModel(amplitude=4.5, exponent=7.4, v_onset=0.55)
+VDD = 0.36
+FREQ = 290e3
+INTERVALS = (1, 3, 7)
+
+
+def sweep_intervals(fft_points=64, seeds=(0, 1, 2)):
+    program = build_fft_program(fft_points)
+    golden = program.expected_output(list(program.data_words[:fft_points]))
+    results = []
+    for interval in INTERVALS:
+        energies = []
+        rollbacks = 0
+        correct = True
+        for seed in seeds:
+            runner = OceanRunner(
+                STRESS_MODEL, seed=seed, checkpoint_interval=interval
+            )
+            outcome = runner.run(program.workload, vdd=VDD, frequency=FREQ)
+            correct &= outcome.output_matches(golden)
+            energies.append(
+                outcome.report.total_w * outcome.report.duration_s
+            )
+            rollbacks += outcome.sim.rollbacks
+        results.append(
+            {
+                "interval": interval,
+                "energy_j": sum(energies) / len(energies),
+                "rollbacks": rollbacks,
+                "correct": correct,
+            }
+        )
+    return results
+
+
+def test_ablation_checkpoint_interval(benchmark, show):
+    results = benchmark.pedantic(sweep_intervals, rounds=1, iterations=1)
+
+    show(
+        format_table(
+            ("interval", "avg energy nJ", "total rollbacks", "correct"),
+            [
+                (
+                    r["interval"],
+                    r["energy_j"] * 1e9,
+                    r["rollbacks"],
+                    "yes" if r["correct"] else "NO",
+                )
+                for r in results
+            ],
+            title=(
+                "Ablation: OCEAN checkpoint interval under stress "
+                f"(V={VDD}, onset={STRESS_MODEL.v_onset})"
+            ),
+        )
+    )
+
+    # Correctness is granularity-independent.
+    assert all(r["correct"] for r in results)
+
+    # Rollbacks happen in this stress regime (the ablation is live).
+    assert sum(r["rollbacks"] for r in results) >= 3
+
+    # Interior optimum on the real simulation: the middle interval
+    # beats both dense checkpointing (PM traffic) and the single final
+    # checkpoint (long re-execution).
+    by_interval = {r["interval"]: r["energy_j"] for r in results}
+    assert by_interval[3] < by_interval[1]
+    assert by_interval[3] < by_interval[7]
+
+
+def test_nlp_optimizer_reproduces_u_shape(benchmark, show):
+    """The analytic NLP step: for moderate per-phase error probability
+    and non-trivial checkpoint cost, the optimiser picks an interior
+    interval, and the expected-energy curve is U-shaped around it."""
+    n_phases = 12
+    p_phase = 0.10
+    e_phase, e_checkpoint = 1.0, 0.35
+    plan = benchmark(
+        optimize_checkpoint_granularity,
+        n_phases=n_phases,
+        p_phase=p_phase,
+        e_phase=e_phase,
+        e_checkpoint=e_checkpoint,
+    )
+    curve = {
+        k: _expected_energy(
+            float(k), n_phases, p_phase, e_phase, e_checkpoint, e_checkpoint
+        )
+        for k in range(1, n_phases + 1)
+    }
+    show(
+        format_table(
+            ("interval", "expected energy"),
+            sorted(curve.items()),
+            title=(
+                f"NLP optimiser: chose interval {plan.interval}, "
+                f"expected rollbacks {plan.expected_rollbacks:.2f}"
+            ),
+        )
+    )
+    assert 1 < plan.interval < n_phases
+    assert curve[plan.interval] == pytest.approx(min(curve.values()))
+    assert curve[1] > curve[plan.interval]
+    assert curve[n_phases] > curve[plan.interval]

@@ -1,0 +1,72 @@
+"""Ablation — scheme failure threshold vs minimum voltage.
+
+Section V fixes the thresholds at 1 (none), 3 (SECDED) and 5 (OCEAN)
+simultaneous bit errors.  This ablation sweeps the threshold to show
+the design space those points sample: every tolerated error buys a
+voltage step, with diminishing returns, and the dynamic-power payoff
+is quadratic in each step.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.access import ACCESS_CELL_BASED_40NM
+from repro.core.fit_solver import SchemeReliability, minimum_voltage
+
+
+def sweep_thresholds():
+    rows = []
+    for threshold in range(1, 8):
+        scheme = SchemeReliability(
+            name=f"tolerate-{threshold - 1}",
+            word_bits=39,
+            fail_threshold=threshold,
+        )
+        solution = minimum_voltage(ACCESS_CELL_BASED_40NM, scheme)
+        rows.append((threshold, solution.vdd))
+    return rows
+
+
+def test_ablation_fail_threshold(benchmark, show):
+    rows = benchmark(sweep_thresholds)
+
+    baseline = rows[0][1]
+    show(
+        format_table(
+            ("fail threshold", "V_min", "dV vs prev mV",
+             "dyn power vs threshold 1"),
+            [
+                (
+                    threshold,
+                    f"{vdd:.3f}",
+                    f"{(rows[i - 1][1] - vdd) * 1e3:.0f}" if i else "-",
+                    f"{(vdd / baseline) ** 2:.2f}x",
+                )
+                for i, (threshold, vdd) in enumerate(rows)
+            ],
+            title="Ablation: failure threshold vs minimum voltage "
+            "(39-bit word, FIT 1e-15)",
+        )
+    )
+
+    voltages = [vdd for _, vdd in rows]
+
+    # Monotone: more tolerance, less voltage.
+    assert all(b < a for a, b in zip(voltages, voltages[1:]))
+
+    # Diminishing returns set in once correction is meaningful: from
+    # the SECDED point (threshold 3) on, each additional tolerated
+    # error buys less voltage than the one before.
+    steps = [a - b for a, b in zip(voltages, voltages[1:])]
+    assert all(b < a for a, b in zip(steps[1:], steps[2:]))
+
+    # The paper's three operating points fall out of the sweep.
+    by_threshold = dict(rows)
+    assert by_threshold[3] == pytest.approx(0.44, abs=0.01)  # SECDED
+    assert by_threshold[5] == pytest.approx(0.33, abs=0.01)  # OCEAN
+
+    # The step into multi-bit correction is the big one: going from
+    # no tolerance to SECDED's point buys over 100 mV, while the same
+    # two extra rungs beyond OCEAN's point buy visibly less.
+    assert voltages[0] - voltages[2] > 0.10
+    assert voltages[4] - voltages[6] < voltages[0] - voltages[2]

@@ -1,0 +1,102 @@
+"""Ablation — frequency sweep and the parallelism argument.
+
+Table 2's two rows sample a continuum: as the application frequency
+rises, the performance floor climbs and successively swallows each
+scheme's reliability-limited voltage.  The paper's conclusion from
+this: "This motivates the use of parallelism to allow reducing the
+required frequencies and to exploit the quadratic voltage gains at a
+quasi-linear parallelization cost."
+
+This ablation sweeps the frequency, locates the crossovers, and
+quantifies the parallelism trade: N cores at f/N versus one core at f.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.analysis.experiments import platform_frequency_floor
+from repro.core.access import ACCESS_CELL_BASED_40NM
+from repro.core.fit_solver import (
+    SCHEME_NONE,
+    SCHEME_OCEAN,
+    SCHEME_SECDED,
+    minimum_voltage,
+)
+
+FREQUENCIES = (100e3, 290e3, 1e6, 1.96e6, 5e6, 20e6)
+
+
+def frequency_sweep():
+    rows = []
+    for frequency in FREQUENCIES:
+        floor = platform_frequency_floor(frequency)
+        entry = {"frequency": frequency, "floor_v": floor}
+        for scheme in (SCHEME_NONE, SCHEME_SECDED, SCHEME_OCEAN):
+            solution = minimum_voltage(
+                ACCESS_CELL_BASED_40NM, scheme, frequency_floor_v=floor
+            )
+            entry[scheme.name] = solution.vdd
+            entry[f"{scheme.name}_binding"] = solution.binding
+        rows.append(entry)
+    return rows
+
+
+def test_ablation_frequency_crossover(benchmark, show):
+    rows = benchmark(frequency_sweep)
+
+    show(
+        format_table(
+            ("frequency", "perf floor V", "none V", "SECDED V",
+             "OCEAN V", "OCEAN binding"),
+            [
+                (
+                    f"{r['frequency'] / 1e6:.2f} MHz",
+                    f"{r['floor_v']:.3f}",
+                    f"{r['none']:.3f}",
+                    f"{r['SECDED']:.3f}",
+                    f"{r['OCEAN']:.3f}",
+                    r["OCEAN_binding"],
+                )
+                for r in rows
+            ],
+            title="Ablation: scheme voltages vs application frequency",
+        )
+    )
+
+    by_freq = {r["frequency"]: r for r in rows}
+
+    # At low frequency all schemes are reliability-bound and the full
+    # voltage ladder is available.
+    low = by_freq[100e3]
+    assert low["OCEAN_binding"] == "access"
+    assert low["none"] - low["OCEAN"] > 0.2
+
+    # OCEAN is the first to hit the performance wall (it runs lowest).
+    mid = by_freq[1e6]
+    assert mid["OCEAN_binding"] == "frequency"
+    assert mid["SECDED_binding"] == "access"
+
+    # At high frequency the floor swallows every scheme: mitigation
+    # buys nothing without parallelism.
+    high = by_freq[20e6]
+    assert high["none_binding"] == "frequency"
+    assert high["none"] == high["SECDED"] == high["OCEAN"]
+
+    # The parallelism dividend: 4 cores at f/4 run OCEAN at a voltage
+    # whose CV^2 (x4 cores, quasi-linear cost) still beats one core at
+    # f — the quadratic-vs-linear argument.
+    single = by_freq[1.96e6]["OCEAN"]
+    quad = minimum_voltage(
+        ACCESS_CELL_BASED_40NM,
+        SCHEME_OCEAN,
+        frequency_floor_v=platform_frequency_floor(1.96e6 / 4.0),
+    ).vdd
+    single_power = single**2  # per unit work at frequency f
+    quad_power = 4.0 * quad**2 / 4.0  # 4 cores, each f/4: same work
+    assert quad_power < single_power
+    show(
+        f"Parallelism: 1 core @1.96 MHz needs {single:.3f} V; "
+        f"4 cores @0.49 MHz run at {quad:.3f} V each — "
+        f"{(1.0 - quad_power / single_power) * 100:.0f}% less dynamic "
+        "power for the same throughput."
+    )

@@ -1,0 +1,132 @@
+"""Ablation — the Section VI outlook, quantified.
+
+The paper argues (Figure 10 and surrounding text) that finFET nodes
+make NTC memories more attractive: steeper sub-threshold slope means
+more speed at the same near-threshold voltage, and tighter A_vt means
+less variability-induced voltage guardband.  This ablation quantifies
+both effects with the device models:
+
+* performance at a fixed NTC voltage across 40 nm -> 14 nm -> 10 nm;
+* the mismatch-driven voltage guardband (Eq. 3: dV = sigma ratio
+  times the voltage/sigma exchange rate) across the nodes;
+* the resulting minimum voltage of an OCEAN-protected memory whose
+  retention population scales with the node's A_vt.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.fit_solver import SCHEME_OCEAN, minimum_voltage
+from repro.core.access import AccessErrorModel
+from repro.core.retention import RetentionModel
+from repro.tech.delay import logic_max_frequency
+from repro.tech.mismatch import sigma_vth
+from repro.tech.node import (
+    NODE_10NM_MG,
+    NODE_14NM_FINFET,
+    NODE_40NM_LP,
+    TechnologyNode,
+)
+
+NODES = (NODE_40NM_LP, NODE_14NM_FINFET, NODE_10NM_MG)
+
+#: The 40 nm cell-based baseline the scaled populations derive from.
+BASELINE_RETENTION = RetentionModel(v_mean=0.20, v_sigma=0.0297)
+BASELINE_ACCESS = AccessErrorModel(amplitude=4.5, exponent=7.4, v_onset=0.555)
+#: Cell device geometry used for the mismatch scaling.
+CELL_W_UM, CELL_L_UM = 0.20, 0.06
+
+
+def scaled_models(node: TechnologyNode):
+    """Scale the cell-based reliability models to another node.
+
+    The retention-voltage sigma is proportional to the device mismatch
+    sigma (Eq. 2-3: sigma_V = c2'/c0 with c2' tracking A_vt); the
+    access onset shifts with the 4-sigma worst-case cell, which is what
+    the paper's 'keep A_vt under control' remark is about.
+    """
+    base_sigma = sigma_vth(
+        NODE_40NM_LP.nmos.avt_mv_um, CELL_W_UM, CELL_L_UM
+    )
+    node_sigma = sigma_vth(node.nmos.avt_mv_um, CELL_W_UM, CELL_L_UM)
+    ratio = node_sigma / base_sigma
+    retention = RetentionModel(
+        v_mean=BASELINE_RETENTION.v_mean * (node.nmos.vth / NODE_40NM_LP.nmos.vth),
+        v_sigma=BASELINE_RETENTION.v_sigma * ratio,
+    )
+    worst_shift = 4.0 * (node_sigma - base_sigma)
+    access = AccessErrorModel(
+        amplitude=BASELINE_ACCESS.amplitude,
+        exponent=BASELINE_ACCESS.exponent,
+        v_onset=max(0.15, BASELINE_ACCESS.v_onset + worst_shift),
+    )
+    return retention, access
+
+
+def technology_outlook():
+    rows = []
+    for node in NODES:
+        retention, access = scaled_models(node)
+        solution = minimum_voltage(
+            access,
+            SCHEME_OCEAN,
+            retention_model=retention,
+            retention_bits=32 * 1024,
+        )
+        rows.append(
+            {
+                "node": node.name,
+                "f_at_0v4_mhz": logic_max_frequency(node, 0.4) / 1e6,
+                "sigma_vth_mv": sigma_vth(
+                    node.nmos.avt_mv_um, CELL_W_UM, CELL_L_UM
+                ) * 1e3,
+                "ocean_vmin": solution.vdd,
+                "binding": solution.binding,
+            }
+        )
+    return rows
+
+
+def test_ablation_technology(benchmark, show):
+    rows = benchmark(technology_outlook)
+
+    show(
+        format_table(
+            ("node", "logic fmax @0.4V MHz", "cell sigma(Vth) mV",
+             "OCEAN V_min", "binding"),
+            [
+                (
+                    r["node"],
+                    f"{r['f_at_0v4_mhz']:.1f}",
+                    f"{r['sigma_vth_mv']:.1f}",
+                    f"{r['ocean_vmin']:.3f}",
+                    r["binding"],
+                )
+                for r in rows
+            ],
+            title="Ablation: NTC memory outlook across technology nodes",
+        )
+    )
+
+    by_node = {r["node"]: r for r in rows}
+    n40 = by_node["40nm-LP"]
+    n14 = by_node["14nm-finFET"]
+    n10 = by_node["10nm-MG"]
+
+    # Performance at the NTC voltage rises steeply towards finFETs
+    # (the 'higher drive currents in smaller geometries' argument).
+    assert n14["f_at_0v4_mhz"] > 5.0 * n40["f_at_0v4_mhz"]
+    assert n10["f_at_0v4_mhz"] > 1.5 * n14["f_at_0v4_mhz"]
+
+    # Mismatch shrinks: sigma(Vth) falls monotonically.
+    assert (
+        n40["sigma_vth_mv"] > n14["sigma_vth_mv"] > n10["sigma_vth_mv"]
+    )
+
+    # And the OCEAN-protected memory's minimum voltage falls with it —
+    # "the gains with OCEAN and other NTV methods would largely benefit
+    # by the use of modern finFET devices."
+    assert (
+        n40["ocean_vmin"] > n14["ocean_vmin"] > n10["ocean_vmin"]
+    )
+    assert n10["ocean_vmin"] < 0.3

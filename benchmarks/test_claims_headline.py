@@ -1,0 +1,38 @@
+"""Headline claims of the abstract and conclusion.
+
+* Abstract: "saving energy up to 2x compared to the traditional ECC
+  approaches, and 3x compared to no mitigation".
+* Conclusion: "a 3.3x lower dynamic power is achieved beyond the
+  voltage limit for error free operation".
+"""
+
+import pytest
+
+from repro.analysis.experiments import headline_claims
+
+
+def test_headline_claims(benchmark, show):
+    claims = benchmark.pedantic(
+        headline_claims, rounds=1, iterations=1,
+        kwargs={"fft_points": 256},
+    )
+
+    show(
+        "Headline claims, regenerated:\n"
+        f"  power vs no mitigation : {claims.power_ratio_vs_none:.2f}x "
+        "(paper: up to 3x)\n"
+        f"  power vs ECC           : {claims.power_ratio_vs_ecc:.2f}x "
+        "(paper: up to 2x)\n"
+        "  dynamic power beyond the error-free voltage limit: "
+        f"{claims.dynamic_power_ratio_beyond_limit:.2f}x (paper: 3.3x)"
+    )
+
+    assert claims.power_ratio_vs_none == pytest.approx(3.0, abs=0.6)
+    assert claims.power_ratio_vs_ecc == pytest.approx(2.0, abs=0.5)
+    assert claims.dynamic_power_ratio_beyond_limit == pytest.approx(
+        3.3, abs=0.3
+    )
+    # The two abstract ratios must be mutually consistent:
+    assert (
+        claims.power_ratio_vs_none > claims.power_ratio_vs_ecc > 1.0
+    )

@@ -1,0 +1,68 @@
+"""Figure 10 — inverter delay in finFETs vs supply voltage.
+
+Paper anchors:
+* mean delay falls steeply (exponentially) towards near-threshold;
+* going from 14 nm to 10 nm gives a ~2x speed-up;
+* the sigma spread is small for finFETs and improves further from
+  14 nm to 10 nm.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fig10_finfet_delay, format_table
+
+
+def test_fig10_finfet_delay(benchmark, show):
+    rows = benchmark.pedantic(
+        fig10_finfet_delay, rounds=1, iterations=1
+    )
+
+    show(
+        format_table(
+            ("node", "V_DD", "mean delay ps", "sigma ps", "sigma/mean"),
+            [
+                (
+                    r.node,
+                    f"{r.vdd:.2f}",
+                    r.mean_delay_s * 1e12,
+                    r.sigma_delay_s * 1e12,
+                    f"{r.sigma_over_mean * 100:.1f}%",
+                )
+                for r in rows
+            ],
+            title="Figure 10: finFET inverter delay (mean and sigma)",
+        )
+    )
+
+    by_node = {}
+    for r in rows:
+        by_node.setdefault(r.node, []).append(r)
+
+    for node_rows in by_node.values():
+        node_rows.sort(key=lambda r: r.vdd)
+        means = [r.mean_delay_s for r in node_rows]
+        # Monotone speed-up with voltage, strongly non-linear at the
+        # bottom of the range.
+        assert all(b < a for a, b in zip(means, means[1:]))
+        assert means[0] > 20.0 * means[-1]
+        # Relative spread explodes towards near-threshold.
+        assert (
+            node_rows[0].sigma_over_mean
+            > 3.0 * node_rows[-1].sigma_over_mean
+        )
+
+    # 14 nm -> 10 nm: ~2x speed-up across the near-threshold range.
+    v14 = {r.vdd: r for r in by_node["14nm-finFET"]}
+    v10 = {r.vdd: r for r in by_node["10nm-MG"]}
+    speedups = [
+        v14[v].mean_delay_s / v10[v].mean_delay_s
+        for v in sorted(set(v14) & set(v10))
+        if 0.35 <= v <= 0.7
+    ]
+    assert np.mean(speedups) == pytest.approx(2.0, abs=0.6)
+
+    # 10 nm multi-gate also shows the tighter sigma at near-threshold.
+    assert (
+        v10[min(v10)].sigma_over_mean < v14[min(v14)].sigma_over_mean
+    )

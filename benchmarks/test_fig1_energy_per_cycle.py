@@ -1,0 +1,59 @@
+"""Figure 1 — energy per cycle vs supply voltage of a signal processor.
+
+Paper anchors:
+* the energy/cycle curve has an interior minimum at near-threshold;
+* the memories' share *increases* at reduced voltage because their
+  supply stops scaling at the 0.7 V vendor floor;
+* the leakage share becomes apparent below ~0.6 V and grows fast.
+"""
+
+import numpy as np
+
+from repro.analysis import fig1_energy_per_cycle, format_table
+
+
+def test_fig1_energy_per_cycle(benchmark, show):
+    rows = benchmark(fig1_energy_per_cycle)
+
+    show(
+        format_table(
+            ("V_DD", "V_mem", "logic dyn pJ", "logic leak pJ",
+             "mem dyn pJ", "mem leak pJ", "total pJ", "mem %", "leak %"),
+            [
+                (
+                    f"{r.vdd:.3f}", f"{r.vdd_memory:.2f}",
+                    r.logic_dynamic_j * 1e12, r.logic_leakage_j * 1e12,
+                    r.memory_dynamic_j * 1e12, r.memory_leakage_j * 1e12,
+                    r.total_j * 1e12,
+                    f"{r.memory_fraction * 100:.0f}",
+                    f"{r.leakage_fraction * 100:.0f}",
+                )
+                for r in rows
+            ],
+            title="Figure 1: energy per cycle vs supply voltage",
+        )
+    )
+
+    totals = np.array([r.total_j for r in rows])
+    voltages = np.array([r.vdd for r in rows])
+    minimum = int(np.argmin(totals))
+
+    # Interior near-threshold minimum: not at either end of the sweep.
+    assert 0 < minimum < len(rows) - 1
+    assert 0.4 < voltages[minimum] < 0.7
+
+    # Energy rises again below the optimum (the leakage turn-up).
+    assert totals[0] > 1.15 * totals[minimum]
+
+    # Memory share grows as the supply scales down past the 0.7 V floor.
+    at_04 = next(r for r in rows if abs(r.vdd - 0.40) < 0.0125)
+    at_11 = rows[-1]
+    assert at_04.memory_fraction > at_11.memory_fraction
+    assert at_04.memory_fraction > 0.5  # memories dominate at NTC
+
+    # Leakage share becomes apparent at low voltage.
+    assert rows[0].leakage_fraction > 0.25
+    assert at_11.leakage_fraction < 0.05
+
+    # Memory supply is clamped at the vendor floor.
+    assert all(r.vdd_memory >= 0.7 - 1e-9 for r in rows)

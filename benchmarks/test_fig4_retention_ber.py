@@ -1,0 +1,70 @@
+"""Figure 4 — retention bit error rate vs supply voltage (9 dies).
+
+Paper anchors:
+* the cumulative measured failure probability follows the Gaussian
+  noise-margin model (Eq. 4) across the swept range;
+* the commercial memory's curve sits at far higher voltages than the
+  cell-based memory's;
+* the Eq. 3 constant-slope property holds: equal BER decades cost
+  equal voltage steps in probit space.
+"""
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.analysis import fig4_retention_ber, format_table
+
+
+def test_fig4_retention_ber(benchmark, show):
+    series = benchmark(fig4_retention_ber)
+
+    for s in series:
+        rows = [
+            (f"{v:.3f}", f"{m:.3e}", f"{f:.3e}")
+            for v, m, f in zip(s.voltages, s.measured_ber, s.model_ber)
+        ]
+        show(
+            format_table(
+                ("V_DD", "measured BER", "Eq.4 fit"),
+                rows,
+                title=(
+                    f"Figure 4 ({s.design}): fitted v_mean="
+                    f"{s.fitted_v_mean:.3f} V, sigma="
+                    f"{s.fitted_v_sigma * 1e3:.1f} mV"
+                ),
+            )
+        )
+
+    by_design = {s.design: s for s in series}
+    commercial = by_design["commercial"]
+    cell_based = by_design["cell-based"]
+
+    # Commercial population fails at much higher voltage.
+    assert commercial.fitted_v_mean > 2.0 * cell_based.fitted_v_mean
+
+    # Fit quality: model tracks measurement wherever counts are solid.
+    for s in series:
+        mask = s.measured_ber > 1e-3
+        ratio = s.model_ber[mask] / s.measured_ber[mask]
+        assert np.all(ratio > 0.5)
+        assert np.all(ratio < 2.0)
+
+    # Monotone decreasing measured curves.
+    for s in series:
+        diffs = np.diff(s.measured_ber)
+        assert np.all(diffs <= 1e-12)
+
+    # Eq. 3: probit of the measured BER is linear in voltage (constant
+    # dVDD per sigma); check linearity via correlation coefficient.
+    for s in series:
+        mask = (s.measured_ber > 1e-4) & (s.measured_ber < 1.0 - 1e-4)
+        z = special.erfcinv(2.0 * s.measured_ber[mask]) * np.sqrt(2.0)
+        v = s.voltages[mask]
+        r = np.corrcoef(v, z)[0, 1]
+        assert r > 0.99
+
+    # Calibration round trip: the refit recovers the population used to
+    # generate the dies.
+    assert cell_based.fitted_v_mean == pytest.approx(0.20, abs=0.015)
+    assert commercial.fitted_v_mean == pytest.approx(0.45, abs=0.02)

@@ -1,0 +1,71 @@
+"""Figure 8 — power consumption at 290 kHz (cell-based platform).
+
+Each scheme runs a real FFT on the simulated platform at its own
+Table 2 minimum voltage; power stacks core + IM + SP (+ PM).
+
+Paper anchors:
+* all three runs produce correct output at their operating points;
+* OCEAN saves up to ~70% vs no mitigation;
+* OCEAN saves up to ~48% vs ECC;
+* the ordering OCEAN < ECC < no-mitigation holds per component sum.
+"""
+
+import pytest
+
+from repro.analysis import fig8_power_breakdown, format_table
+
+
+def test_fig8_power_290khz(benchmark, show):
+    study = benchmark.pedantic(
+        fig8_power_breakdown, rounds=1, iterations=1,
+        kwargs={"fft_points": 256},
+    )
+
+    show(
+        format_table(
+            ("scheme", "V_DD", "core uW", "IM uW", "SP uW", "PM uW",
+             "total uW", "correct"),
+            [
+                (
+                    bar.scheme,
+                    f"{bar.vdd:.2f}",
+                    bar.components_w["core"] * 1e6,
+                    bar.components_w["IM"] * 1e6,
+                    bar.components_w["SP"] * 1e6,
+                    bar.components_w.get("PM", 0.0) * 1e6,
+                    bar.total_w * 1e6,
+                    "yes" if bar.correct else "NO",
+                )
+                for bar in study.bars
+            ],
+            title="Figure 8: power at 290 kHz",
+        )
+    )
+    show(
+        f"OCEAN vs none: {study.savings('OCEAN', 'none') * 100:.1f}% "
+        f"(paper: up to 70%) | OCEAN vs ECC: "
+        f"{study.savings('OCEAN', 'SECDED') * 100:.1f}% (paper: up to 48%)"
+    )
+
+    # Functional correctness at every operating point.
+    for bar in study.bars:
+        assert bar.correct, bar.scheme
+
+    # The headline orderings and factors.
+    assert study.savings("OCEAN", "none") == pytest.approx(0.70, abs=0.08)
+    assert study.savings("OCEAN", "SECDED") == pytest.approx(0.48, abs=0.08)
+    assert study.savings("SECDED", "none") > 0.2
+
+    # Mitigation saves power *because* it unlocks voltage: the bars
+    # decrease monotonically with scheme strength.
+    none_w = study.bar("none").total_w
+    ecc_w = study.bar("SECDED").total_w
+    ocean_w = study.bar("OCEAN").total_w
+    assert ocean_w < ecc_w < none_w
+
+    # Every stacked component individually shrinks none -> OCEAN.
+    for comp in ("core", "IM", "SP"):
+        assert (
+            study.bar("OCEAN").components_w[comp]
+            < study.bar("none").components_w[comp]
+        )

@@ -1,0 +1,75 @@
+"""Figure 9 — power consumption at 11 MHz (commercial memory).
+
+The high-voltage operating point of Section V.B: the no-mitigation
+reference moves to 0.88 V, ECC to 0.77 V, OCEAN to 0.66 V.
+
+Paper anchors:
+* OCEAN saves ~34% vs no mitigation and ~26% vs ECC (both smaller than
+  the 290 kHz case — the gains compress at high voltage);
+* total power is one-to-two orders of magnitude above the 290 kHz
+  case;
+* the ordering OCEAN < ECC < no-mitigation still holds.
+"""
+
+import pytest
+
+from repro.analysis import (
+    fig8_power_breakdown,
+    fig9_power_breakdown,
+    format_table,
+)
+
+
+def test_fig9_power_11mhz(benchmark, show):
+    study = benchmark.pedantic(
+        fig9_power_breakdown, rounds=1, iterations=1,
+        kwargs={"fft_points": 256},
+    )
+
+    show(
+        format_table(
+            ("scheme", "V_DD", "core uW", "IM uW", "SP uW", "PM uW",
+             "total uW", "correct"),
+            [
+                (
+                    bar.scheme,
+                    f"{bar.vdd:.2f}",
+                    bar.components_w["core"] * 1e6,
+                    bar.components_w["IM"] * 1e6,
+                    bar.components_w["SP"] * 1e6,
+                    bar.components_w.get("PM", 0.0) * 1e6,
+                    bar.total_w * 1e6,
+                    "yes" if bar.correct else "NO",
+                )
+                for bar in study.bars
+            ],
+            title="Figure 9: power at 11 MHz",
+        )
+    )
+    show(
+        f"OCEAN vs none: {study.savings('OCEAN', 'none') * 100:.1f}% "
+        f"(paper: 34%) | OCEAN vs ECC: "
+        f"{study.savings('OCEAN', 'SECDED') * 100:.1f}% (paper: 26%)"
+    )
+
+    for bar in study.bars:
+        assert bar.correct, bar.scheme
+
+    # Savings in the paper's neighbourhood (compressed vs Figure 8).
+    assert study.savings("OCEAN", "none") == pytest.approx(0.34, abs=0.12)
+    assert study.savings("OCEAN", "SECDED") == pytest.approx(0.26, abs=0.12)
+
+    none_w = study.bar("none").total_w
+    ecc_w = study.bar("SECDED").total_w
+    ocean_w = study.bar("OCEAN").total_w
+    assert ocean_w < ecc_w < none_w
+
+    # The high-frequency case burns 1-2 orders of magnitude more power
+    # than the 290 kHz case ("one order of magnitude higher").
+    low_study = fig8_power_breakdown(fft_points=64)
+    assert none_w > 10.0 * low_study.bar("none").total_w
+
+    # The mitigation gain compresses at the high-voltage point.
+    assert low_study.savings("OCEAN", "none") > study.savings(
+        "OCEAN", "none"
+    )

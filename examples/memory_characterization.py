@@ -1,0 +1,120 @@
+"""Virtual test-chip characterisation campaign (Section IV).
+
+Reproduces the paper's measurement flow on the synthetic memory
+substrate: retention Vmin maps per cell (Figure 3), the 9-die
+cumulative retention statistics with the Eq. 4 refit (Figure 4), and
+the quasi-static read/write shmoo with the Eq. 5 power-law refit
+(Figure 5).
+
+Run:  python examples/memory_characterization.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core.access import (
+    ACCESS_CELL_BASED_40NM,
+    ACCESS_COMMERCIAL_40NM,
+)
+from repro.core.retention import (
+    RETENTION_CELL_BASED_40NM,
+    RETENTION_COMMERCIAL_40NM,
+)
+from repro.memdev.array import MemoryArray
+from repro.memdev.characterize import (
+    access_shmoo,
+    characterize_population,
+    refit_access_model,
+)
+from repro.memdev.die import DiePopulation
+
+
+def ascii_map(vmin: np.ndarray, buckets: str = " .:-=+*#%@") -> str:
+    """Render a retention-Vmin map as ASCII art (Figure 3 style)."""
+    lo, hi = vmin.min(), vmin.max()
+    span = (hi - lo) or 1.0
+    rows = []
+    for row in vmin[:: max(1, vmin.shape[0] // 24)]:
+        chars = [
+            buckets[int((v - lo) / span * (len(buckets) - 1))]
+            for v in row[:: max(1, vmin.shape[1] // 64)]
+        ]
+        rows.append("".join(chars))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    designs = (
+        (
+            "commercial 6T IP",
+            RETENTION_COMMERCIAL_40NM,
+            ACCESS_COMMERCIAL_40NM,
+            0.85,
+        ),
+        (
+            "imec cell-based",
+            RETENTION_CELL_BASED_40NM,
+            ACCESS_CELL_BASED_40NM,
+            0.55,
+        ),
+    )
+
+    # -- Figure 3: spatial retention maps -------------------------------
+    print("== Figure 3: minimal retention voltage per memory location ==")
+    for name, retention, access, _ in designs:
+        array = MemoryArray(
+            128, 64, retention, access,
+            rng=np.random.default_rng(3), gradient_v=0.04,
+        )
+        vmin = array.retention_vmin_map()
+        print(f"\n{name}:  worst cell {vmin.max():.3f} V, "
+              f"mean {vmin.mean():.3f} V")
+        print(ascii_map(vmin))
+
+    # -- Figure 4: 9-die cumulative retention statistics ----------------
+    print("\n== Figure 4: retention BER vs supply (9 dies) ==")
+    for name, retention, access, _ in designs:
+        population = DiePopulation(
+            retention, access, words=256, bits=32, n_dies=9
+        )
+        report = characterize_population(population, name)
+        print(f"  {report}")
+        voltages = np.linspace(
+            retention.v_mean - 3 * retention.v_sigma,
+            retention.v_mean + 3 * retention.v_sigma,
+            7,
+        )
+        curve = population.cumulative_failure_curve(voltages)
+        rows = [
+            (f"{v:.3f}", f"{ber:.3e}")
+            for v, ber in zip(voltages, curve)
+        ]
+        print(format_table(("V", "measured BER"), rows))
+
+    # -- Figure 5: access shmoo and Eq. 5 refit --------------------------
+    print("\n== Figure 5: RW access error probability vs supply ==")
+    for name, retention, access, v0 in designs:
+        array = MemoryArray(
+            64, 32, retention, access, rng=np.random.default_rng(11)
+        )
+        voltages = np.linspace(v0 - 0.25, v0 - 0.05, 9)
+        shmoo = access_shmoo(array, voltages, accesses_per_point=20_000)
+        fitted = refit_access_model(shmoo, v_onset=access.v_onset)
+        print(
+            f"\n  {name}: published A={access.amplitude} "
+            f"k={access.exponent} V0={access.v_onset}"
+        )
+        print(
+            f"  refit from virtual shmoo: A={fitted.amplitude:.2f} "
+            f"k={fitted.exponent:.2f}"
+        )
+        rows = [
+            (f"{v:.3f}", f"{m:.3e}",
+             f"{access.bit_error_probability(float(v)):.3e}")
+            for v, m in zip(shmoo.voltages, shmoo.bit_error_rates)
+        ]
+        print(format_table(("V", "measured", "Eq.5 model"), rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Profile a workload on the NTC32 platform.
+
+Uses the execution profiler and the ASCII plotting helpers to look
+inside a run: opcode mix, hot loops, and how the instruction profile
+translates into the per-module energy split that Figures 8/9 stack.
+
+Run:  python examples/workload_profiler.py [fft|fir]
+"""
+
+import sys
+
+from repro.analysis import format_table, histogram
+from repro.soc.cpu import StopReason
+from repro.soc.energy_model import (
+    MemoryComponentSpec,
+    PlatformEnergyModel,
+)
+from repro.soc.memory import FaultyMemory
+from repro.soc.platform import Platform
+from repro.soc.ports import RawPort
+from repro.soc.profiler import ProfilingPort
+from repro.workloads.fft import build_fft_program
+from repro.workloads.fir import build_fir_program
+
+
+def build_workload(kind: str):
+    if kind == "fft":
+        program = build_fft_program(256)
+    elif kind == "fir":
+        program = build_fir_program(256, 16, 8)
+    else:
+        raise SystemExit(f"unknown workload {kind!r}; use fft or fir")
+    return program.workload
+
+
+def main() -> None:
+    kind = sys.argv[1] if len(sys.argv) > 1 else "fft"
+    workload = build_workload(kind)
+
+    im = FaultyMemory("IM", 1024, 32)
+    sp = FaultyMemory("SP", 2048, 32)
+    im_port = ProfilingPort(RawPort(im))
+    platform = Platform(im, im_port, sp, RawPort(sp))
+    platform.load_program(list(workload.program_words))
+    platform.load_data(list(workload.data_words), workload.data_base)
+    while platform.run_until_stop() is not StopReason.HALT:
+        pass
+
+    profile = im_port.profile
+    state = platform.cpu.state
+    print(
+        f"== {workload.name}: {state.instructions:,} instructions, "
+        f"{state.cycles:,} cycles ==\n"
+    )
+    print(histogram(profile.opcode_histogram(), width=40,
+                    title="opcode mix"))
+
+    print("\nhottest program counters:")
+    print(
+        format_table(
+            ("pc", "fetches", "share"),
+            [
+                (f"{pc:#06x}", count, f"{count / profile.fetches:.1%}")
+                for pc, count in profile.hottest(8)
+            ],
+        )
+    )
+
+    # Translate the run into the Figure 8-style power split at the
+    # OCEAN operating point.
+    energy_model = PlatformEnergyModel(
+        [
+            MemoryComponentSpec(name="IM", words=1024),
+            MemoryComponentSpec(name="SP", words=2048),
+        ]
+    )
+    report = energy_model.report(
+        vdd=0.33,
+        frequency=290e3,
+        cycles=state.cycles,
+        access_counts={
+            "IM": (im.counters.reads, im.counters.writes),
+            "SP": (sp.counters.reads, sp.counters.writes),
+        },
+    )
+    print("\npower split at 0.33 V / 290 kHz (unprotected platform):")
+    print(
+        format_table(
+            ("component", "dynamic uW", "leakage uW", "total uW"),
+            [
+                (
+                    c.name, c.dynamic_w * 1e6, c.leakage_w * 1e6,
+                    c.total_w * 1e6,
+                )
+                for c in report.components
+            ],
+        )
+    )
+    print(f"total: {report.total_w * 1e6:.3f} uW")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""``python -m repro`` — regenerate paper exhibits from the shell.
+
+See :mod:`repro.cli` for the available subcommands and options.
+"""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    main()

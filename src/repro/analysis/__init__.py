@@ -1,0 +1,60 @@
+"""Experiment plumbing.
+
+One function per paper table/figure lives in
+:mod:`repro.analysis.experiments`; text rendering helpers in
+:mod:`repro.analysis.tables`; generic sweep drivers in
+:mod:`repro.analysis.sweeps`.  The benchmarks and examples are thin
+shells over this package, so every number they print is reproducible
+from the library alone.
+"""
+
+from repro.analysis.tables import format_table
+from repro.analysis.ascii_plot import histogram, line_plot
+from repro.analysis.sweeps import voltage_sweep
+from repro.analysis.campaign import (
+    CampaignResult,
+    expected_run_failure_probability,
+    run_campaign,
+)
+from repro.analysis.experiments import (
+    ClaimHeadline,
+    Fig1Row,
+    MitigationStudy,
+    SchemePower,
+    fig1_energy_per_cycle,
+    fig3_retention_maps,
+    fig4_retention_ber,
+    fig5_access_ber,
+    fig8_power_breakdown,
+    fig9_power_breakdown,
+    fig10_finfet_delay,
+    headline_claims,
+    platform_frequency_floor,
+    table1_comparison,
+    table2_minimum_voltages,
+)
+
+__all__ = [
+    "format_table",
+    "line_plot",
+    "histogram",
+    "voltage_sweep",
+    "CampaignResult",
+    "run_campaign",
+    "expected_run_failure_probability",
+    "Fig1Row",
+    "MitigationStudy",
+    "SchemePower",
+    "ClaimHeadline",
+    "fig1_energy_per_cycle",
+    "fig3_retention_maps",
+    "fig4_retention_ber",
+    "fig5_access_ber",
+    "fig8_power_breakdown",
+    "fig9_power_breakdown",
+    "fig10_finfet_delay",
+    "headline_claims",
+    "platform_frequency_floor",
+    "table1_comparison",
+    "table2_minimum_voltages",
+]

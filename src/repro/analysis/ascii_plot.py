@@ -1,0 +1,115 @@
+"""ASCII plotting for terminal figures.
+
+The paper's exhibits are plots; this library is plotting-dependency
+free, so the examples and the full report render their curves as
+monospace charts.  Good enough to see a knee, a crossover or an
+exponential blow-up at a glance — which is all the reproduction
+claims need.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def _scale(value, lo, hi, cells):
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(round(position * (cells - 1)))))
+
+
+def line_plot(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    logy: bool = False,
+    title: str | None = None,
+    x_label: str = "x",
+) -> str:
+    """Render one or more y(x) series as an ASCII chart.
+
+    Each series gets its own marker character.  With ``logy`` the
+    y axis is log10 (non-positive samples are dropped).
+    """
+    if width < 16 or height < 4:
+        raise ValueError("plot must be at least 16x4 characters")
+    if not series:
+        raise ValueError("need at least one series")
+    markers = "*o+x#@%&"
+    points = []  # (column, row-value, marker)
+    all_y = []
+    x = list(x)
+    for index, (name, ys) in enumerate(series.items()):
+        ys = list(ys)
+        if len(ys) != len(x):
+            raise ValueError(f"series {name!r} length != x length")
+        for xi, yi in zip(x, ys):
+            if logy:
+                if yi <= 0.0:
+                    continue
+                yi = math.log10(yi)
+            points.append((xi, yi, markers[index % len(markers)]))
+            all_y.append(yi)
+    if not all_y:
+        raise ValueError("no plottable points (all non-positive on logy?)")
+    x_lo, x_hi = min(x), max(x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi, marker in points:
+        col = _scale(xi, x_lo, x_hi, width)
+        row = height - 1 - _scale(yi, y_lo, y_hi, height)
+        grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{(10 ** y_hi if logy else y_hi):.3g}"
+    y_bot = f"{(10 ** y_lo if logy else y_lo):.3g}"
+    gutter = max(len(y_top), len(y_bot))
+    for row_index, row in enumerate(grid):
+        label = ""
+        if row_index == 0:
+            label = y_top
+        elif row_index == height - 1:
+            label = y_bot
+        lines.append(f"{label.rjust(gutter)} |{''.join(row)}")
+    lines.append(f"{' ' * gutter} +{'-' * width}")
+    left = f"{x_lo:.3g}"
+    right = f"{x_hi:.3g}"
+    pad = width - len(left) - len(right)
+    lines.append(
+        f"{' ' * gutter}  {left}{' ' * max(1, pad)}{right}  ({x_label})"
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"{' ' * gutter}  {legend}")
+    return "\n".join(lines)
+
+
+def histogram(
+    counts: dict[str, int], width: int = 48, title: str | None = None
+) -> str:
+    """Render labelled counts as a horizontal ASCII bar chart."""
+    if not counts:
+        raise ValueError("need at least one bar")
+    peak = max(counts.values())
+    if peak < 0:
+        raise ValueError("counts must be non-negative")
+    label_width = max(len(k) for k in counts)
+    lines = [title] if title else []
+    for name, value in sorted(
+        counts.items(), key=lambda kv: kv[1], reverse=True
+    ):
+        if value < 0:
+            raise ValueError("counts must be non-negative")
+        bar = "#" * (
+            0 if peak == 0 else max(
+                1 if value else 0, int(round(value / peak * width))
+            )
+        )
+        lines.append(f"{name.rjust(label_width)} |{bar} {value}")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Generic sweep drivers."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def voltage_sweep(
+    func: Callable[[float], T],
+    v_start: float = 0.25,
+    v_stop: float = 1.1,
+    steps: int = 35,
+) -> tuple[np.ndarray, list[T]]:
+    """Evaluate ``func`` over a linear voltage grid.
+
+    Returns the grid and the per-point results; the workhorse behind
+    every "... vs supply voltage" figure.
+    """
+    if steps < 2:
+        raise ValueError(f"steps must be at least 2, got {steps}")
+    if v_start >= v_stop:
+        raise ValueError("v_start must be below v_stop")
+    grid = np.linspace(v_start, v_stop, steps)
+    return grid, [func(float(v)) for v in grid]
+
+
+def find_minimum(
+    voltages: Sequence[float], values: Sequence[float]
+) -> tuple[float, float]:
+    """Return (voltage, value) of the sweep minimum."""
+    values = list(values)
+    if not values:
+        raise ValueError("empty sweep")
+    index = int(np.argmin(values))
+    return float(voltages[index]), float(values[index])

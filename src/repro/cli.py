@@ -1,0 +1,143 @@
+"""Command-line interface: regenerate paper exhibits from the shell.
+
+::
+
+    python -m repro                      # full report (FFT size 64)
+    python -m repro report --fft 256     # full report, bigger FFT
+    python -m repro table1               # one exhibit at a time
+    python -m repro table2
+    python -m repro fig8 --fft 128
+    python -m repro fig9
+    python -m repro claims
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.experiments import (
+    fig8_power_breakdown,
+    fig9_power_breakdown,
+    headline_claims,
+    table1_comparison,
+    table2_minimum_voltages,
+)
+from repro.analysis.report import full_report
+from repro.analysis.tables import format_table
+
+
+def _render_table1() -> str:
+    rows = table1_comparison()
+    return format_table(
+        ("design", "dyn pJ", "leak uW", "area mm2", "retention V",
+         "fmax MHz"),
+        [
+            (
+                r["name"], r["dyn_energy_pj"], r["leakage_uw"],
+                r["area_mm2"], r["retention_v"], r["max_freq_mhz"],
+            )
+            for r in rows
+        ],
+        title="Table 1 (model values; paper anchors in EXPERIMENTS.md)",
+    )
+
+
+def _render_table2() -> str:
+    rows = table2_minimum_voltages()
+    return format_table(
+        ("frequency MHz", "scheme", "V model", "V paper", "binding"),
+        [
+            (
+                f"{r['frequency_hz'] / 1e6:.2f}", r["scheme"],
+                f"{r['vdd_model']:.3f}", f"{r['vdd_paper']:.2f}",
+                r["binding"],
+            )
+            for r in rows
+        ],
+        title="Table 2: minimum voltage per scheme (FIT 1e-15)",
+    )
+
+
+def _render_power(study, label: str) -> str:
+    table = format_table(
+        ("scheme", "V", "total uW", "correct"),
+        [
+            (
+                bar.scheme, f"{bar.vdd:.2f}", bar.total_w * 1e6,
+                "yes" if bar.correct else "NO",
+            )
+            for bar in study.bars
+        ],
+        title=label,
+    )
+    savings = (
+        f"OCEAN vs none: {study.savings('OCEAN', 'none') * 100:.0f}%  |  "
+        f"OCEAN vs ECC: {study.savings('OCEAN', 'SECDED') * 100:.0f}%"
+    )
+    return f"{table}\n{savings}"
+
+
+def _render_claims(fft_points: int) -> str:
+    claims = headline_claims(fft_points=fft_points)
+    return (
+        f"power vs no mitigation: {claims.power_ratio_vs_none:.2f}x "
+        "(paper: up to 3x)\n"
+        f"power vs ECC: {claims.power_ratio_vs_ecc:.2f}x "
+        "(paper: up to 2x)\n"
+        "dynamic power beyond the error-free limit: "
+        f"{claims.dynamic_power_ratio_beyond_limit:.2f}x (paper: 3.3x)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Regenerate exhibits of Gemmeke et al., DATE 2014 "
+            "(see README.md)"
+        ),
+    )
+    parser.add_argument(
+        "exhibit",
+        nargs="?",
+        default="report",
+        choices=["report", "table1", "table2", "fig8", "fig9", "claims"],
+        help="which exhibit to regenerate (default: the full report)",
+    )
+    parser.add_argument(
+        "--fft",
+        type=int,
+        default=64,
+        metavar="N",
+        help="FFT size for the simulated power studies (default 64; "
+        "the paper's size is 1024)",
+    )
+    return parser
+
+
+def run(argv: list[str] | None = None) -> str:
+    """Parse arguments and return the rendered exhibit text."""
+    args = build_parser().parse_args(argv)
+    if args.fft < 4 or args.fft & (args.fft - 1):
+        raise SystemExit("--fft must be a power of two >= 4")
+    if args.exhibit == "report":
+        return full_report(fft_points=args.fft)
+    if args.exhibit == "table1":
+        return _render_table1()
+    if args.exhibit == "table2":
+        return _render_table2()
+    if args.exhibit == "fig8":
+        return _render_power(
+            fig8_power_breakdown(fft_points=args.fft),
+            "Figure 8: power at 290 kHz (cell-based platform)",
+        )
+    if args.exhibit == "fig9":
+        return _render_power(
+            fig9_power_breakdown(fft_points=args.fft),
+            "Figure 9: power at 11 MHz (commercial memory)",
+        )
+    return _render_claims(args.fft)
+
+
+def main(argv: list[str] | None = None) -> None:
+    print(run(argv))

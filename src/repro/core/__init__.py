@@ -1,0 +1,85 @@
+"""The paper's primary contribution.
+
+Statistical voltage-reliability models for near-threshold memories and
+the machinery that turns them into design decisions:
+
+* :mod:`repro.core.noise_margin` — the Gaussian noise-margin model of
+  Eq. 2-3 and its equivalence to the paper's Eq. 4 fit form.
+* :mod:`repro.core.retention` — retention bit-error rate vs. supply
+  voltage (Figure 4) and data fitting.
+* :mod:`repro.core.access` — the empirical read/write access error
+  power law of Eq. 5 (Figure 5) and data fitting.
+* :mod:`repro.core.multibit` — word-level multi-bit error
+  probabilities (numerically stable binomial tails).
+* :mod:`repro.core.fit_solver` — the minimum supply voltage meeting a
+  FIT target under a given mitigation scheme (Table 2).
+* :mod:`repro.core.calculator` — the "memory calculator estimating key
+  figures of merit over a wide range of input parameters" quoted in
+  Section IV.
+* :mod:`repro.core.planner` — mitigation scheme + voltage co-selection.
+* :mod:`repro.core.controller` — the run-time monitoring and control
+  loop that tracks the minimal voltage over a product's lifetime.
+"""
+
+from repro.core.noise_margin import NoiseMarginModel
+from repro.core.retention import RetentionModel
+from repro.core.access import (
+    ACCESS_CELL_BASED_40NM,
+    ACCESS_CELL_BASED_40NM_TYPICAL,
+    ACCESS_COMMERCIAL_40NM,
+    ACCESS_COMMERCIAL_40NM_TYPICAL,
+    AccessErrorModel,
+)
+from repro.core.multibit import (
+    expected_errors,
+    prob_at_least,
+    prob_exactly,
+)
+from repro.core.fit_solver import (
+    FIT_TARGET_PAPER,
+    SCHEME_NONE,
+    SCHEME_OCEAN,
+    SCHEME_SECDED,
+    SchemeReliability,
+    VoltageSolution,
+    minimum_voltage,
+)
+from repro.core.calculator import MemoryCalculator, OperatingPoint
+from repro.core.planner import MitigationPlan, MitigationPlanner
+from repro.core.controller import AdaptiveVoltageController, ControllerTrace
+from repro.core.standby import StandbyModel, StandbyPlan, standby_savings_ratio
+from repro.core.yield_model import VminPopulation, population_from_access_spread
+from repro.core.parallelism import ParallelDesignPoint, ParallelismExplorer
+
+__all__ = [
+    "NoiseMarginModel",
+    "RetentionModel",
+    "AccessErrorModel",
+    "ACCESS_COMMERCIAL_40NM",
+    "ACCESS_CELL_BASED_40NM",
+    "ACCESS_COMMERCIAL_40NM_TYPICAL",
+    "ACCESS_CELL_BASED_40NM_TYPICAL",
+    "prob_at_least",
+    "prob_exactly",
+    "expected_errors",
+    "SchemeReliability",
+    "VoltageSolution",
+    "SCHEME_NONE",
+    "SCHEME_SECDED",
+    "SCHEME_OCEAN",
+    "FIT_TARGET_PAPER",
+    "minimum_voltage",
+    "MemoryCalculator",
+    "OperatingPoint",
+    "MitigationPlanner",
+    "MitigationPlan",
+    "AdaptiveVoltageController",
+    "ControllerTrace",
+    "StandbyModel",
+    "StandbyPlan",
+    "standby_savings_ratio",
+    "VminPopulation",
+    "population_from_access_spread",
+    "ParallelismExplorer",
+    "ParallelDesignPoint",
+]

@@ -1,0 +1,205 @@
+"""The "memory calculator" of Section IV.
+
+The paper integrates its silicon-calibrated models into "a memory
+calculator estimating key figures of merit over a wide range of input
+parameters".  This module is that calculator: it binds an energy/timing
+model (anything satisfying :class:`MemoryEnergyProtocol`, in practice
+:class:`repro.memdev.energy.MemoryEnergyModel`) to the reliability
+models of this package and evaluates complete operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+from repro.core.access import AccessErrorModel
+from repro.core.fit_solver import (
+    FIT_TARGET_PAPER,
+    SchemeReliability,
+    VoltageSolution,
+    minimum_voltage,
+)
+from repro.core.retention import RetentionModel
+
+
+class MemoryEnergyProtocol(Protocol):
+    """What the calculator needs from an energy/timing model."""
+
+    def read_energy(self, vdd: float) -> float:
+        """Energy per read access in joules at supply ``vdd``."""
+
+    def write_energy(self, vdd: float) -> float:
+        """Energy per write access in joules at supply ``vdd``."""
+
+    def leakage_power(self, vdd: float) -> float:
+        """Static power in watts at supply ``vdd``."""
+
+    def max_frequency(self, vdd: float) -> float:
+        """Maximum access frequency in hertz at supply ``vdd``."""
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """All figures of merit of one (voltage, frequency) point."""
+
+    vdd: float
+    frequency: float
+    read_energy: float
+    write_energy: float
+    leakage_power: float
+    dynamic_power: float
+    total_power: float
+    energy_per_access: float
+    access_bit_error: float
+    retention_bit_error: float
+    max_frequency: float
+
+    @property
+    def frequency_feasible(self) -> bool:
+        """Whether the requested frequency is reachable at this supply."""
+        return self.frequency <= self.max_frequency
+
+
+class MemoryCalculator:
+    """Figure-of-merit calculator for one memory instance.
+
+    Parameters
+    ----------
+    energy_model:
+        Energy/timing model of the memory (CACTI-substitute).
+    access_model:
+        Eq. 5 access reliability model.
+    retention_model:
+        Figure 4 retention population.
+    name:
+        Label used in reports.
+    read_fraction:
+        Fraction of accesses that are reads (the rest are writes) when
+        computing average access energy; streaming DSP workloads like
+        the paper's FFT read roughly twice as often as they write.
+    """
+
+    def __init__(
+        self,
+        energy_model: MemoryEnergyProtocol,
+        access_model: AccessErrorModel,
+        retention_model: RetentionModel,
+        name: str = "memory",
+        read_fraction: float = 0.67,
+    ) -> None:
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError(
+                f"read_fraction must be in [0, 1], got {read_fraction}"
+            )
+        self.energy_model = energy_model
+        self.access_model = access_model
+        self.retention_model = retention_model
+        self.name = name
+        self.read_fraction = read_fraction
+
+    def operating_point(
+        self, vdd: float, frequency: float, activity: float = 1.0
+    ) -> OperatingPoint:
+        """Evaluate one (voltage, frequency) point.
+
+        ``activity`` is the fraction of cycles with a memory access;
+        dynamic power scales with it.
+        """
+        if frequency <= 0.0:
+            raise ValueError(f"frequency must be positive, got {frequency}")
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError(f"activity must be in [0, 1], got {activity}")
+        read_e = self.energy_model.read_energy(vdd)
+        write_e = self.energy_model.write_energy(vdd)
+        avg_e = (
+            self.read_fraction * read_e + (1.0 - self.read_fraction) * write_e
+        )
+        dynamic = avg_e * frequency * activity
+        leak = self.energy_model.leakage_power(vdd)
+        return OperatingPoint(
+            vdd=vdd,
+            frequency=frequency,
+            read_energy=read_e,
+            write_energy=write_e,
+            leakage_power=leak,
+            dynamic_power=dynamic,
+            total_power=dynamic + leak,
+            energy_per_access=avg_e,
+            access_bit_error=self.access_model.bit_error_probability(vdd),
+            retention_bit_error=(
+                self.retention_model.bit_error_probability(vdd)
+            ),
+            max_frequency=self.energy_model.max_frequency(vdd),
+        )
+
+    def sweep(
+        self,
+        voltages: Iterable[float],
+        frequency: float,
+        activity: float = 1.0,
+    ) -> list[OperatingPoint]:
+        """Evaluate a list of supply voltages at a fixed frequency."""
+        return [
+            self.operating_point(float(v), frequency, activity)
+            for v in voltages
+        ]
+
+    def minimum_voltage(
+        self,
+        scheme: SchemeReliability,
+        frequency: float,
+        fit_target: float = FIT_TARGET_PAPER,
+        retention_bits: int = 65536,
+    ) -> VoltageSolution:
+        """Solve the scheme's minimum voltage including this memory's
+        performance floor at ``frequency``."""
+        freq_floor = self._frequency_floor(frequency)
+        return minimum_voltage(
+            self.access_model,
+            scheme,
+            fit_target=fit_target,
+            retention_model=self.retention_model,
+            retention_bits=retention_bits,
+            frequency_floor_v=freq_floor,
+        )
+
+    def energy_minimal_voltage(
+        self,
+        frequency: float,
+        vdd_grid: Iterable[float],
+        activity: float = 1.0,
+    ) -> OperatingPoint:
+        """Return the feasible grid point with the lowest total power.
+
+        This is the "optimal near-Vt voltage level" the abstract talks
+        about, ignoring reliability: leakage-dominated points at the
+        low end lose, as in Figure 1.
+        """
+        points = [
+            p
+            for p in self.sweep(vdd_grid, frequency, activity)
+            if p.frequency_feasible
+        ]
+        if not points:
+            raise ValueError(
+                "no grid voltage meets the requested frequency"
+            )
+        return min(points, key=lambda p: p.total_power)
+
+    def _frequency_floor(self, frequency: float) -> float:
+        """Bisect the energy model's max_frequency for the floor voltage."""
+        low, high = 0.1, 1.4
+        if self.energy_model.max_frequency(high) < frequency:
+            raise ValueError(
+                f"{frequency:.3g} Hz unreachable at {high} V for {self.name}"
+            )
+        if self.energy_model.max_frequency(low) >= frequency:
+            return low
+        for _ in range(60):
+            mid = 0.5 * (low + high)
+            if self.energy_model.max_frequency(mid) >= frequency:
+                high = mid
+            else:
+                low = mid
+        return high

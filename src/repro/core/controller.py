@@ -1,0 +1,149 @@
+"""Run-time monitoring and voltage control loop.
+
+Section IV: "the minimal voltage will change over lifetime of a product
+requiring a monitoring and control loop that adjusts run-time knobs
+such as the supply voltage level."  This module implements that loop.
+
+The controller watches an error monitor (canary reads, ECC correction
+counters — anything that reports corrected-error counts per observation
+window) and servos the supply in fixed steps:
+
+* too many corrected errors  → raise V_DD (reliability guard),
+* comfortably below the target for several windows → lower V_DD
+  (harvest the margin),
+
+with hysteresis so the loop does not chatter.  Ageing and temperature
+drift enter through the monitor, which simply starts reporting more
+errors at the same voltage; the loop re-converges above the drifted
+minimum, which is exactly the mechanism the paper argues removes the
+lifetime guard-bands of the IP provider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: An error monitor maps the applied supply voltage to the number of
+#: corrected errors observed during one monitoring window.
+ErrorMonitor = Callable[[float], int]
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tuning of the adaptive voltage loop."""
+
+    v_step: float = 0.01
+    v_min: float = 0.2
+    v_max: float = 1.1
+    raise_threshold: int = 2
+    lower_threshold: int = 0
+    lower_patience: int = 4
+
+    def __post_init__(self) -> None:
+        if self.v_step <= 0.0:
+            raise ValueError("v_step must be positive")
+        if self.v_min >= self.v_max:
+            raise ValueError("v_min must be below v_max")
+        if self.raise_threshold <= self.lower_threshold:
+            raise ValueError(
+                "raise_threshold must exceed lower_threshold for hysteresis"
+            )
+        if self.lower_patience < 1:
+            raise ValueError("lower_patience must be at least 1")
+
+
+@dataclass
+class ControllerTrace:
+    """Time series recorded by the control loop."""
+
+    voltages: list[float] = field(default_factory=list)
+    errors: list[int] = field(default_factory=list)
+    actions: list[str] = field(default_factory=list)
+
+    def append(self, vdd: float, errors: int, action: str) -> None:
+        self.voltages.append(vdd)
+        self.errors.append(errors)
+        self.actions.append(action)
+
+    def __len__(self) -> int:
+        return len(self.voltages)
+
+
+class AdaptiveVoltageController:
+    """Closed-loop supply-voltage controller.
+
+    Parameters
+    ----------
+    monitor:
+        Callable reporting corrected-error counts per window at a given
+        supply voltage.
+    config:
+        Loop tuning; defaults are sized for a 10 mV regulator step.
+    initial_vdd:
+        Starting supply in volts (e.g. the vendor's rated voltage).
+    """
+
+    def __init__(
+        self,
+        monitor: ErrorMonitor,
+        config: ControllerConfig | None = None,
+        initial_vdd: float = 1.1,
+    ) -> None:
+        self.monitor = monitor
+        self.config = config if config is not None else ControllerConfig()
+        if not self.config.v_min <= initial_vdd <= self.config.v_max:
+            raise ValueError(
+                f"initial_vdd {initial_vdd} outside "
+                f"[{self.config.v_min}, {self.config.v_max}]"
+            )
+        self.vdd = initial_vdd
+        self.trace = ControllerTrace()
+        self._calm_windows = 0
+
+    def step(self) -> str:
+        """Run one monitoring window and apply the control law.
+
+        Returns the action taken: ``"raise"``, ``"lower"`` or ``"hold"``.
+        """
+        cfg = self.config
+        errors = self.monitor(self.vdd)
+        if errors < 0:
+            raise ValueError(f"monitor returned negative count {errors}")
+        if errors >= cfg.raise_threshold:
+            action = "raise"
+            self.vdd = min(cfg.v_max, self.vdd + cfg.v_step)
+            self._calm_windows = 0
+        elif errors <= cfg.lower_threshold:
+            self._calm_windows += 1
+            if self._calm_windows >= cfg.lower_patience:
+                action = "lower"
+                self.vdd = max(cfg.v_min, self.vdd - cfg.v_step)
+                self._calm_windows = 0
+            else:
+                action = "hold"
+        else:
+            action = "hold"
+            self._calm_windows = 0
+        self.trace.append(self.vdd, errors, action)
+        return action
+
+    def run(self, windows: int) -> ControllerTrace:
+        """Run ``windows`` monitoring windows and return the trace."""
+        if windows < 0:
+            raise ValueError(f"windows must be non-negative, got {windows}")
+        for _ in range(windows):
+            self.step()
+        return self.trace
+
+    @property
+    def settled_voltage(self) -> float:
+        """Mean supply over the last quarter of the trace.
+
+        A convenient scalar for tests and reports once the loop has
+        converged; equals the current voltage for empty traces.
+        """
+        if not self.trace.voltages:
+            return self.vdd
+        tail = self.trace.voltages[-max(1, len(self.trace) // 4):]
+        return sum(tail) / len(tail)

@@ -1,0 +1,193 @@
+"""Minimum supply voltage for a FIT target (Table 2).
+
+Section V fixes an acceptable failure rate of 1e-15 faults per
+read/write transaction and derives, per mitigation scheme, the lowest
+usable supply voltage.  Three constraints bound the voltage from below:
+
+1. **Access reliability** — the per-word probability of more
+   simultaneous bit errors than the scheme survives must stay below the
+   FIT target (Eq. 5 + binomial tail).
+2. **Retention** — the supply must stay above the voltage where cells
+   start losing data in standby (Figure 4 population).
+3. **Performance** — the logic and memory must still meet the clock
+   frequency the application demands (Table 2's 1.96 MHz row is the
+   one where this floor overtakes reliability for OCEAN).
+
+The solver returns all three floors plus the binding one, so callers
+(and the Table 2 benchmark) can see *why* a voltage came out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.access import AccessErrorModel
+from repro.core.multibit import bit_error_for_word_failure, prob_at_least
+from repro.core.retention import RetentionModel
+
+#: The paper's acceptable failure rate: 1e-15 faults per transaction.
+FIT_TARGET_PAPER = 1e-15
+
+#: Retention headroom applied above the first-failure voltage when a
+#: retention model participates in the solve (the paper keeps "a few
+#: 10 mV" between access and retention limits for the cell-based
+#: memory).
+RETENTION_GUARD_V = 0.02
+
+
+@dataclass(frozen=True)
+class SchemeReliability:
+    """Failure semantics of one mitigation scheme.
+
+    Attributes
+    ----------
+    name:
+        Scheme label, e.g. ``"SECDED"``.
+    word_bits:
+        Stored word width in bits including check bits (39 for the
+        paper's (39,32) SECDED; 32 unprotected).
+    fail_threshold:
+        Minimum number of simultaneous bit errors in one word that the
+        scheme cannot survive: 1 for no mitigation, 3 for SECDED,
+        5 for OCEAN (Section V).
+    """
+
+    name: str
+    word_bits: int
+    fail_threshold: int
+
+    def __post_init__(self) -> None:
+        if self.word_bits <= 0:
+            raise ValueError("word_bits must be positive")
+        if not 1 <= self.fail_threshold <= self.word_bits:
+            raise ValueError(
+                f"fail_threshold must be in 1..word_bits, got "
+                f"{self.fail_threshold} of {self.word_bits}"
+            )
+
+    def failure_probability(self, p_bit: float) -> float:
+        """Return the per-transaction failure probability at ``p_bit``."""
+        return prob_at_least(self.word_bits, self.fail_threshold, p_bit)
+
+    def max_bit_error(self, fit_target: float) -> float:
+        """Return the largest tolerable per-bit error probability."""
+        return bit_error_for_word_failure(
+            self.word_bits, self.fail_threshold, fit_target
+        )
+
+
+#: No mitigation: any bit error in a 32-bit word is a failure.
+SCHEME_NONE = SchemeReliability(name="none", word_bits=32, fail_threshold=1)
+
+#: (39,32) SECDED Hamming: corrects 1, detects 2, dies at 3.
+SCHEME_SECDED = SchemeReliability(
+    name="SECDED", word_bits=39, fail_threshold=3
+)
+
+#: OCEAN checkpoint/rollback: survives up to quadruple errors thanks to
+#: the protected buffer, dies at the quintuple (Section V).
+SCHEME_OCEAN = SchemeReliability(name="OCEAN", word_bits=39, fail_threshold=5)
+
+
+@dataclass(frozen=True)
+class VoltageSolution:
+    """Result of a minimum-voltage solve.
+
+    ``vdd`` is the binding minimum; the three ``*_floor`` attributes
+    record each individual constraint (``float('nan')`` when the
+    constraint was not supplied), and ``binding`` names the active one.
+    """
+
+    scheme: str
+    vdd: float
+    access_floor: float
+    retention_floor: float
+    frequency_floor: float
+    binding: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.scheme}: Vmin = {self.vdd:.3f} V "
+            f"(access {self.access_floor:.3f}, retention "
+            f"{self.retention_floor:.3f}, frequency "
+            f"{self.frequency_floor:.3f}; binding: {self.binding})"
+        )
+
+
+def minimum_voltage(
+    access_model: AccessErrorModel,
+    scheme: SchemeReliability,
+    fit_target: float = FIT_TARGET_PAPER,
+    retention_model: RetentionModel | None = None,
+    retention_bits: int = 65536,
+    frequency_floor_v: float | None = None,
+) -> VoltageSolution:
+    """Solve for the minimum supply voltage under a FIT target.
+
+    Parameters
+    ----------
+    access_model:
+        The Eq. 5 access-error model of the memory.
+    scheme:
+        Failure semantics of the mitigation scheme in use.
+    fit_target:
+        Acceptable per-transaction failure probability (paper: 1e-15).
+    retention_model:
+        Optional retention population; when given, the solution never
+        drops below the first-failure retention voltage of a
+        ``retention_bits``-bit instance plus a small guard band.
+    frequency_floor_v:
+        Optional pre-computed performance floor in volts (from
+        :func:`repro.tech.delay.minimum_voltage_for_frequency` or a
+        platform-level timing model).
+    """
+    if fit_target <= 0.0 or fit_target >= 1.0:
+        raise ValueError(f"fit_target must be in (0, 1), got {fit_target}")
+    p_bit_max = scheme.max_bit_error(fit_target)
+    access_floor = access_model.vdd_for_bit_error(p_bit_max)
+
+    retention_floor = float("nan")
+    if retention_model is not None:
+        retention_floor = (
+            retention_model.first_failure_voltage(retention_bits)
+            + RETENTION_GUARD_V
+        )
+
+    frequency_floor = (
+        float("nan") if frequency_floor_v is None else frequency_floor_v
+    )
+
+    floors = {
+        "access": access_floor,
+        "retention": retention_floor,
+        "frequency": frequency_floor,
+    }
+    valid = {k: v for k, v in floors.items() if v == v}  # drop NaNs
+    binding = max(valid, key=valid.get)
+    return VoltageSolution(
+        scheme=scheme.name,
+        vdd=valid[binding],
+        access_floor=access_floor,
+        retention_floor=retention_floor,
+        frequency_floor=frequency_floor,
+        binding=binding,
+    )
+
+
+def solve_paper_schemes(
+    access_model: AccessErrorModel,
+    fit_target: float = FIT_TARGET_PAPER,
+    retention_model: RetentionModel | None = None,
+    frequency_floor_v: float | None = None,
+) -> dict[str, VoltageSolution]:
+    """Solve all three paper schemes at once (one Table 2 column set)."""
+    return {
+        scheme.name: minimum_voltage(
+            access_model,
+            scheme,
+            fit_target=fit_target,
+            retention_model=retention_model,
+            frequency_floor_v=frequency_floor_v,
+        )
+        for scheme in (SCHEME_NONE, SCHEME_SECDED, SCHEME_OCEAN)
+    }

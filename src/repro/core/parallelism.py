@@ -1,0 +1,157 @@
+"""Parallelism versus voltage: the paper's closing argument.
+
+Section V: "For the highest frequency the gains are very limited
+because we cannot reduce the voltage compared to the nominal one...
+This motivates the use of parallelism to allow reducing the required
+frequencies and to exploit the quadratic voltage gains at a
+quasi-linear parallelization cost (applications like FFT support
+this)."
+
+This module makes that argument computable: given a throughput target,
+a per-core frequency-to-voltage floor, a reliability solver and a
+parallelisation overhead, it evaluates N-core design points and finds
+the power-optimal core count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.access import AccessErrorModel
+from repro.core.fit_solver import (
+    FIT_TARGET_PAPER,
+    SchemeReliability,
+    minimum_voltage,
+)
+
+
+@dataclass(frozen=True)
+class _SingleCoreSolution:
+    """Internal: one core count's solver result."""
+
+    vdd: float
+    binding: str
+    per_core_frequency: float
+
+
+@dataclass(frozen=True)
+class ParallelDesignPoint:
+    """One (core count, voltage) solution for a throughput target."""
+
+    cores: int
+    per_core_frequency: float
+    vdd: float
+    binding: str
+    relative_power: float
+    relative_area: float
+
+
+class ParallelismExplorer:
+    """Evaluate N-core alternatives at constant total throughput.
+
+    Parameters
+    ----------
+    access_model:
+        Memory reliability model (each core's local memories).
+    scheme:
+        Mitigation scheme in use.
+    frequency_floor:
+        Callable ``frequency_hz -> volts`` giving the single-core
+        performance floor (e.g.
+        :func:`repro.analysis.experiments.platform_frequency_floor`).
+    sync_overhead:
+        Fractional extra work per added core (communication,
+        load imbalance): effective per-core frequency is
+        ``f / N * (1 + sync_overhead * (N - 1))``.
+    leakage_fraction:
+        Fraction of single-core power that is static at the reference
+        point; replicated cores replicate it ("quasi-linear cost").
+        The default 0.05 reflects the dynamic-dominated high-throughput
+        regime where parallelisation is considered at all; in the
+        leakage-dominated 290 kHz regime replication is a clear loss
+        (and the explorer shows it).
+    """
+
+    def __init__(
+        self,
+        access_model: AccessErrorModel,
+        scheme: SchemeReliability,
+        frequency_floor: Callable[[float], float],
+        sync_overhead: float = 0.05,
+        leakage_fraction: float = 0.05,
+        fit_target: float = FIT_TARGET_PAPER,
+    ) -> None:
+        if sync_overhead < 0.0:
+            raise ValueError("sync_overhead must be non-negative")
+        if not 0.0 <= leakage_fraction < 1.0:
+            raise ValueError("leakage_fraction must be in [0, 1)")
+        self.access_model = access_model
+        self.scheme = scheme
+        self.frequency_floor = frequency_floor
+        self.sync_overhead = sync_overhead
+        self.leakage_fraction = leakage_fraction
+        self.fit_target = fit_target
+
+    def design_point(
+        self, throughput_hz: float, cores: int
+    ) -> ParallelDesignPoint:
+        """Evaluate one core count for the throughput target.
+
+        ``relative_power`` is normalised to 1.0 for the single-core
+        point at the same throughput; power per core scales as
+        ``(V/V_1)^2 * f/f_1`` dynamically plus a replicated static
+        share.
+        """
+        if cores < 1:
+            raise ValueError("cores must be at least 1")
+        if throughput_hz <= 0.0:
+            raise ValueError("throughput_hz must be positive")
+        reference = self._solve(throughput_hz, 1)
+        target = self._solve(throughput_hz, cores) if cores > 1 else reference
+        v_ratio_sq = (target.vdd / reference.vdd) ** 2
+        # Dynamic: total switched work is constant (same throughput,
+        # overhead-adjusted), scaled by the voltage ratio squared.
+        work_factor = 1.0 + self.sync_overhead * (cores - 1)
+        dynamic = (1.0 - self.leakage_fraction) * v_ratio_sq * work_factor
+        # Static: every core leaks; leakage also falls with voltage
+        # (approximated quadratically, conservative vs the device model).
+        static = self.leakage_fraction * cores * v_ratio_sq
+        return ParallelDesignPoint(
+            cores=cores,
+            per_core_frequency=target.per_core_frequency,
+            vdd=target.vdd,
+            binding=target.binding,
+            relative_power=dynamic + static,
+            relative_area=float(cores),
+        )
+
+    def best_core_count(
+        self, throughput_hz: float, max_cores: int = 16
+    ) -> ParallelDesignPoint:
+        """Return the power-minimal design point up to ``max_cores``."""
+        if max_cores < 1:
+            raise ValueError("max_cores must be at least 1")
+        points = [
+            self.design_point(throughput_hz, n)
+            for n in range(1, max_cores + 1)
+        ]
+        return min(points, key=lambda p: p.relative_power)
+
+    def _solve(
+        self, throughput_hz: float, cores: int
+    ) -> _SingleCoreSolution:
+        work_factor = 1.0 + self.sync_overhead * (cores - 1)
+        per_core = throughput_hz * work_factor / cores
+        floor = self.frequency_floor(per_core)
+        solution = minimum_voltage(
+            self.access_model,
+            self.scheme,
+            fit_target=self.fit_target,
+            frequency_floor_v=floor,
+        )
+        return _SingleCoreSolution(
+            vdd=solution.vdd,
+            binding=solution.binding,
+            per_core_frequency=per_core,
+        )

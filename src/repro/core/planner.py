@@ -1,0 +1,155 @@
+"""Mitigation scheme + voltage co-selection.
+
+Section V's experiment answers one question per operating point: which
+mitigation scheme, run at its own minimal voltage, spends the least
+power while honouring the FIT target and the application's frequency?
+The planner automates that choice on top of the calculator, attaching a
+simple analytic overhead model per scheme (the cycle-accurate numbers
+come from :mod:`repro.soc`; the planner is the fast design-space tool).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.calculator import MemoryCalculator
+from repro.core.fit_solver import (
+    FIT_TARGET_PAPER,
+    SCHEME_NONE,
+    SCHEME_OCEAN,
+    SCHEME_SECDED,
+    SchemeReliability,
+    VoltageSolution,
+)
+
+
+@dataclass(frozen=True)
+class SchemeOverhead:
+    """Analytic energy overhead of one mitigation scheme.
+
+    Attributes
+    ----------
+    scheme:
+        The reliability semantics (word width, failure threshold).
+    access_energy_factor:
+        Multiplier on memory access energy.  SECDED stores 39 bits per
+        32-bit word and pays the codec, roughly 39/32 * codec ~ 1.35;
+        no mitigation is 1.0.
+    static_power_factor:
+        Multiplier on memory leakage (extra columns, codec gates).
+    cycle_overhead:
+        Fractional extra cycles the scheme costs (OCEAN's checkpoint
+        and rollback software, amortised; ECC is pipelined away).
+    """
+
+    scheme: SchemeReliability
+    access_energy_factor: float = 1.0
+    static_power_factor: float = 1.0
+    cycle_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.access_energy_factor < 1.0:
+            raise ValueError("access_energy_factor cannot be below 1")
+        if self.static_power_factor < 1.0:
+            raise ValueError("static_power_factor cannot be below 1")
+        if self.cycle_overhead < 0.0:
+            raise ValueError("cycle_overhead must be non-negative")
+
+
+#: Default analytic overheads matching Section V's accounting: SECDED
+#: reads/writes 39 bits instead of 32 plus codec energy; OCEAN adds the
+#: protected buffer traffic and checkpoint software (a few percent for
+#: the FFT's phase sizes) but leaves the main word unexpanded apart
+#: from its error-detection code.
+OVERHEAD_NONE = SchemeOverhead(scheme=SCHEME_NONE)
+OVERHEAD_SECDED = SchemeOverhead(
+    scheme=SCHEME_SECDED,
+    access_energy_factor=1.35,
+    static_power_factor=39.0 / 32.0,
+    cycle_overhead=0.0,
+)
+OVERHEAD_OCEAN = SchemeOverhead(
+    scheme=SCHEME_OCEAN,
+    access_energy_factor=1.12,
+    static_power_factor=1.10,
+    cycle_overhead=0.05,
+)
+
+
+@dataclass(frozen=True)
+class MitigationPlan:
+    """One evaluated scheme at its minimal voltage."""
+
+    overhead: SchemeOverhead
+    solution: VoltageSolution
+    total_power: float
+    dynamic_power: float
+    leakage_power: float
+
+    @property
+    def name(self) -> str:
+        return self.overhead.scheme.name
+
+    @property
+    def vdd(self) -> float:
+        return self.solution.vdd
+
+
+class MitigationPlanner:
+    """Pick the cheapest mitigation scheme for an operating point."""
+
+    def __init__(
+        self,
+        calculator: MemoryCalculator,
+        overheads: tuple[SchemeOverhead, ...] = (
+            OVERHEAD_NONE,
+            OVERHEAD_SECDED,
+            OVERHEAD_OCEAN,
+        ),
+    ) -> None:
+        if not overheads:
+            raise ValueError("need at least one scheme")
+        self.calculator = calculator
+        self.overheads = overheads
+
+    def evaluate(
+        self,
+        frequency: float,
+        fit_target: float = FIT_TARGET_PAPER,
+        activity: float = 1.0,
+    ) -> list[MitigationPlan]:
+        """Evaluate every scheme at its own minimal voltage.
+
+        Returns plans sorted by total power, cheapest first.
+        """
+        plans = []
+        for overhead in self.overheads:
+            solution = self.calculator.minimum_voltage(
+                overhead.scheme, frequency, fit_target=fit_target
+            )
+            effective_freq = frequency * (1.0 + overhead.cycle_overhead)
+            point = self.calculator.operating_point(
+                solution.vdd, effective_freq, activity
+            )
+            dynamic = point.dynamic_power * overhead.access_energy_factor
+            leak = point.leakage_power * overhead.static_power_factor
+            plans.append(
+                MitigationPlan(
+                    overhead=overhead,
+                    solution=solution,
+                    total_power=dynamic + leak,
+                    dynamic_power=dynamic,
+                    leakage_power=leak,
+                )
+            )
+        plans.sort(key=lambda plan: plan.total_power)
+        return plans
+
+    def best(
+        self,
+        frequency: float,
+        fit_target: float = FIT_TARGET_PAPER,
+        activity: float = 1.0,
+    ) -> MitigationPlan:
+        """Return the cheapest plan for the operating point."""
+        return self.evaluate(frequency, fit_target, activity)[0]

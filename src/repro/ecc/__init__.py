@@ -1,0 +1,35 @@
+"""Error-correcting-code substrate.
+
+Section V's two hardware mitigation mechanisms need real codecs:
+
+* SECDED — the (39,32) extended Hamming code "widely used in industry";
+  implemented bit-exactly in :mod:`repro.ecc.hamming`.
+* OCEAN's protected buffer — "error-protected buffer with quadruple
+  error correction capability"; implemented as a shortened binary
+  BCH(63,39) t=4 code (:mod:`repro.ecc.bch`) with a 4-way interleaved
+  SECDED alternative (:mod:`repro.ecc.interleave`) for the ablation.
+
+Supporting modules: GF(2) matrix algebra (:mod:`repro.ecc.gf2`),
+GF(2^m) field arithmetic (:mod:`repro.ecc.gf2m`), parity detection
+(:mod:`repro.ecc.parity`), and a word-level memory wrapper applying any
+codec transparently (:mod:`repro.ecc.wrapper`).
+"""
+
+from repro.ecc.base import Codec, DecodeResult, DecodeStatus
+from repro.ecc.parity import ParityCodec
+from repro.ecc.hamming import SecdedCodec
+from repro.ecc.bch import BchCodec
+from repro.ecc.interleave import InterleavedCodec
+from repro.ecc.wrapper import CodecMemoryWrapper, WrapperStats
+
+__all__ = [
+    "Codec",
+    "DecodeResult",
+    "DecodeStatus",
+    "ParityCodec",
+    "SecdedCodec",
+    "BchCodec",
+    "InterleavedCodec",
+    "CodecMemoryWrapper",
+    "WrapperStats",
+]

@@ -1,0 +1,93 @@
+"""Common codec interface.
+
+All codecs in this package operate on non-negative Python integers
+treated as little-endian bit vectors: data words of ``data_bits`` bits
+are encoded into codewords of ``code_bits`` bits.  Integers keep the
+simulator fast (XOR of a whole word is one operation) while staying
+bit-exact.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+
+
+class DecodeStatus(enum.Enum):
+    """Outcome classification of one decode."""
+
+    #: Codeword was clean (no error detected).
+    CLEAN = "clean"
+    #: Errors were detected and corrected; data is trustworthy.
+    CORRECTED = "corrected"
+    #: Errors were detected but exceed the correction capability; data
+    #: is NOT trustworthy (a recovery mechanism must step in).
+    DETECTED = "detected"
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Result of decoding one codeword.
+
+    Attributes
+    ----------
+    data:
+        The decoded data word (best effort when status is DETECTED).
+    status:
+        What the decoder concluded.
+    corrected_bits:
+        Number of bit positions the decoder flipped.
+    """
+
+    data: int
+    status: DecodeStatus
+    corrected_bits: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the decoded data can be trusted."""
+        return self.status is not DecodeStatus.DETECTED
+
+
+class Codec(abc.ABC):
+    """Abstract block codec over integer bit vectors."""
+
+    #: Number of payload bits per block.
+    data_bits: int
+    #: Number of stored bits per block (payload + check bits).
+    code_bits: int
+
+    @property
+    def check_bits(self) -> int:
+        """Number of redundant bits per block."""
+        return self.code_bits - self.data_bits
+
+    @property
+    def storage_overhead(self) -> float:
+        """Relative storage overhead, e.g. 7/32 for (39,32) SECDED."""
+        return self.check_bits / self.data_bits
+
+    @abc.abstractmethod
+    def encode(self, data: int) -> int:
+        """Encode ``data`` (must fit in ``data_bits``) into a codeword."""
+
+    @abc.abstractmethod
+    def decode(self, codeword: int) -> DecodeResult:
+        """Decode ``codeword`` (must fit in ``code_bits``)."""
+
+    # ------------------------------------------------------------------
+    # Shared validation helpers
+    # ------------------------------------------------------------------
+    def _check_data(self, data: int) -> None:
+        if data < 0 or data >> self.data_bits:
+            raise ValueError(
+                f"data must fit in {self.data_bits} bits, got {data:#x}"
+            )
+
+    def _check_codeword(self, codeword: int) -> None:
+        if codeword < 0 or codeword >> self.code_bits:
+            raise ValueError(
+                f"codeword must fit in {self.code_bits} bits, "
+                f"got {codeword:#x}"
+            )

@@ -1,0 +1,122 @@
+"""Linear algebra over GF(2).
+
+Small, dependency-light helpers for binary matrices represented as
+numpy uint8 arrays with values in {0, 1}.  Used to construct and verify
+parity-check and generator matrices for the Hamming and BCH codecs, and
+handy on its own for building custom codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_gf2(matrix: np.ndarray) -> np.ndarray:
+    """Return ``matrix`` reduced mod 2 as a uint8 array."""
+    arr = np.asarray(matrix)
+    return (arr % 2).astype(np.uint8)
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Return the little-endian bit vector of ``value`` (length ``width``)."""
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if value >> width:
+        raise ValueError(f"value {value:#x} does not fit in {width} bits")
+    return np.array([(value >> i) & 1 for i in range(width)], dtype=np.uint8)
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Inverse of :func:`int_to_bits`."""
+    value = 0
+    for i, bit in enumerate(np.asarray(bits, dtype=np.uint8)):
+        if bit:
+            value |= 1 << i
+    return value
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Return ``a @ b`` over GF(2)."""
+    return as_gf2(np.asarray(a, dtype=np.uint8) @ np.asarray(b, dtype=np.uint8))
+
+
+def rank(matrix: np.ndarray) -> int:
+    """Return the GF(2) rank via Gaussian elimination."""
+    m = as_gf2(matrix).copy()
+    rows, cols = m.shape
+    r = 0
+    for c in range(cols):
+        pivot_rows = np.nonzero(m[r:, c])[0]
+        if pivot_rows.size == 0:
+            continue
+        pivot = pivot_rows[0] + r
+        m[[r, pivot]] = m[[pivot, r]]
+        eliminate = np.nonzero(m[:, c])[0]
+        for row in eliminate:
+            if row != r:
+                m[row] ^= m[r]
+        r += 1
+        if r == rows:
+            break
+    return r
+
+
+def row_reduce(matrix: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    """Return (reduced-row-echelon form, pivot column indices) over GF(2)."""
+    m = as_gf2(matrix).copy()
+    rows, cols = m.shape
+    pivots: list[int] = []
+    r = 0
+    for c in range(cols):
+        if r >= rows:
+            break
+        pivot_rows = np.nonzero(m[r:, c])[0]
+        if pivot_rows.size == 0:
+            continue
+        pivot = pivot_rows[0] + r
+        m[[r, pivot]] = m[[pivot, r]]
+        for row in np.nonzero(m[:, c])[0]:
+            if row != r:
+                m[row] ^= m[r]
+        pivots.append(c)
+        r += 1
+    return m, pivots
+
+
+def null_space(matrix: np.ndarray) -> np.ndarray:
+    """Return a basis of the right null space over GF(2), rows = vectors.
+
+    ``matrix @ v == 0`` for every returned vector ``v``.
+    """
+    m, pivots = row_reduce(matrix)
+    cols = m.shape[1]
+    free_cols = [c for c in range(cols) if c not in pivots]
+    basis = []
+    for free in free_cols:
+        vec = np.zeros(cols, dtype=np.uint8)
+        vec[free] = 1
+        for row, pivot in enumerate(pivots):
+            if m[row, free]:
+                vec[pivot] = 1
+        basis.append(vec)
+    if not basis:
+        return np.zeros((0, cols), dtype=np.uint8)
+    return np.array(basis, dtype=np.uint8)
+
+
+def is_codeword(parity_check: np.ndarray, word_bits: np.ndarray) -> bool:
+    """Return whether ``word_bits`` satisfies every parity check."""
+    syndrome = matmul(as_gf2(parity_check), as_gf2(word_bits).reshape(-1, 1))
+    return not syndrome.any()
+
+
+def hamming_weight(value: int) -> int:
+    """Return the number of set bits of a non-negative integer."""
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return bin(value).count("1")
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Return the number of differing bit positions of two integers."""
+    return hamming_weight(a ^ b)

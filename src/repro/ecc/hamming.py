@@ -1,0 +1,108 @@
+"""(39,32) SECDED extended Hamming codec.
+
+The paper's hardware ECC reference: "We use the (39, 32) SECDED code
+implementation to cope with the memory word width" — 32 data bits, six
+Hamming check bits and one overall parity bit.  Single errors are
+corrected, double errors detected; a triple error aliases into a wrong
+single-error correction or a miss, which is exactly why the FIT solver
+treats three simultaneous bit errors as the scheme's failure point.
+
+Construction: the classic extended Hamming layout.  Codeword positions
+are numbered 1..38 with check bits at the power-of-two positions
+(1, 2, 4, 8, 16, 32); the 32 data bits occupy the remaining positions;
+bit 39 (index 38) is the overall parity of everything else.
+"""
+
+from __future__ import annotations
+
+from repro.ecc.base import Codec, DecodeResult, DecodeStatus
+
+_POSITIONS = 38  # Hamming part (positions 1..38)
+_PARITY_POSITIONS = (1, 2, 4, 8, 16, 32)
+_DATA_POSITIONS = tuple(
+    pos for pos in range(1, _POSITIONS + 1) if pos not in _PARITY_POSITIONS
+)
+assert len(_DATA_POSITIONS) == 32
+
+
+def _parity(value: int) -> int:
+    """Return the XOR of all bits of ``value``."""
+    return bin(value).count("1") & 1
+
+
+class SecdedCodec(Codec):
+    """Single-error-correcting, double-error-detecting (39,32) codec."""
+
+    data_bits = 32
+    code_bits = 39
+
+    def encode(self, data: int) -> int:
+        """Encode a 32-bit word into a 39-bit SECDED codeword."""
+        self._check_data(data)
+        word = 0
+        syndrome = 0
+        for i, pos in enumerate(_DATA_POSITIONS):
+            if (data >> i) & 1:
+                word |= 1 << (pos - 1)
+                syndrome ^= pos
+        # Check bits sit at power-of-two positions, so each syndrome bit
+        # is produced by exactly one check bit.
+        for bit_index, pos in enumerate(_PARITY_POSITIONS):
+            if (syndrome >> bit_index) & 1:
+                word |= 1 << (pos - 1)
+        # Overall parity over the 38 Hamming positions.
+        if _parity(word):
+            word |= 1 << (self.code_bits - 1)
+        return word
+
+    def decode(self, codeword: int) -> DecodeResult:
+        """Decode a 39-bit codeword; correct 1 error, detect 2."""
+        self._check_codeword(codeword)
+        hamming_part = codeword & ((1 << _POSITIONS) - 1)
+        syndrome = 0
+        remaining = hamming_part
+        while remaining:
+            lsb = remaining & -remaining
+            syndrome ^= lsb.bit_length()  # 1-based position number
+            remaining ^= lsb
+        overall = _parity(codeword)
+
+        if syndrome == 0 and overall == 0:
+            return DecodeResult(
+                data=self._extract(codeword), status=DecodeStatus.CLEAN
+            )
+        if syndrome == 0 and overall == 1:
+            # The overall parity bit itself flipped; data is intact.
+            corrected = codeword ^ (1 << (self.code_bits - 1))
+            return DecodeResult(
+                data=self._extract(corrected),
+                status=DecodeStatus.CORRECTED,
+                corrected_bits=1,
+            )
+        if overall == 1:
+            # Odd number of errors with a non-zero syndrome: take it as
+            # a single error at the syndrome position if that position
+            # exists; otherwise it must be multi-bit.
+            if 1 <= syndrome <= _POSITIONS:
+                corrected = codeword ^ (1 << (syndrome - 1))
+                return DecodeResult(
+                    data=self._extract(corrected),
+                    status=DecodeStatus.CORRECTED,
+                    corrected_bits=1,
+                )
+            return DecodeResult(
+                data=self._extract(codeword), status=DecodeStatus.DETECTED
+            )
+        # Non-zero syndrome with even overall parity: double error.
+        return DecodeResult(
+            data=self._extract(codeword), status=DecodeStatus.DETECTED
+        )
+
+    @staticmethod
+    def _extract(codeword: int) -> int:
+        """Pull the 32 data bits out of their codeword positions."""
+        data = 0
+        for i, pos in enumerate(_DATA_POSITIONS):
+            if (codeword >> (pos - 1)) & 1:
+                data |= 1 << i
+        return data

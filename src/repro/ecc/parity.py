@@ -1,0 +1,36 @@
+"""Single-parity detection-only codec.
+
+The cheapest error-*detection* wrapper: one parity bit per word.  It
+corrects nothing but flags every odd-weight error pattern, which is all
+a rollback scheme like OCEAN strictly needs on its working memory — the
+protected buffer supplies the clean data on demand.  Included both as a
+baseline and as the detection stage of the OCEAN ablations.
+"""
+
+from __future__ import annotations
+
+from repro.ecc.base import Codec, DecodeResult, DecodeStatus
+
+
+class ParityCodec(Codec):
+    """(n+1, n) even-parity codec: detects any odd number of flips."""
+
+    def __init__(self, data_bits: int = 32) -> None:
+        if data_bits <= 0:
+            raise ValueError(f"data_bits must be positive, got {data_bits}")
+        self.data_bits = data_bits
+        self.code_bits = data_bits + 1
+
+    def encode(self, data: int) -> int:
+        """Append one even-parity bit above the data bits."""
+        self._check_data(data)
+        parity = bin(data).count("1") & 1
+        return data | (parity << self.data_bits)
+
+    def decode(self, codeword: int) -> DecodeResult:
+        """Check parity; report DETECTED on violation (no correction)."""
+        self._check_codeword(codeword)
+        data = codeword & ((1 << self.data_bits) - 1)
+        if bin(codeword).count("1") & 1:
+            return DecodeResult(data=data, status=DecodeStatus.DETECTED)
+        return DecodeResult(data=data, status=DecodeStatus.CLEAN)

@@ -1,0 +1,134 @@
+"""Word-level codec wrapper around a memory.
+
+This is the "digital wrapper around existing commercially available
+memories" of the paper's abstract, in its ECC form: writes encode, reads
+decode, and the wrapper keeps the correction/detection statistics that
+the run-time monitoring loop (Section IV) consumes.
+
+The wrapped store can be anything exposing ``read(address) -> int`` and
+``write(address, value)`` over codeword-width integers — in this
+library usually a :class:`repro.soc.memory.FaultyMemory` whose fault
+engine flips stored bits according to the voltage-dependent models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.ecc.base import Codec, DecodeResult, DecodeStatus
+
+
+class WordStore(Protocol):
+    """Minimal raw-memory interface the wrapper sits on."""
+
+    def read(self, address: int) -> int:
+        """Return the stored word at ``address``."""
+
+    def write(self, address: int, value: int) -> None:
+        """Store ``value`` at ``address``."""
+
+
+@dataclass
+class WrapperStats:
+    """Correction/detection counters, food for the monitoring loop."""
+
+    reads: int = 0
+    writes: int = 0
+    corrected_words: int = 0
+    corrected_bits: int = 0
+    detected_words: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter (one monitoring window ends)."""
+        self.reads = 0
+        self.writes = 0
+        self.corrected_words = 0
+        self.corrected_bits = 0
+        self.detected_words = 0
+
+
+class UncorrectableError(Exception):
+    """Raised on a detected-but-uncorrectable word when configured to."""
+
+    def __init__(self, address: int, result: DecodeResult) -> None:
+        super().__init__(
+            f"uncorrectable error at address {address:#x} "
+            f"(best-effort data {result.data:#x})"
+        )
+        self.address = address
+        self.result = result
+
+
+class CodecMemoryWrapper:
+    """Transparent encode-on-write / decode-on-read memory wrapper.
+
+    Parameters
+    ----------
+    store:
+        Raw backing memory (codeword-width words).
+    codec:
+        Any :class:`repro.ecc.base.Codec`.
+    raise_on_detect:
+        When True (default), reads of uncorrectable words raise
+        :class:`UncorrectableError` so a recovery mechanism (OCEAN's
+        rollback) can take over; when False, best-effort data is
+        returned and only counted.
+    """
+
+    def __init__(
+        self,
+        store: WordStore,
+        codec: Codec,
+        raise_on_detect: bool = True,
+        auto_scrub: bool = False,
+    ) -> None:
+        self.store = store
+        self.codec = codec
+        self.raise_on_detect = raise_on_detect
+        #: Rewrite the corrected codeword after every corrected read, so
+        #: single-bit upsets cannot accumulate into double errors over a
+        #: long run.  Costs one extra store write per correction.
+        self.auto_scrub = auto_scrub
+        self.stats = WrapperStats()
+
+    def read(self, address: int) -> int:
+        """Decode the stored codeword; count and escalate as configured."""
+        raw = self.store.read(address)
+        result = self.codec.decode(raw)
+        self.stats.reads += 1
+        if result.status is DecodeStatus.CORRECTED:
+            self.stats.corrected_words += 1
+            self.stats.corrected_bits += result.corrected_bits
+            if self.auto_scrub:
+                self.store.write(address, self.codec.encode(result.data))
+        elif result.status is DecodeStatus.DETECTED:
+            self.stats.detected_words += 1
+            if self.raise_on_detect:
+                raise UncorrectableError(address, result)
+        return result.data
+
+    def write(self, address: int, value: int) -> None:
+        """Encode and store a data word."""
+        self.stats.writes += 1
+        self.store.write(address, self.codec.encode(value))
+
+    def scrub(self, addresses) -> int:
+        """Read-correct-rewrite every address; return words repaired.
+
+        Periodic scrubbing keeps independent single-bit upsets from
+        accumulating into uncorrectable multi-bit words — the standard
+        companion of SECDED in long-retention scenarios.
+        """
+        repaired = 0
+        for address in addresses:
+            raw = self.store.read(address)
+            result = self.codec.decode(raw)
+            if result.status is DecodeStatus.CORRECTED:
+                self.store.write(address, self.codec.encode(result.data))
+                repaired += 1
+            elif result.status is DecodeStatus.DETECTED:
+                self.stats.detected_words += 1
+                if self.raise_on_detect:
+                    raise UncorrectableError(address, result)
+        return repaired

@@ -1,0 +1,225 @@
+"""Monte-Carlo memory array — the unit under (virtual) test.
+
+One :class:`MemoryArray` is one physical memory instance on one die.
+At construction every cell draws its minimal retention voltage from the
+population model (plus an optional systematic across-die gradient, which
+is what makes the Figure 3 maps show regional structure rather than
+pure salt-and-pepper).  The array then supports the two measurements of
+Section IV:
+
+* **retention test** — which bits lose data at a given standby voltage
+  (Figure 3 spatial map, Figure 4 cumulative statistics);
+* **access test** — voltage-dependent random read/write bit errors per
+  the Eq. 5 power law (Figure 5), including the actual flipped data.
+
+It also implements plain word storage so the SoC simulator can use it
+as a backing store with faults injected on the fly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.access import AccessErrorModel
+from repro.core.retention import RetentionModel
+
+
+class AccessKind(enum.Enum):
+    """Memory access type; both share the Eq. 5 error model here."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class RetentionTestResult:
+    """Outcome of one retention shmoo point."""
+
+    vdd: float
+    failing_bits: int
+    total_bits: int
+
+    @property
+    def bit_error_rate(self) -> float:
+        return self.failing_bits / self.total_bits
+
+
+class MemoryArray:
+    """One memory instance with per-cell variability.
+
+    Parameters
+    ----------
+    words / bits:
+        Logical organisation (e.g. 1024 x 32 for the Table 1 macro).
+    retention_model:
+        Population model the per-cell retention voltages are drawn from.
+    access_model:
+        Eq. 5 model used for dynamic read/write error injection.
+    rng:
+        Random generator; supply a seeded one for reproducibility.
+    gradient_v:
+        Peak-to-peak systematic retention-voltage gradient across the
+        array in volts (lithographic / stress systematics); gives the
+        Figure 3 maps their spatial structure.
+    """
+
+    def __init__(
+        self,
+        words: int,
+        bits: int,
+        retention_model: RetentionModel,
+        access_model: AccessErrorModel,
+        rng: np.random.Generator | None = None,
+        gradient_v: float = 0.02,
+    ) -> None:
+        if words <= 0 or bits <= 0:
+            raise ValueError("words and bits must be positive")
+        self.words = words
+        self.bits = bits
+        self.retention_model = retention_model
+        self.access_model = access_model
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.gradient_v = gradient_v
+
+        random_part = retention_model.sample_cell_voltages(
+            words * bits, self.rng
+        ).reshape(words, bits)
+        self._vmin = random_part + self._systematic_component()
+        np.clip(self._vmin, 0.0, None, out=self._vmin)
+        # Word storage for simulator use (plain ints, one per word).
+        self._data = np.zeros(words, dtype=np.uint64)
+
+    def _systematic_component(self) -> np.ndarray:
+        """Smooth across-array retention-voltage systematic (bowl +
+        tilt), zero-mean, peak-to-peak ``gradient_v``."""
+        if self.gradient_v == 0.0:
+            return np.zeros((self.words, self.bits))
+        y = np.linspace(-1.0, 1.0, self.words)[:, None]
+        x = np.linspace(-1.0, 1.0, self.bits)[None, :]
+        tilt_y, tilt_x, bowl = self.rng.uniform(-1.0, 1.0, size=3)
+        surface = tilt_y * y + tilt_x * x + bowl * (x * x + y * y - 1.0)
+        span = surface.max() - surface.min()
+        if span == 0.0:
+            return np.zeros((self.words, self.bits))
+        surface = (surface - surface.mean()) / span
+        return surface * self.gradient_v
+
+    # ------------------------------------------------------------------
+    # Retention measurement (Figures 3 and 4)
+    # ------------------------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        return self.words * self.bits
+
+    def retention_vmin_map(self) -> np.ndarray:
+        """Return the (words x bits) map of per-cell retention voltages.
+
+        This is exactly what Figure 3 plots (colour = minimal retention
+        voltage per memory location)."""
+        return self._vmin.copy()
+
+    def retention_failures(self, vdd: float) -> np.ndarray:
+        """Return the boolean (words x bits) map of cells failing at
+        ``vdd`` during standby."""
+        if vdd < 0.0:
+            raise ValueError(f"vdd must be non-negative, got {vdd}")
+        return self._vmin > vdd
+
+    def retention_test(self, vdd: float) -> RetentionTestResult:
+        """Count failing bits at one standby voltage (one shmoo point)."""
+        failures = int(self.retention_failures(vdd).sum())
+        return RetentionTestResult(
+            vdd=vdd, failing_bits=failures, total_bits=self.total_bits
+        )
+
+    def measured_retention_vmin(self) -> float:
+        """Return the instance's retention voltage as Table 1 reports
+        it: the voltage where the first bit fails."""
+        return float(self._vmin.max())
+
+    # ------------------------------------------------------------------
+    # Access-error injection (Figure 5 and simulator faults)
+    # ------------------------------------------------------------------
+    def sample_access_flips(self, vdd: float, kind: AccessKind) -> int:
+        """Return a bit mask of flipped positions for one word access.
+
+        Fast path: with word-level flip probability
+        ``1 - (1 - p)^bits`` usually tiny, a single uniform draw decides
+        whether to sample per-bit at all.
+        """
+        p_bit = self.access_model.bit_error_probability(vdd)
+        if p_bit == 0.0:
+            return 0
+        p_any = -np.expm1(self.bits * np.log1p(-p_bit))
+        if self.rng.random() >= p_any:
+            return 0
+        # At least one flip: sample the full per-bit vector, retrying
+        # until non-empty (correct conditional distribution).
+        while True:
+            flips = self.rng.random(self.bits) < p_bit
+            if flips.any():
+                break
+        mask = 0
+        for position in np.nonzero(flips)[0]:
+            mask |= 1 << int(position)
+        return mask
+
+    def measure_access_ber(
+        self, vdd: float, accesses: int
+    ) -> tuple[int, int]:
+        """Run ``accesses`` word accesses; return (bit errors, bits).
+
+        The quasi-static tester of Section IV: write a word, read it
+        back, count differing bits."""
+        if accesses <= 0:
+            raise ValueError("accesses must be positive")
+        errors = 0
+        for _ in range(accesses):
+            mask = self.sample_access_flips(vdd, AccessKind.READ)
+            errors += bin(mask).count("1")
+        return errors, accesses * self.bits
+
+    # ------------------------------------------------------------------
+    # Word storage (simulator backing store)
+    # ------------------------------------------------------------------
+    def read_word(self, address: int) -> int:
+        """Return the stored word (no fault injection at this level)."""
+        self._check_address(address)
+        return int(self._data[address])
+
+    def write_word(self, address: int, value: int) -> None:
+        """Store a word (must fit in ``bits``)."""
+        self._check_address(address)
+        if value < 0 or value >> self.bits:
+            raise ValueError(
+                f"value must fit in {self.bits} bits, got {value:#x}"
+            )
+        self._data[address] = value
+
+    def corrupt_retention(self, vdd: float) -> int:
+        """Flip stored bits of every cell that cannot retain at ``vdd``.
+
+        Models a standby excursion below the retention limit; failing
+        cells resolve to a random value, so each flips with p = 0.5.
+        Returns the number of flipped bits.
+        """
+        failures = self.retention_failures(vdd)
+        flipped = 0
+        for word in np.nonzero(failures.any(axis=1))[0]:
+            mask = 0
+            for bit in np.nonzero(failures[word])[0]:
+                if self.rng.random() < 0.5:
+                    mask |= 1 << int(bit)
+            if mask:
+                self._data[word] = np.uint64(int(self._data[word]) ^ mask)
+                flipped += bin(mask).count("1")
+        return flipped
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < self.words:
+            raise IndexError(
+                f"address {address} out of range 0..{self.words - 1}"
+            )

@@ -1,0 +1,138 @@
+"""Read/write assist techniques (Section III).
+
+"The dynamic read and write operation can be improved by a variety of
+assist techniques realized in the periphery of the actual cell array.
+One field of techniques weaken (write) or strengthen (read) the cell
+during the access by (temporarily) deviating from the nominal voltage
+levels on the supply rails, bit-lines, and/or word-lines."
+
+An assist buys access-voltage headroom (the Eq. 5 onset moves down)
+and costs energy (boosted rails are extra switched capacitance) and
+area (charge pumps, regulators).  This module models that trade as a
+transform over :class:`repro.memdev.library.MemoryInstance`-style
+components, so assists compose with — and can be compared against —
+the run-time mitigation schemes of Section V.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.access import AccessErrorModel
+
+
+@dataclass(frozen=True)
+class AssistTechnique:
+    """One periphery assist and its costs.
+
+    Attributes
+    ----------
+    name:
+        Technique label.
+    onset_shift_v:
+        Reduction of the Eq. 5 access onset in volts (negative shift =
+        the memory works at lower supply).  First-order model of the
+        restored read/write margin.
+    access_energy_factor:
+        Multiplier on dynamic access energy (boost capacitance,
+        pump losses).
+    area_overhead:
+        Fractional macro area added (pumps, boost drivers).
+    retention_help_v:
+        Reduction of the retention requirement in volts (most access
+        assists do nothing for retention; bias-based ones help a bit).
+    """
+
+    name: str
+    onset_shift_v: float
+    access_energy_factor: float
+    area_overhead: float
+    retention_help_v: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.onset_shift_v < 0.0:
+            raise ValueError("onset_shift_v is a magnitude; must be >= 0")
+        if self.access_energy_factor < 1.0:
+            raise ValueError("access_energy_factor cannot be below 1")
+        if self.area_overhead < 0.0:
+            raise ValueError("area_overhead must be non-negative")
+        if self.retention_help_v < 0.0:
+            raise ValueError("retention_help_v must be non-negative")
+
+    def apply_to_access(self, model: AccessErrorModel) -> AccessErrorModel:
+        """Return the access model with the assist's onset reduction."""
+        return model.shifted(-self.onset_shift_v)
+
+
+#: Word-line underdrive: weakens the access device during reads,
+#: restoring read stability; cheap, modest gain.
+WL_UNDERDRIVE = AssistTechnique(
+    name="WL-underdrive",
+    onset_shift_v=0.03,
+    access_energy_factor=1.03,
+    area_overhead=0.02,
+)
+
+#: Negative bit-line write assist: overdrives the pass gate during
+#: writes; the classic write-margin fix, needs a small charge pump.
+NEGATIVE_BITLINE = AssistTechnique(
+    name="negative-BL",
+    onset_shift_v=0.05,
+    access_energy_factor=1.08,
+    area_overhead=0.05,
+)
+
+#: Transient cell-supply boost during accesses (read and write),
+#: after the charge-pump approach of Rooseleer & Dehaene [12].
+CELL_VDD_BOOST = AssistTechnique(
+    name="cell-VDD-boost",
+    onset_shift_v=0.08,
+    access_energy_factor=1.15,
+    area_overhead=0.10,
+    retention_help_v=0.02,
+)
+
+#: Everything at once — the deep-assist corner of the design space.
+FULL_ASSIST_STACK = AssistTechnique(
+    name="full-assist-stack",
+    onset_shift_v=0.12,
+    access_energy_factor=1.25,
+    area_overhead=0.15,
+    retention_help_v=0.02,
+)
+
+ALL_ASSISTS = (
+    WL_UNDERDRIVE,
+    NEGATIVE_BITLINE,
+    CELL_VDD_BOOST,
+    FULL_ASSIST_STACK,
+)
+
+
+def assisted_instance(instance, assist: AssistTechnique):
+    """Return a copy of a :class:`MemoryInstance` with the assist applied.
+
+    The energy model is shallow-copied with the assist's energy factor
+    folded into its calibration; the access model's onset moves down;
+    retention improves by ``retention_help_v``.
+    """
+    import copy
+
+    energy = copy.copy(instance.energy)
+    energy.energy_calibration = (
+        instance.energy.energy_calibration * assist.access_energy_factor
+    )
+    energy.periphery_fraction = (
+        instance.energy.periphery_fraction + assist.area_overhead
+    )
+    retention = instance.retention
+    if assist.retention_help_v:
+        retention = retention.shifted(-assist.retention_help_v)
+    return dataclasses.replace(
+        instance,
+        name=f"{instance.name}+{assist.name}",
+        energy=energy,
+        access=assist.apply_to_access(instance.access),
+        retention=retention,
+    )

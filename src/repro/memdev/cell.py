@@ -1,0 +1,131 @@
+"""Bit-cell archetypes.
+
+Section III/IV contrasts two design styles:
+
+* the foundry's highly-optimised 6T SRAM cell — small (it may break
+  standard design rules), ratioed, and therefore fragile at low voltage;
+* the imec cell-based bit cell — "a cross-coupled pair of AND-OR-INVERT
+  gates", built from ordinary standard cells, several times larger but
+  robust down to logic-level voltages.
+
+The archetype records the static properties every higher layer needs:
+transistor count (leakage width), cell area, bitline organisation
+(full-array versus hierarchical short bitlines) and the sensing swing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BitCellArchetype:
+    """Static description of one bit-cell design style.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label.
+    transistors:
+        Devices per cell (6 for the classic SRAM cell, 12 for the
+        cross-coupled AOI pair with access gating).
+    area_um2_40nm:
+        Cell area in um^2 normalised to the 40 nm node; other nodes
+        scale with (feature/40)^2.
+    leak_width_um:
+        Total effective leaking transistor width per cell in microns.
+    bitline_rows:
+        Rows sharing one (local) bitline segment.  The commercial macro
+        swings the full array column; the cell-based design keeps local
+        segments short — Section III's "hierarchical subdividing".
+    swing_fraction:
+        Fraction of V_DD the read bitline actually swings (commercial
+        macros sense at reduced swing; cell-based logic is full swing).
+    device_width_um / device_length_um:
+        Geometry of the stability-critical device pair, feeding the
+        Pelgrom mismatch that drives retention-voltage spread.
+    """
+
+    name: str
+    transistors: int
+    area_um2_40nm: float
+    leak_width_um: float
+    bitline_rows: int
+    swing_fraction: float
+    device_width_um: float
+    device_length_um: float
+
+    def __post_init__(self) -> None:
+        if self.transistors <= 0:
+            raise ValueError("transistors must be positive")
+        if self.area_um2_40nm <= 0.0:
+            raise ValueError("area_um2_40nm must be positive")
+        if not 0.0 < self.swing_fraction <= 1.0:
+            raise ValueError("swing_fraction must be in (0, 1]")
+        if self.bitline_rows <= 0:
+            raise ValueError("bitline_rows must be positive")
+
+    def area_um2(self, feature_nm: float) -> float:
+        """Return the cell area scaled to another feature size."""
+        if feature_nm <= 0.0:
+            raise ValueError("feature_nm must be positive")
+        return self.area_um2_40nm * (feature_nm / 40.0) ** 2
+
+    @property
+    def cell_pitch_um(self) -> float:
+        """Square-equivalent cell edge at 40 nm, used for wire lengths."""
+        return self.area_um2_40nm ** 0.5
+
+
+#: Foundry 6T SRAM macro cell (the "COTS" column of Table 1): tiny,
+#: tight design rules, reduced-swing sensing, long shared bitlines.
+COMMERCIAL_6T = BitCellArchetype(
+    name="commercial-6T",
+    transistors=6,
+    area_um2_40nm=0.30,
+    leak_width_um=0.40,
+    bitline_rows=256,
+    swing_fraction=0.25,
+    device_width_um=0.09,
+    device_length_um=0.04,
+)
+
+#: Area-efficient custom 6T with charge pump, after Rooseleer & Dehaene
+#: [12] (the "Custom SRAM" column): speed-optimised, larger periphery.
+CUSTOM_6T = BitCellArchetype(
+    name="custom-6T",
+    transistors=6,
+    area_um2_40nm=0.49,
+    leak_width_um=0.9,
+    bitline_rows=128,
+    swing_fraction=0.35,
+    device_width_um=0.12,
+    device_length_um=0.04,
+)
+
+#: imec cell-based bit cell: cross-coupled AND-OR-INVERT pair built from
+#: standard cells (Section IV), hierarchical short local bitlines, full
+#: logic swing, logic-sized (better matched) devices.
+CELL_BASED_AOI = BitCellArchetype(
+    name="cell-based-AOI",
+    transistors=12,
+    area_um2_40nm=1.77,
+    leak_width_um=1.1,
+    bitline_rows=16,
+    swing_fraction=1.0,
+    device_width_um=0.20,
+    device_length_um=0.06,
+)
+
+#: Latch-based sub-Vt memory of Andersson et al. [13] in 65 nm
+#: (sequential elements rather than AOI gates; dual-Vt for leakage).
+CELL_BASED_LATCH_65NM = BitCellArchetype(
+    name="cell-based-latch-65nm",
+    transistors=16,
+    area_um2_40nm=2.20,  # normalised per the Table 1 *4 footnote
+    leak_width_um=0.5,   # dual-Vt: <1 pW/bit leakage is its headline
+    bitline_rows=16,
+    swing_fraction=1.0,
+    device_width_um=0.24,
+    device_length_um=0.08,
+)

@@ -1,0 +1,129 @@
+"""Characterisation routines — the virtual test bench.
+
+Section IV's measurement flow, reproduced on the synthetic arrays:
+retention shmoo (voltage sweep counting failing bits), quasi-static
+read/write shmoo (Eq. 5 data), and the model re-fits that close the
+loop between "measurement" and the analytic models of
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.access import AccessErrorModel
+from repro.core.retention import RetentionModel
+from repro.memdev.array import MemoryArray
+from repro.memdev.die import DiePopulation
+
+
+@dataclass(frozen=True)
+class ShmooResult:
+    """One shmoo sweep: voltages against measured bit-error rates."""
+
+    voltages: np.ndarray
+    bit_error_rates: np.ndarray
+    kind: str
+
+    def first_passing_voltage(self, ber_limit: float = 0.0) -> float:
+        """Return the lowest swept voltage whose BER is <= ``ber_limit``.
+
+        Raises ``ValueError`` if no swept point passes.
+        """
+        passing = np.nonzero(self.bit_error_rates <= ber_limit)[0]
+        if passing.size == 0:
+            raise ValueError(
+                f"no voltage in the sweep meets BER <= {ber_limit}"
+            )
+        return float(self.voltages[passing].min())
+
+
+def retention_shmoo(
+    array: MemoryArray, voltages: np.ndarray
+) -> ShmooResult:
+    """Sweep standby voltage, counting retention failures per point."""
+    voltages = np.asarray(voltages, dtype=float)
+    rates = np.array(
+        [array.retention_test(float(v)).bit_error_rate for v in voltages]
+    )
+    return ShmooResult(voltages=voltages, bit_error_rates=rates, kind="retention")
+
+
+def access_shmoo(
+    array: MemoryArray, voltages: np.ndarray, accesses_per_point: int = 2000
+) -> ShmooResult:
+    """Sweep supply voltage running quasi-static read/write tests.
+
+    Mirrors the paper's second measurement: "testing is done as
+    quasi-static operation", i.e. timing effects are masked and only
+    functional bit errors are counted.
+    """
+    voltages = np.asarray(voltages, dtype=float)
+    rates = []
+    for vdd in voltages:
+        errors, bits = array.measure_access_ber(float(vdd), accesses_per_point)
+        rates.append(errors / bits)
+    return ShmooResult(
+        voltages=voltages, bit_error_rates=np.array(rates), kind="access"
+    )
+
+
+def refit_access_model(
+    shmoo: ShmooResult, v_onset: float | None = None
+) -> AccessErrorModel:
+    """Fit the Eq. 5 power law to a measured access shmoo."""
+    if shmoo.kind != "access":
+        raise ValueError(f"expected an access shmoo, got {shmoo.kind!r}")
+    return AccessErrorModel.fit(
+        shmoo.voltages, shmoo.bit_error_rates, v_onset=v_onset
+    )
+
+
+def refit_retention_model(shmoo: ShmooResult) -> RetentionModel:
+    """Fit the Eq. 4 Gaussian model to a measured retention shmoo."""
+    if shmoo.kind != "retention":
+        raise ValueError(f"expected a retention shmoo, got {shmoo.kind!r}")
+    return RetentionModel.fit(shmoo.voltages, shmoo.bit_error_rates)
+
+
+@dataclass(frozen=True)
+class CharacterizationReport:
+    """Summary of a full (multi-die) characterisation campaign."""
+
+    design_name: str
+    n_dies: int
+    retention_vmin_worst: float
+    retention_model: RetentionModel
+    access_onset_estimate: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.design_name}: {self.n_dies} dies, retention Vmin "
+            f"{self.retention_vmin_worst:.3f} V, population mean "
+            f"{self.retention_model.v_mean:.3f} V, sigma "
+            f"{self.retention_model.v_sigma * 1e3:.1f} mV, access onset "
+            f"~{self.access_onset_estimate:.3f} V"
+        )
+
+
+def characterize_population(
+    population: DiePopulation,
+    design_name: str,
+    voltages: np.ndarray | None = None,
+) -> CharacterizationReport:
+    """Run the full Section IV campaign on a die population."""
+    if voltages is None:
+        center = population.base_retention.v_mean
+        spread = 6.0 * population.base_retention.v_sigma
+        voltages = np.linspace(center - spread, center + spread, 25)
+        voltages = voltages[voltages >= 0.0]
+    refit = population.refit_retention_model(np.asarray(voltages))
+    return CharacterizationReport(
+        design_name=design_name,
+        n_dies=population.n_dies,
+        retention_vmin_worst=population.worst_die_retention_vmin(),
+        retention_model=refit,
+        access_onset_estimate=population.access_model.v_onset,
+    )

@@ -1,0 +1,172 @@
+"""Dies and multi-die measurement campaigns.
+
+Figure 4 plots the cumulative retention bit-failure probability "for
+all 9 tested dies".  Die-to-die (global) process variation shifts every
+cell of a die together, so the campaign is modelled as one base
+retention population plus a per-die Gaussian offset.  The population
+object generates dies, runs the voltage sweep on each and aggregates
+the cumulative statistics that Figure 4 (and the Eq. 4 refit) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.access import AccessErrorModel
+from repro.core.retention import RetentionModel
+from repro.memdev.array import MemoryArray
+
+
+@dataclass(frozen=True)
+class Die:
+    """One die: an array instance plus its global offset."""
+
+    die_id: int
+    offset_v: float
+    array: MemoryArray
+
+
+class DiePopulation:
+    """A measurement campaign over several dies of one memory design.
+
+    Parameters
+    ----------
+    base_retention:
+        Wafer-centre retention population.
+    access_model:
+        Access-error model (shared; its die dependence is second-order
+        at the paper's resolution).
+    words / bits:
+        Array organisation per die.
+    n_dies:
+        Number of dies (the paper measured 9).
+    die_sigma_v:
+        Standard deviation of the die-to-die retention offset in volts.
+    seed:
+        Base RNG seed; each die derives its own stream.
+    """
+
+    def __init__(
+        self,
+        base_retention: RetentionModel,
+        access_model: AccessErrorModel,
+        words: int = 1024,
+        bits: int = 32,
+        n_dies: int = 9,
+        die_sigma_v: float = 0.015,
+        seed: int = 2014,
+    ) -> None:
+        if n_dies <= 0:
+            raise ValueError("n_dies must be positive")
+        if die_sigma_v < 0.0:
+            raise ValueError("die_sigma_v must be non-negative")
+        master = np.random.default_rng(seed)
+        offsets = master.normal(0.0, die_sigma_v, size=n_dies)
+        self._init_from_offsets(
+            base_retention, access_model, offsets, words, bits, master
+        )
+
+    def _init_from_offsets(
+        self,
+        base_retention: RetentionModel,
+        access_model: AccessErrorModel,
+        offsets,
+        words: int,
+        bits: int,
+        master: np.random.Generator,
+    ) -> None:
+        self.base_retention = base_retention
+        self.access_model = access_model
+        self.words = words
+        self.bits = bits
+        offsets = np.asarray(offsets, dtype=float)
+        self.die_sigma_v = float(offsets.std()) if offsets.size > 1 else 0.0
+        self.dies = [
+            Die(
+                die_id=i,
+                offset_v=float(offset),
+                array=MemoryArray(
+                    words,
+                    bits,
+                    base_retention.shifted(float(offset)),
+                    access_model,
+                    rng=np.random.default_rng(master.integers(2**63)),
+                ),
+            )
+            for i, offset in enumerate(offsets)
+        ]
+
+    @classmethod
+    def from_offsets(
+        cls,
+        base_retention: RetentionModel,
+        access_model: AccessErrorModel,
+        offsets,
+        words: int = 1024,
+        bits: int = 32,
+        seed: int = 2014,
+    ) -> "DiePopulation":
+        """Build a campaign from explicit per-die offsets.
+
+        Used when the offsets come from a structured source — e.g. die
+        positions on a :class:`repro.memdev.wafer.Wafer` — instead of
+        the default Gaussian draw.
+        """
+        offsets = np.asarray(offsets, dtype=float)
+        if offsets.size == 0:
+            raise ValueError("need at least one die offset")
+        population = cls.__new__(cls)
+        population._init_from_offsets(
+            base_retention,
+            access_model,
+            offsets,
+            words,
+            bits,
+            np.random.default_rng(seed),
+        )
+        return population
+
+    @property
+    def n_dies(self) -> int:
+        return len(self.dies)
+
+    @property
+    def total_bits(self) -> int:
+        return self.n_dies * self.words * self.bits
+
+    # ------------------------------------------------------------------
+    # Figure 4: cumulative retention failure probability vs voltage
+    # ------------------------------------------------------------------
+    def cumulative_failure_curve(
+        self, voltages: np.ndarray
+    ) -> np.ndarray:
+        """Return the measured cumulative bit-failure probability at
+        each voltage, aggregated over every die (Figure 4's y-axis)."""
+        voltages = np.asarray(voltages, dtype=float)
+        counts = np.zeros(voltages.shape, dtype=float)
+        for die in self.dies:
+            vmin = die.array.retention_vmin_map()
+            for i, vdd in enumerate(voltages):
+                counts[i] += float((vmin > vdd).sum())
+        return counts / float(self.total_bits)
+
+    def per_die_failure_counts(self, vdd: float) -> list[int]:
+        """Return failing-bit counts per die at one standby voltage."""
+        return [
+            int(die.array.retention_failures(vdd).sum()) for die in self.dies
+        ]
+
+    def worst_die_retention_vmin(self) -> float:
+        """Return the campaign-level retention voltage: the first bit
+        failure across all dies (what a datasheet would have to quote)."""
+        return max(die.array.measured_retention_vmin() for die in self.dies)
+
+    def refit_retention_model(
+        self, voltages: np.ndarray
+    ) -> RetentionModel:
+        """Re-derive the Eq. 4 model from the synthetic measurement —
+        closing the loop the paper closes with its silicon data."""
+        curve = self.cumulative_failure_curve(voltages)
+        return RetentionModel.fit(np.asarray(voltages, dtype=float), curve)

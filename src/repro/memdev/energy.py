@@ -1,0 +1,243 @@
+"""CACTI-substitute memory energy / area / timing model.
+
+The paper hides confidential vendor numbers behind CACTI [20][21],
+calibrated with imec's internal memory database.  This module plays the
+same role: a geometry-based analytic model of one SRAM-style macro —
+bitline and wordline capacitances from the physical organisation, a
+periphery adder, leakage from the total device width, and an access
+time expressed in technology inverter delays.
+
+Two calibration knobs per instance (``energy_calibration`` and
+``access_depth``) absorb what a real flow would extract from layout;
+they are set once per Table 1 column in :mod:`repro.memdev.library` and
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.delay import inverter_delay
+from repro.tech.mismatch import sigma_vth
+from repro.tech.leakage import leakage_power as device_leakage_power
+from repro.tech.node import TechnologyNode
+from repro.memdev.cell import BitCellArchetype
+
+
+@dataclass(frozen=True)
+class MemoryGeometry:
+    """Physical organisation of one macro.
+
+    ``column_mux`` columns share one sense path: a ``words x bits``
+    logical macro becomes ``words / column_mux`` physical rows of
+    ``bits * column_mux`` cells.
+    """
+
+    words: int
+    bits: int
+    column_mux: int = 4
+
+    def __post_init__(self) -> None:
+        if self.words <= 0 or self.bits <= 0:
+            raise ValueError("words and bits must be positive")
+        if self.column_mux <= 0:
+            raise ValueError("column_mux must be positive")
+        if self.words % self.column_mux:
+            raise ValueError(
+                f"column_mux {self.column_mux} must divide words {self.words}"
+            )
+
+    @property
+    def rows(self) -> int:
+        return self.words // self.column_mux
+
+    @property
+    def columns(self) -> int:
+        return self.bits * self.column_mux
+
+    @property
+    def total_bits(self) -> int:
+        return self.words * self.bits
+
+
+class MemoryEnergyModel:
+    """Energy/area/timing of one macro on one technology node.
+
+    Satisfies :class:`repro.core.calculator.MemoryEnergyProtocol`.
+
+    Parameters
+    ----------
+    geometry:
+        Logical and physical organisation.
+    node:
+        Technology node (wire/gate capacitance, devices).
+    cell:
+        Bit-cell archetype (area, leakage width, bitline style, swing).
+    energy_calibration:
+        Dimensionless multiplier on dynamic access energy (layout
+        parasitics, clocking, margin vs. the pure geometric estimate).
+    leakage_calibration:
+        Dimensionless multiplier on array leakage (process flavour,
+        body bias, power gating efficiency).
+    access_depth:
+        Access-path depth in FO4 inverter delays at the macro's
+        worst-case corner; sets ``max_frequency``.
+    periphery_fraction:
+        Extra area and switched capacitance for decoders, sense
+        amplifiers, IO as a fraction of the array's.
+    """
+
+    def __init__(
+        self,
+        geometry: MemoryGeometry,
+        node: TechnologyNode,
+        cell: BitCellArchetype,
+        energy_calibration: float = 1.0,
+        leakage_calibration: float = 1.0,
+        access_depth: float = 40.0,
+        periphery_fraction: float = 0.3,
+        timing_guardband_sigma: float = 3.0,
+    ) -> None:
+        if energy_calibration <= 0.0 or leakage_calibration <= 0.0:
+            raise ValueError("calibration factors must be positive")
+        if access_depth <= 0.0:
+            raise ValueError("access_depth must be positive")
+        if periphery_fraction < 0.0:
+            raise ValueError("periphery_fraction must be non-negative")
+        if timing_guardband_sigma < 0.0:
+            raise ValueError("timing_guardband_sigma must be non-negative")
+        self.geometry = geometry
+        self.node = node
+        self.cell = cell
+        self.energy_calibration = energy_calibration
+        self.leakage_calibration = leakage_calibration
+        self.access_depth = access_depth
+        self.periphery_fraction = periphery_fraction
+        self.timing_guardband_sigma = timing_guardband_sigma
+
+    # ------------------------------------------------------------------
+    # Capacitance budget (all in farads)
+    # ------------------------------------------------------------------
+    @property
+    def cell_pitch_um(self) -> float:
+        """Cell edge scaled to this node."""
+        scale = self.node.feature_nm / 40.0
+        return self.cell.cell_pitch_um * scale
+
+    def _bitline_cap(self) -> float:
+        """Switched bitline capacitance per accessed column.
+
+        Hierarchical designs (small ``cell.bitline_rows``) swing a short
+        local segment plus a lightly-loaded global line; monolithic
+        macros swing the full column.
+        """
+        wire = self.node.wire_cap_ff_per_um * 1e-15
+        junction = (
+            0.5 * self.node.gate_cap_ff_per_um * 1e-15
+            * self.cell.device_width_um
+        )
+        local_rows = min(self.cell.bitline_rows, self.geometry.rows)
+        local = local_rows * (self.cell_pitch_um * wire + junction)
+        if local_rows < self.geometry.rows:
+            # Global line spans the stack of local segments but carries
+            # one junction per segment instead of one per row.
+            segments = self.geometry.rows / local_rows
+            global_line = (
+                self.geometry.rows * self.cell_pitch_um * wire
+                + segments * junction
+            )
+        else:
+            global_line = 0.0
+        return local + global_line
+
+    def _wordline_cap(self) -> float:
+        """Switched wordline capacitance for one access."""
+        wire = self.node.wire_cap_ff_per_um * 1e-15
+        gate = (
+            self.node.gate_cap_ff_per_um * 1e-15 * self.cell.device_width_um
+        )
+        length = self.geometry.columns * self.cell_pitch_um
+        return length * wire + self.geometry.columns * gate
+
+    def _periphery_cap(self) -> float:
+        """Decoder / sense / IO switched capacitance per access."""
+        column_caps = self.geometry.bits * self._bitline_cap()
+        return self.periphery_fraction * (column_caps + self._wordline_cap())
+
+    # ------------------------------------------------------------------
+    # MemoryEnergyProtocol
+    # ------------------------------------------------------------------
+    def read_energy(self, vdd: float) -> float:
+        """Energy per read access in joules.
+
+        Bitlines swing ``cell.swing_fraction`` of the rail (reduced
+        swing sensing in commercial macros, full swing in cell-based
+        logic); wordline and periphery swing rail to rail.
+        """
+        self._check_vdd(vdd)
+        bitlines = (
+            self.geometry.bits * self._bitline_cap() * self.cell.swing_fraction
+        )
+        full_swing = self._wordline_cap() + self._periphery_cap()
+        return (
+            (bitlines + full_swing) * vdd * vdd * self.energy_calibration
+        )
+
+    def write_energy(self, vdd: float) -> float:
+        """Energy per write access in joules (full-swing bitlines)."""
+        self._check_vdd(vdd)
+        bitlines = self.geometry.bits * self._bitline_cap()
+        full_swing = self._wordline_cap() + self._periphery_cap()
+        return (
+            (bitlines + full_swing) * vdd * vdd * self.energy_calibration
+        )
+
+    def leakage_power(self, vdd: float) -> float:
+        """Static power in watts: every cell leaks, always on."""
+        self._check_vdd(vdd)
+        array_width = self.geometry.total_bits * self.cell.leak_width_um
+        total_width = array_width * (1.0 + self.periphery_fraction)
+        return (
+            device_leakage_power(self.node.nmos, vdd, total_width)
+            * self.leakage_calibration
+        )
+
+    def max_frequency(self, vdd: float) -> float:
+        """Maximum random-access frequency in hertz at supply ``vdd``.
+
+        The access path carries a ``timing_guardband_sigma`` V_th
+        penalty from the cell's device geometry: near threshold that
+        exponential penalty dominates, which is why measured memory
+        performance collapses much faster than nominal logic delay
+        (Table 1: 96 MHz at 1.1 V but only 0.4 MHz at 0.45 V).
+        """
+        self._check_vdd(vdd)
+        if vdd <= 0.0:
+            raise ValueError("vdd must be positive for timing")
+        guard = self.timing_guardband_sigma * sigma_vth(
+            self.node.nmos.avt_mv_um,
+            self.cell.device_width_um,
+            self.cell.device_length_um,
+        )
+        period = self.access_depth * inverter_delay(
+            self.node, vdd, vth_shift=guard
+        )
+        return 1.0 / period
+
+    # ------------------------------------------------------------------
+    # Reporting extras (Table 1 rows)
+    # ------------------------------------------------------------------
+    def area_mm2(self) -> float:
+        """Macro area in mm^2: cells plus periphery fraction."""
+        cell_area = self.cell.area_um2(self.node.feature_nm)
+        total = (
+            self.geometry.total_bits
+            * cell_area
+            * (1.0 + self.periphery_fraction)
+        )
+        return total * 1e-6
+
+    @staticmethod
+    def _check_vdd(vdd: float) -> None:
+        if vdd < 0.0:
+            raise ValueError(f"vdd must be non-negative, got {vdd}")

@@ -1,0 +1,172 @@
+"""Wafer-level variation: where the 9 dies come from.
+
+Die-to-die parameter shifts are not white noise: process gradients
+(deposition, etch, anneal) give wafers systematic radial and linear
+components, and dies are sampled from positions on that surface.  This
+module models a wafer as
+
+    offset(x, y) = radial * (r/R)^2 + tilt_x * x/R + tilt_y * y/R + noise
+
+and stamps dies at grid positions, producing the per-die global offsets
+that :class:`repro.memdev.die.DiePopulation` consumes.  It also
+supports the classic wafer-map views: offset per die position and
+pass/fail yield at a voltage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.access import AccessErrorModel
+from repro.core.retention import RetentionModel
+from repro.memdev.die import DiePopulation
+
+
+@dataclass(frozen=True)
+class DieSite:
+    """One stamped die position on the wafer."""
+
+    x_mm: float
+    y_mm: float
+    offset_v: float
+
+
+class Wafer:
+    """Systematic + random wafer-level variation surface.
+
+    Parameters
+    ----------
+    radius_mm:
+        Usable wafer radius (300 mm wafers: 150 mm).
+    die_pitch_mm:
+        Die step in both directions.
+    radial_v:
+        Retention/onset offset at the wafer edge relative to centre, in
+        volts (positive: edge dies are worse).
+    tilt_v:
+        Peak linear gradient across the wafer in volts.
+    noise_v:
+        Residual random die-to-die sigma in volts.
+    seed:
+        RNG seed for the tilt direction and residual noise.
+    """
+
+    def __init__(
+        self,
+        radius_mm: float = 150.0,
+        die_pitch_mm: float = 20.0,
+        radial_v: float = 0.02,
+        tilt_v: float = 0.01,
+        noise_v: float = 0.005,
+        seed: int = 0,
+    ) -> None:
+        if radius_mm <= 0.0 or die_pitch_mm <= 0.0:
+            raise ValueError("geometry must be positive")
+        if die_pitch_mm > radius_mm:
+            raise ValueError("die pitch exceeds wafer radius")
+        if noise_v < 0.0:
+            raise ValueError("noise_v must be non-negative")
+        self.radius_mm = radius_mm
+        self.die_pitch_mm = die_pitch_mm
+        self.radial_v = radial_v
+        self.tilt_v = tilt_v
+        self.noise_v = noise_v
+        rng = np.random.default_rng(seed)
+        angle = rng.uniform(0.0, 2.0 * np.pi)
+        self._tilt_x = tilt_v * np.cos(angle)
+        self._tilt_y = tilt_v * np.sin(angle)
+        self._rng = rng
+        self.sites = self._stamp()
+
+    def _stamp(self) -> list[DieSite]:
+        sites = []
+        steps = int(self.radius_mm // self.die_pitch_mm)
+        for ix in range(-steps, steps + 1):
+            for iy in range(-steps, steps + 1):
+                x = ix * self.die_pitch_mm
+                y = iy * self.die_pitch_mm
+                if np.hypot(x, y) > self.radius_mm - self.die_pitch_mm / 2:
+                    continue
+                sites.append(
+                    DieSite(
+                        x_mm=x, y_mm=y, offset_v=self._offset_at(x, y)
+                    )
+                )
+        return sites
+
+    def _offset_at(self, x_mm: float, y_mm: float) -> float:
+        r_norm = np.hypot(x_mm, y_mm) / self.radius_mm
+        systematic = (
+            self.radial_v * r_norm**2
+            + self._tilt_x * x_mm / self.radius_mm
+            + self._tilt_y * y_mm / self.radius_mm
+        )
+        return float(systematic + self._rng.normal(0.0, self.noise_v))
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def n_dies(self) -> int:
+        return len(self.sites)
+
+    def offsets(self) -> np.ndarray:
+        """Return every die's offset in volts."""
+        return np.array([site.offset_v for site in self.sites])
+
+    def edge_center_gap(self) -> float:
+        """Mean offset of the outer-third dies minus the inner-third —
+        the radial signature a wafer map makes visible."""
+        radii = np.array(
+            [np.hypot(s.x_mm, s.y_mm) for s in self.sites]
+        )
+        offsets = self.offsets()
+        inner = offsets[radii < self.radius_mm / 3]
+        outer = offsets[radii > 2 * self.radius_mm / 3]
+        if inner.size == 0 or outer.size == 0:
+            raise ValueError("wafer too coarse for an edge/centre split")
+        return float(outer.mean() - inner.mean())
+
+    def yield_at(self, vdd: float, vmin_nominal: float) -> float:
+        """Fraction of dies whose (nominal + offset) Vmin is <= vdd."""
+        if vdd < 0.0:
+            raise ValueError("vdd must be non-negative")
+        vmins = vmin_nominal + self.offsets()
+        return float((vmins <= vdd).mean())
+
+    # ------------------------------------------------------------------
+    # Sampling a measurement campaign
+    # ------------------------------------------------------------------
+    def sample_population(
+        self,
+        base_retention: RetentionModel,
+        access_model: AccessErrorModel,
+        n_dies: int = 9,
+        words: int = 256,
+        bits: int = 32,
+        seed: int = 1,
+    ) -> DiePopulation:
+        """Draw ``n_dies`` sites and build the measurement campaign.
+
+        The returned population is a :class:`DiePopulation` whose
+        per-die offsets come from the wafer surface instead of the
+        plain Gaussian draw — the offsets inherit the wafer's radial
+        and tilt structure.
+        """
+        if n_dies > self.n_dies:
+            raise ValueError(
+                f"wafer only has {self.n_dies} dies, asked for {n_dies}"
+            )
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(self.n_dies, size=n_dies, replace=False)
+        offsets = [self.sites[int(index)].offset_v for index in chosen]
+        return DiePopulation.from_offsets(
+            base_retention,
+            access_model,
+            offsets,
+            words=words,
+            bits=bits,
+            seed=int(rng.integers(2**31)),
+        )

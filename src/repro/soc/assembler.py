@@ -1,0 +1,239 @@
+"""Two-pass assembler for NTC32.
+
+Syntax, one instruction per line::
+
+    ; comment
+    label:
+        addi  r1, r0, 42      ; rd, rs1, imm
+        add   r2, r1, r1
+        lw    r3, r2, 0       ; rd, base, offset
+        sw    r3, r2, 1       ; src, base, offset
+        beq   r1, r2, done    ; rs1, rs2, label (or numeric offset)
+        lui   r4, 0x1000
+        jal   r15, subroutine
+        jalr  r0, r15, 0      ; return
+    done:
+        halt
+
+Pseudo-instructions:
+
+* ``nop``            -> ``add r0, r0, r0``
+* ``li rd, value``   -> ``addi`` when it fits, else ``lui`` + ``ori``
+* ``mv rd, rs``      -> ``add rd, rs, r0``
+* ``j label``        -> ``jal r0, label``
+
+Labels are case-sensitive; registers are ``r0`` .. ``r15``.
+"""
+
+from __future__ import annotations
+
+from repro.soc.isa import (
+    BIGIMM_TYPE,
+    BRANCH_TYPE,
+    I_TYPE,
+    IMM14_MAX,
+    IMM14_MIN,
+    MEM_TYPE,
+    R_TYPE,
+    SYS_TYPE,
+    Instruction,
+    Opcode,
+    encode,
+)
+
+
+class AssemblerError(Exception):
+    """Syntax or semantic error, annotated with the source line."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+_OPCODES = {op.name.lower(): op for op in Opcode}
+
+
+def _parse_register(token: str, line: int) -> int:
+    token = token.strip().lower()
+    if not token.startswith("r"):
+        raise AssemblerError(line, f"expected register, got {token!r}")
+    try:
+        index = int(token[1:])
+    except ValueError:
+        raise AssemblerError(line, f"bad register {token!r}") from None
+    if not 0 <= index < 16:
+        raise AssemblerError(line, f"register {token!r} out of range")
+    return index
+
+
+def _parse_int(token: str, line: int) -> int:
+    try:
+        return int(token.strip(), 0)
+    except ValueError:
+        raise AssemblerError(line, f"bad integer {token!r}") from None
+
+
+def _strip(source_line: str) -> str:
+    return source_line.split(";", 1)[0].strip()
+
+
+def _tokenize(body: str) -> list[str]:
+    return [tok for tok in body.replace(",", " ").split() if tok]
+
+
+def assemble(source: str) -> list[int]:
+    """Assemble NTC32 source into a list of 32-bit instruction words."""
+    # Pass 1: expand pseudo-instructions into (mnemonic, operands, line)
+    # tuples and record label addresses against the expanded stream.
+    labels: dict[str, int] = {}
+    items: list[tuple[str, list[str], int]] = []
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        body = _strip(raw)
+        while body:
+            first = body.split()[0]
+            if not first.endswith(":") and ":" not in first:
+                break
+            label, _, rest = body.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblerError(line_number, f"bad label name {label!r}")
+            if label in labels:
+                raise AssemblerError(line_number, f"duplicate label {label!r}")
+            labels[label] = len(items)
+            body = rest.strip()
+        if not body:
+            continue
+        tokens = _tokenize(body)
+        mnemonic, operands = tokens[0].lower(), tokens[1:]
+        items.extend(_expand_pseudo(mnemonic, operands, line_number))
+
+    # Pass 2: encode with labels resolved.
+    return [
+        _encode_one(mnemonic, operands, address, labels, line_number)
+        for address, (mnemonic, operands, line_number) in enumerate(items)
+    ]
+
+
+def _expand_pseudo(
+    mnemonic: str, operands: list[str], line: int
+) -> list[tuple[str, list[str], int]]:
+    """Expand pseudo-instructions; real ones pass through unchanged."""
+    if mnemonic == "nop":
+        return [("add", ["r0", "r0", "r0"], line)]
+    if mnemonic == "mv":
+        if len(operands) != 2:
+            raise AssemblerError(line, "mv takes rd, rs")
+        return [("add", [operands[0], operands[1], "r0"], line)]
+    if mnemonic == "j":
+        if len(operands) != 1:
+            raise AssemblerError(line, "j takes a target")
+        return [("jal", ["r0", operands[0]], line)]
+    if mnemonic == "li":
+        if len(operands) != 2:
+            raise AssemblerError(line, "li takes rd, value")
+        value = _parse_int(operands[1], line)
+        if IMM14_MIN <= value <= IMM14_MAX:
+            return [("addi", [operands[0], "r0", str(value)], line)]
+        if value < 0 or value >> 32:
+            raise AssemblerError(line, f"li value {value} out of 32-bit range")
+        high = (value >> 12) & 0xFFFFF
+        low = value & 0xFFF
+        # lui loads imm22 shifted by 12 in the CPU; ori fills the rest.
+        return [
+            ("lui", [operands[0], str(high)], line),
+            ("ori", [operands[0], operands[0], str(low)], line),
+        ]
+    if mnemonic not in _OPCODES:
+        raise AssemblerError(line, f"unknown mnemonic {mnemonic!r}")
+    return [(mnemonic, operands, line)]
+
+
+def _encode_one(
+    mnemonic: str,
+    operands: list[str],
+    address: int,
+    labels: dict[str, int],
+    line: int,
+) -> int:
+    op = _OPCODES[mnemonic]
+
+    def imm_or_label(token: str, relative: bool) -> int:
+        token = token.strip()
+        if token in labels:
+            target = labels[token]
+            return target - address if relative else target
+        return _parse_int(token, line)
+
+    try:
+        if op in R_TYPE:
+            if len(operands) != 3:
+                raise AssemblerError(line, f"{mnemonic} takes rd, rs1, rs2")
+            return encode(Instruction(
+                op,
+                a=_parse_register(operands[0], line),
+                b=_parse_register(operands[1], line),
+                c=_parse_register(operands[2], line),
+            ))
+        if op in I_TYPE:
+            if len(operands) != 3:
+                raise AssemblerError(line, f"{mnemonic} takes rd, rs1, imm")
+            return encode(Instruction(
+                op,
+                a=_parse_register(operands[0], line),
+                b=_parse_register(operands[1], line),
+                imm=_parse_int(operands[2], line),
+            ))
+        if op in MEM_TYPE:
+            if len(operands) != 3:
+                raise AssemblerError(
+                    line, f"{mnemonic} takes reg, base, offset"
+                )
+            return encode(Instruction(
+                op,
+                a=_parse_register(operands[0], line),
+                b=_parse_register(operands[1], line),
+                imm=_parse_int(operands[2], line),
+            ))
+        if op in BRANCH_TYPE:
+            if len(operands) != 3:
+                raise AssemblerError(
+                    line, f"{mnemonic} takes rs1, rs2, target"
+                )
+            return encode(Instruction(
+                op,
+                a=_parse_register(operands[0], line),
+                b=_parse_register(operands[1], line),
+                imm=imm_or_label(operands[2], relative=True),
+            ))
+        if op is Opcode.LUI:
+            if len(operands) != 2:
+                raise AssemblerError(line, "lui takes rd, imm22")
+            return encode(Instruction(
+                op,
+                a=_parse_register(operands[0], line),
+                imm=_parse_int(operands[1], line),
+            ))
+        if op is Opcode.JAL:
+            if len(operands) != 2:
+                raise AssemblerError(line, "jal takes rd, target")
+            return encode(Instruction(
+                op,
+                a=_parse_register(operands[0], line),
+                imm=imm_or_label(operands[1], relative=True),
+            ))
+        if op is Opcode.JALR:
+            if len(operands) != 3:
+                raise AssemblerError(line, "jalr takes rd, rs1, imm")
+            return encode(Instruction(
+                op,
+                a=_parse_register(operands[0], line),
+                b=_parse_register(operands[1], line),
+                imm=_parse_int(operands[2], line),
+            ))
+        if op in SYS_TYPE:
+            if operands:
+                raise AssemblerError(line, f"{mnemonic} takes no operands")
+            return encode(Instruction(op))
+    except ValueError as exc:
+        raise AssemblerError(line, str(exc)) from None
+    raise AssemblerError(line, f"unhandled opcode {mnemonic!r}")

@@ -1,0 +1,122 @@
+"""Shared system bus with arbitration and energy accounting.
+
+MPARM interconnects its modules "with different interconnection
+protocols (AMBA-AHB, AMBA-AXI, NoC, ...)"; Figure 6 draws the ARM9,
+the memories and OCEAN's additions hanging off one bus.  This module
+provides that substrate: a single-master-at-a-time shared bus with
+fixed-priority arbitration, per-transfer wait states and switched-
+capacitance energy, so multi-master scenarios (CPU plus DMA
+checkpoints) contend realistically.
+
+The platform's fast path keeps the direct port wiring (a scratchpad
+sits on a core-private port in the NXP-style SoC); the bus carries the
+block traffic: DMA checkpoint transfers, peripheral access, and any
+future multi-core extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BusStats:
+    """Lifetime counters of one bus instance."""
+
+    transactions: int = 0
+    wait_cycles: int = 0
+    busy_cycles: int = 0
+    per_master: dict = field(default_factory=dict)
+
+    def record(self, master: str, waited: int, held: int) -> None:
+        self.transactions += 1
+        self.wait_cycles += waited
+        self.busy_cycles += held
+        entry = self.per_master.setdefault(
+            master, {"transactions": 0, "wait_cycles": 0}
+        )
+        entry["transactions"] += 1
+        entry["wait_cycles"] += waited
+
+
+class SharedBus:
+    """Fixed-priority shared bus.
+
+    Masters are registered with a priority (lower number wins).  The
+    bus tracks occupancy in cycle time: a master requesting while the
+    bus is busy stalls until the current tenure ends — the stall is
+    reported back so the caller can charge the cycles.
+
+    Parameters
+    ----------
+    cycles_per_word:
+        Bus occupancy per transferred word.
+    wire_cap_f:
+        Switched capacitance of the bus wires per transaction word, in
+        farads; with the supply voltage it gives transfer energy.
+    """
+
+    def __init__(
+        self, cycles_per_word: int = 1, wire_cap_f: float = 50e-15
+    ) -> None:
+        if cycles_per_word < 1:
+            raise ValueError("cycles_per_word must be at least 1")
+        if wire_cap_f <= 0.0:
+            raise ValueError("wire_cap_f must be positive")
+        self.cycles_per_word = cycles_per_word
+        self.wire_cap_f = wire_cap_f
+        self.stats = BusStats()
+        self._masters: dict[str, int] = {}
+        self._busy_until = 0
+
+    def register_master(self, name: str, priority: int) -> None:
+        """Register a master; lower priority number wins arbitration."""
+        if name in self._masters:
+            raise ValueError(f"master {name!r} already registered")
+        if priority < 0:
+            raise ValueError("priority must be non-negative")
+        self._masters[name] = priority
+
+    @property
+    def masters(self) -> dict[str, int]:
+        return dict(self._masters)
+
+    def request(
+        self, master: str, words: int, now_cycle: int
+    ) -> tuple[int, int]:
+        """Acquire the bus for a ``words``-word burst at ``now_cycle``.
+
+        Returns ``(wait_cycles, completion_cycle)``.  The caller owns
+        its own clock; the bus only tracks when it frees up.
+        """
+        if master not in self._masters:
+            raise KeyError(f"unknown master {master!r}")
+        if words <= 0:
+            raise ValueError("words must be positive")
+        if now_cycle < 0:
+            raise ValueError("now_cycle must be non-negative")
+        start = max(now_cycle, self._busy_until)
+        waited = start - now_cycle
+        held = words * self.cycles_per_word
+        self._busy_until = start + held
+        self.stats.record(master, waited, held)
+        return waited, start + held
+
+    def transfer_energy(self, words: int, vdd: float) -> float:
+        """Return switched energy of a burst in joules (C V^2 per word)."""
+        if words <= 0:
+            raise ValueError("words must be positive")
+        if vdd < 0.0:
+            raise ValueError("vdd must be non-negative")
+        return words * self.wire_cap_f * vdd * vdd
+
+    @property
+    def busy_until(self) -> int:
+        """Cycle index at which the current tenure ends."""
+        return self._busy_until
+
+    def utilisation(self, elapsed_cycles: int) -> float:
+        """Return busy-cycle fraction over ``elapsed_cycles``."""
+        if elapsed_cycles <= 0:
+            raise ValueError("elapsed_cycles must be positive")
+        return min(1.0, self.stats.busy_cycles / elapsed_cycles)

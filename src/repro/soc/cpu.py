@@ -1,0 +1,208 @@
+"""Cycle-counting NTC32 interpreter core.
+
+Stands in for MPARM's ARM9 instruction-set simulator.  The core is a
+simple non-pipelined interpreter with per-opcode cycle costs plus a
+one-cycle taken-branch bubble — enough fidelity for the paper's use of
+the platform, which is counting cycles and memory accesses to drive the
+energy model.
+
+The core fetches through an instruction-memory port and loads/stores
+through a data port; both ports are plain callables so mitigation
+wrappers (SECDED decode, OCEAN detection) can interpose transparently.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.soc.isa import (
+    BASE_CYCLES,
+    NUM_REGISTERS,
+    Instruction,
+    Opcode,
+    decode,
+)
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _to_signed(value: int) -> int:
+    """Interpret a 32-bit pattern as two's complement."""
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def _to_unsigned(value: int) -> int:
+    return value & _MASK32
+
+
+class StopReason(enum.Enum):
+    """Why :meth:`Cpu.run` returned."""
+
+    HALT = "halt"
+    YIELD = "yield"
+
+
+class ExecutionLimitExceeded(Exception):
+    """The program ran past the configured instruction budget —
+    almost always a corrupted loop counter sending the program into an
+    endless loop, one of the real failure modes of unmitigated
+    near-threshold memory operation."""
+
+
+@dataclass
+class CpuState:
+    """Architectural state plus performance counters."""
+
+    pc: int = 0
+    registers: list[int] = field(
+        default_factory=lambda: [0] * NUM_REGISTERS
+    )
+    cycles: int = 0
+    instructions: int = 0
+    taken_branches: int = 0
+
+    def reset_counters(self) -> None:
+        self.cycles = 0
+        self.instructions = 0
+        self.taken_branches = 0
+
+
+class Cpu:
+    """NTC32 interpreter bound to instruction/data memory ports.
+
+    Parameters
+    ----------
+    fetch:
+        Callable ``(address) -> int`` returning instruction words.
+    load / store:
+        Data-port callables for LW/SW.
+    """
+
+    def __init__(
+        self,
+        fetch: Callable[[int], int],
+        load: Callable[[int], int],
+        store: Callable[[int, int], None],
+    ) -> None:
+        self.fetch = fetch
+        self.load = load
+        self.store = store
+        self.state = CpuState()
+
+    def step(self) -> StopReason | None:
+        """Execute one instruction; returns a stop reason or None."""
+        state = self.state
+        word = self.fetch(state.pc)
+        instruction = decode(word)
+        op = instruction.opcode
+        state.instructions += 1
+        state.cycles += BASE_CYCLES[op]
+        next_pc = state.pc + 1
+        regs = state.registers
+
+        if op is Opcode.HALT:
+            state.pc = next_pc
+            return StopReason.HALT
+        if op is Opcode.YIELD:
+            state.pc = next_pc
+            return StopReason.YIELD
+
+        a, b, c, imm = (
+            instruction.a, instruction.b, instruction.c, instruction.imm
+        )
+        if op is Opcode.ADD:
+            result = regs[b] + regs[c]
+        elif op is Opcode.SUB:
+            result = regs[b] - regs[c]
+        elif op is Opcode.AND:
+            result = regs[b] & regs[c]
+        elif op is Opcode.OR:
+            result = regs[b] | regs[c]
+        elif op is Opcode.XOR:
+            result = regs[b] ^ regs[c]
+        elif op is Opcode.SLL:
+            result = regs[b] << (regs[c] & 31)
+        elif op is Opcode.SRL:
+            result = regs[b] >> (regs[c] & 31)
+        elif op is Opcode.SRA:
+            result = _to_signed(regs[b]) >> (regs[c] & 31)
+        elif op is Opcode.SLT:
+            result = int(_to_signed(regs[b]) < _to_signed(regs[c]))
+        elif op is Opcode.MUL:
+            result = _to_signed(regs[b]) * _to_signed(regs[c])
+        elif op is Opcode.MULH:
+            result = (_to_signed(regs[b]) * _to_signed(regs[c])) >> 32
+        elif op is Opcode.ADDI:
+            result = regs[b] + imm
+        elif op is Opcode.ANDI:
+            result = regs[b] & _to_unsigned(imm)
+        elif op is Opcode.ORI:
+            result = regs[b] | _to_unsigned(imm)
+        elif op is Opcode.XORI:
+            result = regs[b] ^ _to_unsigned(imm)
+        elif op is Opcode.SLLI:
+            result = regs[b] << (imm & 31)
+        elif op is Opcode.SRLI:
+            result = regs[b] >> (imm & 31)
+        elif op is Opcode.SRAI:
+            result = _to_signed(regs[b]) >> (imm & 31)
+        elif op is Opcode.SLTI:
+            result = int(_to_signed(regs[b]) < imm)
+        elif op is Opcode.LUI:
+            result = imm << 12
+        elif op is Opcode.LW:
+            result = self.load(_to_unsigned(regs[b] + imm))
+        elif op is Opcode.SW:
+            self.store(_to_unsigned(regs[b] + imm), regs[a])
+            state.pc = next_pc
+            return None
+        elif op is Opcode.JAL:
+            if a != 0:
+                regs[a] = _to_unsigned(next_pc)
+            state.pc = state.pc + imm
+            return None
+        elif op is Opcode.JALR:
+            target = _to_unsigned(regs[b] + imm)
+            if a != 0:
+                regs[a] = _to_unsigned(next_pc)
+            state.pc = target
+            return None
+        elif op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
+            lhs, rhs = _to_signed(regs[a]), _to_signed(regs[b])
+            taken = (
+                (op is Opcode.BEQ and lhs == rhs)
+                or (op is Opcode.BNE and lhs != rhs)
+                or (op is Opcode.BLT and lhs < rhs)
+                or (op is Opcode.BGE and lhs >= rhs)
+            )
+            if taken:
+                state.taken_branches += 1
+                state.cycles += 1  # pipeline bubble
+                state.pc = state.pc + imm
+            else:
+                state.pc = next_pc
+            return None
+        else:  # pragma: no cover - opcode table is exhaustive
+            raise AssertionError(f"unhandled opcode {op}")
+
+        if a != 0:
+            regs[a] = _to_unsigned(result)
+        state.pc = next_pc
+        return None
+
+    def run(self, max_instructions: int = 50_000_000) -> StopReason:
+        """Run until HALT or YIELD; raises on runaway programs."""
+        if max_instructions <= 0:
+            raise ValueError("max_instructions must be positive")
+        executed_limit = self.state.instructions + max_instructions
+        while True:
+            reason = self.step()
+            if reason is not None:
+                return reason
+            if self.state.instructions >= executed_limit:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_instructions} instructions at "
+                    f"pc={self.state.pc}"
+                )

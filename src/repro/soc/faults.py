@@ -1,0 +1,94 @@
+"""Voltage-dependent fault engine.
+
+Ties the platform memories to the Eq. 5 access-error models: every
+read or write of a ``width``-bit stored word flips each stored bit with
+the model's per-bit probability at the current supply voltage.  The
+engine also exposes deterministic *forced* fault injection for directed
+tests (flip exactly these bits on the next access), which the failure-
+injection test-suite uses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.access import AccessErrorModel
+
+
+class VoltageFaultModel:
+    """Samples per-access bit-flip masks for one memory.
+
+    Parameters
+    ----------
+    access_model:
+        Eq. 5 power-law error model of the underlying macro.
+    width:
+        Stored word width in bits (32 raw, 39 under SECDED, 56 under
+        the BCH-protected buffer) — more stored bits mean more targets,
+        exactly the ECC overhead the paper accounts for.
+    vdd:
+        Initial supply voltage; mutable via :meth:`set_vdd` (the
+        run-time control loop's knob).
+    rng:
+        Random generator (seed for reproducibility).
+    """
+
+    def __init__(
+        self,
+        access_model: AccessErrorModel,
+        width: int,
+        vdd: float,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.access_model = access_model
+        self.width = width
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._forced: deque[int] = deque()
+        self.injected_bits = 0
+        self.injected_events = 0
+        self.set_vdd(vdd)
+
+    def set_vdd(self, vdd: float) -> None:
+        """Move the supply; recomputes the cached per-bit probability."""
+        self._p_bit = self.access_model.bit_error_probability(vdd)
+        # Probability that an access disturbs at least one stored bit.
+        if self._p_bit > 0.0:
+            self._p_any = float(
+                -np.expm1(self.width * np.log1p(-self._p_bit))
+            )
+        else:
+            self._p_any = 0.0
+        self.vdd = vdd
+
+    @property
+    def p_bit(self) -> float:
+        return self._p_bit
+
+    def force_next(self, mask: int) -> None:
+        """Queue a deterministic flip mask for the next access."""
+        if mask < 0 or mask >> self.width:
+            raise ValueError(
+                f"mask must fit in {self.width} bits, got {mask:#x}"
+            )
+        self._forced.append(mask)
+
+    def sample_mask(self) -> int:
+        """Return the flip mask for one access (0 almost always)."""
+        if self._forced:
+            mask = self._forced.popleft()
+        elif self._p_any == 0.0 or self.rng.random() >= self._p_any:
+            return 0
+        else:
+            mask = 0
+            while mask == 0:
+                flips = self.rng.random(self.width) < self._p_bit
+                for position in np.nonzero(flips)[0]:
+                    mask |= 1 << int(position)
+        if mask:
+            self.injected_events += 1
+            self.injected_bits += bin(mask).count("1")
+        return mask

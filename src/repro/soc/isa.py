@@ -1,0 +1,177 @@
+"""NTC32 — a small RISC instruction set for the platform simulator.
+
+32-bit fixed-width instructions, sixteen 32-bit registers (``r0`` is
+hard-wired to zero).  The encoding keeps every field byte-aligned-ish
+and trivially decodable:
+
+======  ========================================================
+bits    field
+======  ========================================================
+31..26  opcode
+25..22  a  (rd, or rs1 for branches, or src for SW)
+21..18  b  (rs1, or rs2 for branches, or base for LW/SW)
+17..14  c  (rs2 for R-type)
+13..0   imm14 (signed two's complement, or low bits of imm22)
+21..0   imm22 (LUI/JAL only, signed)
+======  ========================================================
+
+Memory is word-addressed (the platform's memories are 32 bits wide, as
+the paper's SECDED discussion fixes the word width at 32).  Branch and
+jump offsets are in instruction words relative to the *current* PC.
+
+``YIELD`` suspends simulation and hands control back to the harness —
+the hook OCEAN's phase boundaries use (Figure 7's phase structure).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Opcode(enum.IntEnum):
+    """NTC32 opcodes."""
+
+    # R-type ALU
+    ADD = 0x01
+    SUB = 0x02
+    AND = 0x03
+    OR = 0x04
+    XOR = 0x05
+    SLL = 0x06
+    SRL = 0x07
+    SRA = 0x08
+    SLT = 0x09
+    MUL = 0x0A
+    MULH = 0x0B
+    # I-type ALU
+    ADDI = 0x10
+    ANDI = 0x11
+    ORI = 0x12
+    XORI = 0x13
+    SLLI = 0x14
+    SRLI = 0x15
+    SRAI = 0x16
+    SLTI = 0x17
+    # Large immediates
+    LUI = 0x18
+    # Memory
+    LW = 0x20
+    SW = 0x21
+    # Control flow
+    BEQ = 0x30
+    BNE = 0x31
+    BLT = 0x32
+    BGE = 0x33
+    JAL = 0x34
+    JALR = 0x35
+    # System
+    HALT = 0x3E
+    YIELD = 0x3F
+
+
+#: Opcode families, used by the decoder, the assembler and the CPU.
+R_TYPE = {
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.SLL, Opcode.SRL, Opcode.SRA, Opcode.SLT, Opcode.MUL,
+    Opcode.MULH,
+}
+I_TYPE = {
+    Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SLLI,
+    Opcode.SRLI, Opcode.SRAI, Opcode.SLTI,
+}
+MEM_TYPE = {Opcode.LW, Opcode.SW}
+BRANCH_TYPE = {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE}
+BIGIMM_TYPE = {Opcode.LUI, Opcode.JAL}
+SYS_TYPE = {Opcode.HALT, Opcode.YIELD}
+
+NUM_REGISTERS = 16
+IMM14_MIN, IMM14_MAX = -(1 << 13), (1 << 13) - 1
+IMM22_MIN, IMM22_MAX = -(1 << 21), (1 << 21) - 1
+
+#: Cycle cost per opcode family (fetch included); loads/stores add the
+#: memory wait state, taken branches pay a pipeline bubble in the CPU.
+BASE_CYCLES = {
+    **{op: 1 for op in R_TYPE},
+    **{op: 1 for op in I_TYPE},
+    Opcode.MUL: 2,
+    Opcode.MULH: 2,
+    Opcode.LUI: 1,
+    Opcode.LW: 2,
+    Opcode.SW: 2,
+    **{op: 1 for op in BRANCH_TYPE},
+    Opcode.JAL: 2,
+    Opcode.JALR: 2,
+    Opcode.HALT: 1,
+    Opcode.YIELD: 1,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded NTC32 instruction."""
+
+    opcode: Opcode
+    a: int = 0
+    b: int = 0
+    c: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for name, reg in (("a", self.a), ("b", self.b), ("c", self.c)):
+            if not 0 <= reg < NUM_REGISTERS:
+                raise ValueError(f"register field {name}={reg} out of range")
+        if self.opcode in BIGIMM_TYPE:
+            if not IMM22_MIN <= self.imm <= IMM22_MAX:
+                raise ValueError(f"imm22 {self.imm} out of range")
+        elif not IMM14_MIN <= self.imm <= IMM14_MAX:
+            raise ValueError(f"imm14 {self.imm} out of range")
+
+
+def encode(instruction: Instruction) -> int:
+    """Encode an instruction into its 32-bit binary word."""
+    op = instruction.opcode
+    word = int(op) << 26
+    if op in BIGIMM_TYPE:
+        word |= instruction.a << 22
+        word |= instruction.imm & 0x3FFFFF
+    else:
+        word |= instruction.a << 22
+        word |= instruction.b << 18
+        word |= instruction.c << 14
+        word |= instruction.imm & 0x3FFF
+    return word
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+class IllegalInstruction(Exception):
+    """Raised when a fetched word does not decode to a valid opcode.
+
+    Bit flips in the instruction memory produce exactly this (or a
+    silently wrong-but-legal instruction) — the failure mode that makes
+    unprotected near-threshold IM operation so dangerous.
+    """
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word; raises :class:`IllegalInstruction` on junk."""
+    if word < 0 or word >> 32:
+        raise ValueError(f"word must be a 32-bit value, got {word:#x}")
+    op_bits = (word >> 26) & 0x3F
+    try:
+        op = Opcode(op_bits)
+    except ValueError:
+        raise IllegalInstruction(
+            f"invalid opcode {op_bits:#04x} in word {word:#010x}"
+        ) from None
+    a = (word >> 22) & 0xF
+    if op in BIGIMM_TYPE:
+        return Instruction(op, a=a, imm=_sign_extend(word & 0x3FFFFF, 22))
+    b = (word >> 18) & 0xF
+    c = (word >> 14) & 0xF
+    imm = _sign_extend(word & 0x3FFF, 14)
+    return Instruction(op, a=a, b=b, c=c, imm=imm)

@@ -1,0 +1,79 @@
+"""Execution profiler for the NTC32 platform.
+
+Wraps the instruction-memory port and decodes every fetched word, so
+it can attribute executed instructions to opcodes and program counters
+without touching the CPU.  Used to sanity-check generated workloads
+(is the FFT really multiply-dominated?) and to locate the hot loops
+that dominate the energy accounting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.soc.isa import IllegalInstruction, Opcode, decode
+
+
+@dataclass
+class Profile:
+    """Aggregated execution statistics."""
+
+    fetches: int = 0
+    by_opcode: Counter = field(default_factory=Counter)
+    by_pc: Counter = field(default_factory=Counter)
+
+    def opcode_histogram(self) -> dict[str, int]:
+        """Opcode-name histogram, for :func:`ascii_plot.histogram`."""
+        return {op.name: count for op, count in self.by_opcode.items()}
+
+    def hottest(self, n: int = 5) -> list[tuple[int, int]]:
+        """Return the ``n`` most-fetched PCs as (pc, count) pairs."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return self.by_pc.most_common(n)
+
+    def fraction(self, *opcodes: Opcode) -> float:
+        """Return the executed fraction of the given opcodes."""
+        if self.fetches == 0:
+            raise ValueError("profile is empty")
+        hits = sum(self.by_opcode.get(op, 0) for op in opcodes)
+        return hits / self.fetches
+
+
+class ProfilingPort:
+    """Transparent instruction-port wrapper collecting a profile.
+
+    Wrap the platform's ``im_port`` before constructing the
+    :class:`repro.soc.platform.Platform`; reads pass straight through
+    to the inner port (fault behaviour and counters untouched).
+    """
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.profile = Profile()
+
+    def read(self, address: int) -> int:
+        word = self.inner.read(address)
+        self.profile.fetches += 1
+        self.profile.by_pc[address] += 1
+        try:
+            self.profile.by_opcode[decode(word).opcode] += 1
+        except IllegalInstruction:
+            # Corrupted fetch: the CPU will raise on decode; count it
+            # nowhere rather than inventing an opcode.
+            pass
+        return word
+
+    def write(self, address: int, value: int) -> None:
+        self.inner.write(address, value)
+
+    def load(self, words, base: int = 0) -> None:
+        self.inner.load(words, base)
+
+    def peek(self, address: int) -> int:
+        return self.inner.peek(address)
+
+    @property
+    def stats(self):
+        return self.inner.stats

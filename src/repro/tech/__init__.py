@@ -1,0 +1,70 @@
+"""Technology and device substrate.
+
+This subpackage models the process-technology layer the paper builds on:
+an EKV-style MOSFET drive-current model that is valid from sub-threshold
+through near-threshold to strong inversion, Pelgrom-style mismatch
+statistics, per-node parameter sets (65/40 nm planar low-power, 14 nm
+finFET, 10 nm multi-gate), logic delay versus supply voltage, and
+sub-threshold leakage.  Section VI of the paper (Figure 10) is generated
+entirely from this layer.
+"""
+
+from repro.tech.device import (
+    BOLTZMANN_EV,
+    DeviceParameters,
+    drive_current,
+    inversion_coefficient,
+    thermal_voltage,
+)
+from repro.tech.mismatch import (
+    MismatchModel,
+    sample_vth_shifts,
+    sigma_vth,
+)
+from repro.tech.node import (
+    NODE_10NM_MG,
+    NODE_14NM_FINFET,
+    NODE_40NM_LP,
+    NODE_65NM_LP,
+    Corner,
+    TechnologyNode,
+    get_node,
+    list_nodes,
+)
+from repro.tech.delay import (
+    InverterDelayResult,
+    inverter_delay,
+    logic_max_frequency,
+    minimum_voltage_for_frequency,
+    monte_carlo_inverter_delay,
+)
+from repro.tech.leakage import (
+    leakage_current_per_um,
+    leakage_power,
+)
+
+__all__ = [
+    "BOLTZMANN_EV",
+    "DeviceParameters",
+    "drive_current",
+    "inversion_coefficient",
+    "thermal_voltage",
+    "MismatchModel",
+    "sample_vth_shifts",
+    "sigma_vth",
+    "Corner",
+    "TechnologyNode",
+    "NODE_65NM_LP",
+    "NODE_40NM_LP",
+    "NODE_14NM_FINFET",
+    "NODE_10NM_MG",
+    "get_node",
+    "list_nodes",
+    "InverterDelayResult",
+    "inverter_delay",
+    "logic_max_frequency",
+    "minimum_voltage_for_frequency",
+    "monte_carlo_inverter_delay",
+    "leakage_current_per_um",
+    "leakage_power",
+]

@@ -1,0 +1,201 @@
+"""Logic delay versus supply voltage.
+
+The inverter delay is modelled as the time the switching device needs
+to move the load charge:
+
+    t_inv = k * C_load * V_DD / I_on(V_DD)
+
+with I_on from the EKV drive-current model, so the delay grows
+polynomially above threshold and exponentially below — the behaviour
+Figure 10 plots for the 14 nm and 10 nm devices.  The Monte-Carlo
+variant resamples the device threshold per trial and returns the mean
+and sigma of the delay distribution, reproducing both series of the
+figure (mean delay and sigma spread).
+
+The same delay model also provides the *performance floor* of the
+mitigation study: Table 2's 1.96 MHz row forces OCEAN up from 0.33 V to
+0.44 V purely because the logic cannot meet frequency any lower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tech.device import drive_current
+from repro.tech.mismatch import sigma_vth
+from repro.tech.node import TechnologyNode
+
+#: Dimensionless delay fit factor (Elmore-style 0.69 plus margin for the
+#: short-circuit and slope contributions of a real FO4 stage).
+_DELAY_FIT = 0.9
+
+#: Effective load of a fanout-of-4 inverter stage, in microns of gate
+#: width per micron of driver width (4x gate plus local wire).
+_FO4_LOAD_FACTOR = 5.0
+
+#: Driver width in microns used for the representative inverter.
+_DRIVER_WIDTH_UM = 1.0
+
+
+def inverter_delay(
+    node: TechnologyNode,
+    vdd: float,
+    temperature_c: float = 25.0,
+    vth_shift: float = 0.0,
+) -> float:
+    """Return the FO4 inverter delay in seconds at supply ``vdd``.
+
+    ``vth_shift`` adds a local threshold offset (in volts) to the
+    switching device, which is how Monte-Carlo mismatch enters.
+    """
+    if vdd <= 0.0:
+        raise ValueError(f"vdd must be positive, got {vdd}")
+    load_ff = node.gate_cap_ff_per_um * _FO4_LOAD_FACTOR * _DRIVER_WIDTH_UM
+    # NMOS and PMOS alternate in a logic chain; use the slower average.
+    currents = []
+    for device in (node.nmos, node.pmos):
+        shifted = device.with_vth_shift(vth_shift)
+        currents.append(
+            drive_current(
+                shifted, vdd, vdd, width_um=_DRIVER_WIDTH_UM,
+                temperature_c=temperature_c,
+            )
+        )
+    i_on = 2.0 / (1.0 / currents[0] + 1.0 / currents[1])
+    return _DELAY_FIT * load_ff * 1e-15 * vdd / i_on
+
+
+@dataclass(frozen=True)
+class InverterDelayResult:
+    """Monte-Carlo inverter-delay statistics at one supply point."""
+
+    vdd: float
+    mean: float
+    sigma: float
+    samples: int
+
+    @property
+    def sigma_over_mean(self) -> float:
+        """Relative spread; Figure 10's second message is that this
+        shrinks from 14 nm to 10 nm."""
+        return self.sigma / self.mean
+
+
+def monte_carlo_inverter_delay(
+    node: TechnologyNode,
+    vdd: float,
+    samples: int = 2000,
+    temperature_c: float = 25.0,
+    rng: np.random.Generator | None = None,
+    width_um: float = 0.2,
+    length_um: float = 0.04,
+) -> InverterDelayResult:
+    """Return mean and sigma of the inverter delay under local mismatch.
+
+    ``width_um`` / ``length_um`` set the mismatch area of the sampled
+    device (minimum-size logic devices by default, which is the
+    pessimistic case the paper cares about).
+    """
+    if samples <= 1:
+        raise ValueError(f"need at least 2 samples, got {samples}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    sigma = sigma_vth(node.nmos.avt_mv_um, width_um, length_um)
+    shifts = rng.normal(0.0, sigma, size=samples)
+    delays = np.array(
+        [
+            inverter_delay(node, vdd, temperature_c, vth_shift=float(shift))
+            for shift in shifts
+        ]
+    )
+    return InverterDelayResult(
+        vdd=vdd,
+        mean=float(delays.mean()),
+        sigma=float(delays.std(ddof=1)),
+        samples=samples,
+    )
+
+
+def logic_max_frequency(
+    node: TechnologyNode,
+    vdd: float,
+    temperature_c: float = 25.0,
+    guardband_sigma: float = 3.0,
+    width_um: float = 0.2,
+    length_um: float = 0.04,
+) -> float:
+    """Return the maximum clock frequency in hertz at supply ``vdd``.
+
+    The critical path is ``node.logic_depth`` FO4 stages; a
+    ``guardband_sigma``-sigma mismatch penalty is applied analytically
+    (slowing the device by that many sigmas of V_th) so the returned
+    frequency is a yield-aware number, matching the paper's use of
+    worst-case timing for the voltage floor.
+    """
+    sigma = sigma_vth(node.nmos.avt_mv_um, width_um, length_um)
+    slow = inverter_delay(
+        node, vdd, temperature_c, vth_shift=guardband_sigma * sigma
+    )
+    period = node.logic_depth * slow
+    return 1.0 / period
+
+
+def minimum_voltage_for_frequency(
+    node: TechnologyNode,
+    frequency_hz: float,
+    temperature_c: float = 25.0,
+    vdd_low: float = 0.15,
+    vdd_high: float = 1.4,
+    tolerance: float = 1e-4,
+) -> float:
+    """Return the lowest supply at which the logic meets ``frequency_hz``.
+
+    Bisects ``logic_max_frequency`` (monotonic in V_DD).  Raises
+    ``ValueError`` if the frequency is unreachable even at ``vdd_high``.
+    """
+    if frequency_hz <= 0.0:
+        raise ValueError("frequency_hz must be positive")
+    if logic_max_frequency(node, vdd_high, temperature_c) < frequency_hz:
+        raise ValueError(
+            f"{frequency_hz:.3g} Hz unreachable at {vdd_high} V on {node.name}"
+        )
+    if logic_max_frequency(node, vdd_low, temperature_c) >= frequency_hz:
+        return vdd_low
+    low, high = vdd_low, vdd_high
+    while high - low > tolerance:
+        mid = 0.5 * (low + high)
+        if logic_max_frequency(node, mid, temperature_c) >= frequency_hz:
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def delay_scaling_factor(
+    fast: TechnologyNode, slow: TechnologyNode, vdd: float
+) -> float:
+    """Return how much faster ``fast`` is than ``slow`` at equal ``vdd``.
+
+    Section VI quotes a 2x speed-up from 14 nm to 10 nm; this helper
+    exposes that ratio: values > 1 mean ``fast`` wins.
+    """
+    return inverter_delay(slow, vdd) / inverter_delay(fast, vdd)
+
+
+def _self_check() -> None:
+    """Sanity anchor used by tests: delay must rise steeply near V_th."""
+    from repro.tech.node import NODE_40NM_LP
+
+    near = inverter_delay(NODE_40NM_LP, 0.45)
+    nominal = inverter_delay(NODE_40NM_LP, 1.1)
+    if not near > 10.0 * nominal:
+        raise AssertionError(
+            f"near-threshold delay {near:.3g}s should dwarf nominal "
+            f"{nominal:.3g}s"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual smoke run
+    _self_check()
+    print("delay model self-check passed")

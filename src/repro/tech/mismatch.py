@@ -1,0 +1,81 @@
+"""Pelgrom-style local mismatch statistics.
+
+Random dopant fluctuation and line-edge roughness make the threshold
+voltage of nominally identical transistors differ.  Pelgrom's law says
+the standard deviation of that difference shrinks with device area:
+
+    sigma(V_th) = A_vt / sqrt(W * L)
+
+This is the root cause of the paper's entire problem statement: the 6T
+SRAM cell is a ratioed circuit, so V_th mismatch between its devices
+erodes the noise margin, and at near-threshold voltages the erosion
+turns into outright bit failures (Section II).  All Monte-Carlo cell
+populations in :mod:`repro.memdev` draw their threshold shifts from
+this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tech.device import DeviceParameters
+
+
+def sigma_vth(avt_mv_um: float, width_um: float, length_um: float) -> float:
+    """Return the V_th mismatch standard deviation in volts.
+
+    ``avt_mv_um`` is the Pelgrom coefficient in mV*um; ``width_um`` and
+    ``length_um`` are the device dimensions in microns.
+    """
+    if width_um <= 0.0 or length_um <= 0.0:
+        raise ValueError("device dimensions must be positive")
+    return 1e-3 * avt_mv_um / np.sqrt(width_um * length_um)
+
+
+def sample_vth_shifts(
+    avt_mv_um: float,
+    width_um: float,
+    length_um: float,
+    count: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw ``count`` independent zero-mean V_th shifts in volts."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    sigma = sigma_vth(avt_mv_um, width_um, length_um)
+    return rng.normal(0.0, sigma, size=count)
+
+
+@dataclass(frozen=True)
+class MismatchModel:
+    """Mismatch sampler bound to one device flavour and geometry.
+
+    Convenience wrapper used by the memory-array substrate: it knows the
+    device's A_vt and the cell transistor geometry, so callers only ask
+    for samples.
+    """
+
+    device: DeviceParameters
+    width_um: float
+    length_um: float
+
+    def sigma(self) -> float:
+        """Return sigma(V_th) in volts for this geometry."""
+        return sigma_vth(self.device.avt_mv_um, self.width_um, self.length_um)
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` V_th shifts in volts."""
+        return sample_vth_shifts(
+            self.device.avt_mv_um, self.width_um, self.length_um, count, rng
+        )
+
+    def sample_devices(
+        self, count: int, rng: np.random.Generator
+    ) -> list[DeviceParameters]:
+        """Return ``count`` device-parameter copies with sampled shifts."""
+        return [
+            self.device.with_vth_shift(float(shift))
+            for shift in self.sample(count, rng)
+        ]

@@ -1,0 +1,222 @@
+"""Technology-node parameter sets and PVT corners.
+
+Four nodes cover the paper's scope:
+
+* 65 nm planar low power — the cell-based memory of Andersson et al.
+  [13] that Table 1 compares against.
+* 40 nm planar low power — the paper's test-chip technology; every
+  silicon measurement (Figures 3-5, Table 1) and the mitigation study
+  (Section V) live here.
+* 14 nm finFET and 10 nm multi-gate — the forward-looking devices of
+  Section VI / Figure 10.
+
+Numbers are representative of published low-power flavours of these
+nodes; they are synthetic stand-ins for the foundry data the paper
+could not publish either (it hid vendor numbers behind CACTI).  What
+matters downstream is the relative behaviour: sub-threshold slope and
+A_vt improve monotonically towards the finFET nodes, capacitance and
+nominal voltage shrink, and drive current per micron grows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.tech.device import DeviceParameters
+
+
+class Corner(enum.Enum):
+    """Global process corner: shifts every device threshold together."""
+
+    TT = "TT"
+    FF = "FF"
+    SS = "SS"
+
+
+#: Global V_th shift per corner, as a multiple of the node's corner spread.
+_CORNER_SHIFT = {Corner.TT: 0.0, Corner.FF: -1.0, Corner.SS: +1.0}
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """One process node as seen by the rest of the library.
+
+    Attributes
+    ----------
+    name:
+        Human-readable node name, e.g. ``"40nm-LP"``.
+    feature_nm:
+        Drawn feature size in nanometres; used for area scaling.
+    nmos / pmos:
+        Device parameters for the two flavours.
+    vdd_nominal:
+        Rated supply voltage in volts.
+    gate_cap_ff_per_um:
+        Gate capacitance in fF per micron of width.
+    wire_cap_ff_per_um:
+        Wire capacitance in fF per micron of routed length; Section VI
+        names its reduction as the first of the three finFET benefits.
+    logic_depth:
+        Representative logic depth (in FO4 inverter delays) of the
+        critical path of the paper's processor platform; converts
+        inverter delay into a system clock period.
+    corner_vth_sigma:
+        One-sigma global V_th spread in volts used by the FF/SS corners.
+    """
+
+    name: str
+    feature_nm: float
+    nmos: DeviceParameters
+    pmos: DeviceParameters
+    vdd_nominal: float
+    gate_cap_ff_per_um: float
+    wire_cap_ff_per_um: float
+    logic_depth: int
+    corner_vth_sigma: float
+
+    def __post_init__(self) -> None:
+        if self.feature_nm <= 0.0:
+            raise ValueError("feature_nm must be positive")
+        if self.vdd_nominal <= 0.0:
+            raise ValueError("vdd_nominal must be positive")
+        if self.logic_depth <= 0:
+            raise ValueError("logic_depth must be positive")
+
+    def at_corner(self, corner: Corner) -> "TechnologyNode":
+        """Return a copy of this node shifted to a global PVT corner."""
+        shift = _CORNER_SHIFT[corner] * self.corner_vth_sigma
+        return replace(
+            self,
+            name=f"{self.name}/{corner.value}",
+            nmos=self.nmos.with_vth_shift(shift),
+            pmos=self.pmos.with_vth_shift(shift),
+        )
+
+    def area_scale_from(self, other: "TechnologyNode") -> float:
+        """Return the area ratio when porting a layout from ``other``.
+
+        Table 1 scales the 65 nm cell-based memory to 40 nm with the
+        classic (feature ratio)^2 rule; this helper implements it.
+        """
+        return (self.feature_nm / other.feature_nm) ** 2
+
+
+NODE_65NM_LP = TechnologyNode(
+    name="65nm-LP",
+    feature_nm=65.0,
+    nmos=DeviceParameters(
+        vth=0.50,
+        subthreshold_slope_mv=95.0,
+        i_spec_ua_per_um=4.0,
+        dibl_mv_per_v=110.0,
+        avt_mv_um=4.5,
+    ),
+    pmos=DeviceParameters(
+        vth=0.50,
+        subthreshold_slope_mv=100.0,
+        i_spec_ua_per_um=2.2,
+        dibl_mv_per_v=120.0,
+        avt_mv_um=5.0,
+    ),
+    vdd_nominal=1.2,
+    gate_cap_ff_per_um=1.0,
+    wire_cap_ff_per_um=0.21,
+    logic_depth=36,
+    corner_vth_sigma=0.045,
+)
+
+NODE_40NM_LP = TechnologyNode(
+    name="40nm-LP",
+    feature_nm=40.0,
+    nmos=DeviceParameters(
+        vth=0.47,
+        subthreshold_slope_mv=90.0,
+        i_spec_ua_per_um=5.5,
+        dibl_mv_per_v=140.0,
+        avt_mv_um=3.5,
+    ),
+    pmos=DeviceParameters(
+        vth=0.47,
+        subthreshold_slope_mv=95.0,
+        i_spec_ua_per_um=3.0,
+        dibl_mv_per_v=150.0,
+        avt_mv_um=4.0,
+    ),
+    vdd_nominal=1.1,
+    gate_cap_ff_per_um=0.85,
+    wire_cap_ff_per_um=0.19,
+    logic_depth=36,
+    corner_vth_sigma=0.04,
+)
+
+NODE_14NM_FINFET = TechnologyNode(
+    name="14nm-finFET",
+    feature_nm=14.0,
+    nmos=DeviceParameters(
+        vth=0.38,
+        subthreshold_slope_mv=68.0,
+        i_spec_ua_per_um=11.0,
+        dibl_mv_per_v=40.0,
+        avt_mv_um=1.3,
+    ),
+    pmos=DeviceParameters(
+        vth=0.38,
+        subthreshold_slope_mv=70.0,
+        i_spec_ua_per_um=10.0,
+        dibl_mv_per_v=45.0,
+        avt_mv_um=1.4,
+    ),
+    vdd_nominal=0.8,
+    gate_cap_ff_per_um=0.55,
+    wire_cap_ff_per_um=0.15,
+    logic_depth=36,
+    corner_vth_sigma=0.03,
+)
+
+NODE_10NM_MG = TechnologyNode(
+    name="10nm-MG",
+    feature_nm=10.0,
+    nmos=DeviceParameters(
+        vth=0.36,
+        subthreshold_slope_mv=64.0,
+        i_spec_ua_per_um=13.0,
+        dibl_mv_per_v=30.0,
+        avt_mv_um=1.0,
+    ),
+    pmos=DeviceParameters(
+        vth=0.36,
+        subthreshold_slope_mv=66.0,
+        i_spec_ua_per_um=12.0,
+        dibl_mv_per_v=35.0,
+        avt_mv_um=1.1,
+    ),
+    vdd_nominal=0.7,
+    gate_cap_ff_per_um=0.42,
+    wire_cap_ff_per_um=0.11,
+    logic_depth=36,
+    corner_vth_sigma=0.025,
+)
+
+_NODES = {
+    node.name: node
+    for node in (NODE_65NM_LP, NODE_40NM_LP, NODE_14NM_FINFET, NODE_10NM_MG)
+}
+
+
+def list_nodes() -> list[str]:
+    """Return the names of all built-in technology nodes."""
+    return sorted(_NODES)
+
+
+def get_node(name: str) -> TechnologyNode:
+    """Look up a built-in node by name.
+
+    Raises ``KeyError`` with the list of known names on a miss.
+    """
+    try:
+        return _NODES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown technology node {name!r}; known: {list_nodes()}"
+        ) from None

@@ -1,0 +1,205 @@
+"""Block FIR filter: a second streaming workload.
+
+Section V closes with "the analysis is applicable to other streaming
+applications as well"; this module backs that sentence with a second
+real workload: a Q15 fixed-point FIR filter whose input stream is
+processed in blocks — each block is one OCEAN phase producing one
+output chunk, exactly the Figure 7 structure.
+
+Scratchpad layout for N samples and T taps::
+
+    [0        .. N-1       ]   input samples, signed Q15 (32-bit words)
+    [N        .. N+T-1     ]   coefficients, signed Q15
+    [N+T      .. N+T+N-1   ]   output samples, signed Q15
+
+The generated NTC32 program computes ``y[i] = (sum_t x[i-t] * h[t] +
+0x4000) >> 15`` with zero boundary handling, matching the bit-exact
+Python reference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.soc.assembler import assemble
+from repro.workloads.streaming import Phase, StreamingWorkload
+
+_MASK32 = 0xFFFFFFFF
+_ROUND = 1 << 14
+
+
+def _to_q15(value: float) -> int:
+    scaled = int(round(value * 32767.0))
+    return max(-32768, min(32767, scaled))
+
+
+def _signed32(word: int) -> int:
+    return word - (1 << 32) if word & 0x80000000 else word
+
+
+def lowpass_taps(n_taps: int = 16, cutoff: float = 0.2) -> list[int]:
+    """Return Q15 taps of a Hamming-windowed low-pass FIR.
+
+    Normalised so the absolute tap sum stays below 1.0, which bounds
+    the 32-bit accumulator of the generated code.
+    """
+    if n_taps < 2:
+        raise ValueError(f"need at least 2 taps, got {n_taps}")
+    if not 0.0 < cutoff < 0.5:
+        raise ValueError(f"cutoff must be in (0, 0.5), got {cutoff}")
+    mid = (n_taps - 1) / 2.0
+    taps = []
+    for i in range(n_taps):
+        x = i - mid
+        ideal = (
+            2.0 * cutoff if x == 0
+            else math.sin(2.0 * math.pi * cutoff * x) / (math.pi * x)
+        )
+        window = 0.54 - 0.46 * math.cos(2.0 * math.pi * i / (n_taps - 1))
+        taps.append(ideal * window)
+    norm = sum(abs(t) for t in taps)
+    return [_to_q15(0.98 * t / norm) for t in taps]
+
+
+def generate_signal(
+    n: int, kind: str = "chirp", seed: int = 11, amplitude: float = 0.4
+) -> list[int]:
+    """Generate a Q15 test signal as sign-extended 32-bit words."""
+    if not 0.0 < amplitude <= 0.5:
+        raise ValueError("amplitude must be in (0, 0.5]")
+    rng = np.random.default_rng(seed)
+    samples = []
+    for i in range(n):
+        if kind == "chirp":
+            phase = math.pi * (i * i) / (2.0 * n)
+            value = amplitude * math.sin(phase)
+        elif kind == "noise":
+            value = float(rng.uniform(-amplitude, amplitude))
+        elif kind == "step":
+            value = amplitude if i >= n // 4 else 0.0
+        else:
+            raise ValueError(f"unknown signal kind {kind!r}")
+        samples.append(_to_q15(value) & _MASK32)
+    return samples
+
+
+def fir_reference(
+    signal: list[int], taps: list[int]
+) -> list[int]:
+    """Bit-exact model of the generated FIR code."""
+    out = []
+    for i in range(len(signal)):
+        acc = 0
+        for t, tap in enumerate(taps):
+            idx = i - t
+            if idx >= 0:
+                acc += _signed32(signal[idx]) * tap
+        out.append(((acc + _ROUND) >> 15) & _MASK32)
+    return out
+
+
+def _block_source(
+    block: int, lo: int, hi: int, n_taps: int, h_base: int, y_base: int
+) -> str:
+    return f"""
+; ---- phase {block}: output samples {lo}..{hi - 1} ----
+        li   r1, {lo}
+blk{block}_i:
+        li   r3, 0             ; accumulator
+        li   r2, 0             ; tap index
+blk{block}_t:
+        sub  r4, r1, r2        ; sample index i - t
+        blt  r4, r0, blk{block}_skip
+        lw   r5, r4, 0         ; x[i - t]
+        lw   r6, r2, {h_base}  ; h[t]
+        mul  r7, r5, r6
+        add  r3, r3, r7
+blk{block}_skip:
+        addi r2, r2, 1
+        slti r8, r2, {n_taps}
+        bne  r8, r0, blk{block}_t
+        add  r3, r3, r15       ; Q15 rounding
+        srai r3, r3, 15
+        sw   r3, r1, {y_base}
+        addi r1, r1, 1
+        slti r8, r1, {hi}
+        bne  r8, r0, blk{block}_i
+        yield
+"""
+
+
+@dataclass(frozen=True)
+class FirProgram:
+    """A generated FIR workload ready for the platform."""
+
+    n: int
+    n_taps: int
+    workload: StreamingWorkload
+    source: str
+    taps: tuple[int, ...]
+
+    def expected_output(self, signal: list[int]) -> list[int]:
+        """Golden fixed-point result for the given input signal."""
+        return fir_reference(signal, list(self.taps))
+
+
+def build_fir_program(
+    n: int = 256,
+    n_taps: int = 16,
+    blocks: int = 8,
+    signal: list[int] | None = None,
+) -> FirProgram:
+    """Generate, assemble and package a block FIR workload."""
+    if n < blocks or n % blocks:
+        raise ValueError(f"blocks {blocks} must divide n {n}")
+    if signal is None:
+        signal = generate_signal(n)
+    if len(signal) != n:
+        raise ValueError(f"signal has {len(signal)} samples, expected {n}")
+    taps = lowpass_taps(n_taps)
+    h_base = n
+    y_base = n + n_taps
+
+    pieces = [
+        f"; NTC32 block FIR: {n} samples, {n_taps} taps, {blocks} blocks",
+        "        lui  r15, 4            ; 0x4000 Q15 rounding constant",
+    ]
+    block_len = n // blocks
+    phases = []
+    for block in range(blocks):
+        lo, hi = block * block_len, (block + 1) * block_len
+        pieces.append(
+            _block_source(block, lo, hi, n_taps, h_base, y_base)
+        )
+        phases.append(
+            Phase(
+                index=block,
+                name=f"block {block} ({lo}..{hi - 1})",
+                chunk_base=0,
+                chunk_words=y_base + n,
+            )
+        )
+    pieces.append("        halt")
+    source = "\n".join(pieces)
+    program = assemble(source)
+
+    data = list(signal) + [tap & _MASK32 for tap in taps] + [0] * n
+    workload = StreamingWorkload(
+        name=f"fir-{n}x{n_taps}",
+        program_words=tuple(program),
+        phases=tuple(phases),
+        data_words=tuple(data),
+        data_base=0,
+        result_base=y_base,
+        result_words=n,
+    )
+    return FirProgram(
+        n=n,
+        n_taps=n_taps,
+        workload=workload,
+        source=source,
+        taps=tuple(taps),
+    )

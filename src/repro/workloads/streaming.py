@@ -1,0 +1,84 @@
+"""Streaming-phase abstractions.
+
+OCEAN "splits a computation task into a set of equivalent phases.
+Each phase generates a chunk of data that is required for the
+subsequent phases to be error-free" (Section V, Figure 7).  A
+:class:`StreamingWorkload` describes that phase structure for any
+program whose phase boundaries are marked with ``YIELD`` instructions;
+the FFT generator produces one, and the OCEAN controller consumes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One checkpointable unit of a streaming computation.
+
+    Attributes
+    ----------
+    index:
+        Phase number, in execution order.
+    name:
+        Human-readable label ("bit-reversal", "stage 3", ...).
+    chunk_base / chunk_words:
+        The scratchpad region holding the phase's output chunk — the
+        data the next phase depends on, and therefore exactly what the
+        checkpoint must capture.
+    """
+
+    index: int
+    name: str
+    chunk_base: int
+    chunk_words: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("index must be non-negative")
+        if self.chunk_words <= 0:
+            raise ValueError("chunk_words must be positive")
+        if self.chunk_base < 0:
+            raise ValueError("chunk_base must be non-negative")
+
+
+@dataclass(frozen=True)
+class StreamingWorkload:
+    """A program with YIELD-delimited phases.
+
+    Attributes
+    ----------
+    name:
+        Workload label.
+    program_words:
+        Assembled NTC32 binary.
+    phases:
+        Phase descriptors, one per YIELD (the final phase ends at the
+        HALT).
+    data_words / data_base:
+        Initial scratchpad image.
+    result_base / result_words:
+        Where the final output lives in the scratchpad.
+    """
+
+    name: str
+    program_words: tuple[int, ...]
+    phases: tuple[Phase, ...]
+    data_words: tuple[int, ...]
+    data_base: int
+    result_base: int
+    result_words: int
+
+    def __post_init__(self) -> None:
+        if not self.program_words:
+            raise ValueError("program must not be empty")
+        if not self.phases:
+            raise ValueError("need at least one phase")
+        indices = [phase.index for phase in self.phases]
+        if indices != list(range(len(self.phases))):
+            raise ValueError("phase indices must be 0..n-1 in order")
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.phases)

@@ -1,0 +1,108 @@
+"""Unit tests for the analysis layer (tables, sweeps, experiments)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, voltage_sweep
+from repro.analysis.experiments import (
+    FREQ_LOW,
+    fig3_retention_maps,
+    fig4_retention_ber,
+    headline_claims,
+    platform_frequency_floor,
+    platform_max_frequency,
+    table1_comparison,
+    table2_minimum_voltages,
+)
+from repro.analysis.sweeps import find_minimum
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(
+            ("name", "value"), [("a", 1.23456), ("bbbb", 7)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "1.235" in text  # four significant digits
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_wide_cells_stretch_columns(self):
+        text = format_table(("h",), [("wider-than-header",)])
+        header, rule, row = text.splitlines()
+        assert len(rule) == len("wider-than-header")
+
+
+class TestVoltageSweep:
+    def test_grid_and_values(self):
+        grid, values = voltage_sweep(lambda v: v * v, 0.2, 1.0, 5)
+        assert len(grid) == len(values) == 5
+        assert values[0] == pytest.approx(0.04)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            voltage_sweep(lambda v: v, 0.2, 1.0, 1)
+        with pytest.raises(ValueError):
+            voltage_sweep(lambda v: v, 1.0, 0.2, 5)
+
+    def test_find_minimum(self):
+        grid, values = voltage_sweep(lambda v: (v - 0.6) ** 2, 0.2, 1.0, 41)
+        v, val = find_minimum(grid, values)
+        assert v == pytest.approx(0.6, abs=0.02)
+        with pytest.raises(ValueError):
+            find_minimum([], [])
+
+
+class TestPlatformTiming:
+    def test_calibration_anchor(self):
+        """The paper's sentence: 290 kHz at 0.33 V, exactly."""
+        assert platform_max_frequency(0.33) == pytest.approx(FREQ_LOW)
+
+    def test_floor_round_trip(self):
+        for frequency in (290e3, 1.96e6, 11e6):
+            floor = platform_frequency_floor(frequency)
+            assert platform_max_frequency(floor) >= frequency * 0.999
+
+    def test_floor_validation(self):
+        with pytest.raises(ValueError):
+            platform_frequency_floor(0.0)
+        with pytest.raises(ValueError):
+            platform_frequency_floor(1e15)
+
+
+class TestExperimentShapes:
+    """Cheap structural checks; the anchors live in benchmarks/."""
+
+    def test_table1_has_four_designs(self):
+        rows = table1_comparison()
+        assert len(rows) == 4
+        assert all("paper" in r for r in rows)
+
+    def test_table2_has_nine_rows(self):
+        rows = table2_minimum_voltages()
+        assert len(rows) == 9
+        assert {r["scheme"] for r in rows} == {"none", "SECDED", "OCEAN"}
+
+    def test_fig3_maps_shapes(self):
+        maps = fig3_retention_maps(words=32, bits=16)
+        assert set(maps) == {"commercial", "cell-based"}
+        assert maps["commercial"].shape == (32, 16)
+
+    def test_fig4_series(self):
+        series = fig4_retention_ber(n_dies=3, words=64, bits=16)
+        assert len(series) == 2
+        for s in series:
+            assert s.voltages.shape == s.measured_ber.shape
+            assert s.fitted_v_sigma > 0
+
+    def test_headline_claims_consistent(self):
+        claims = headline_claims(fft_points=64)
+        assert claims.power_ratio_vs_none > claims.power_ratio_vs_ecc > 1.0
+        assert claims.dynamic_power_ratio_beyond_limit == pytest.approx(
+            3.3, abs=0.3
+        )

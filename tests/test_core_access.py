@@ -1,0 +1,148 @@
+"""Unit tests for the Eq. 5 access-error model (Figure 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.access import (
+    ACCESS_CELL_BASED_40NM,
+    ACCESS_COMMERCIAL_40NM,
+    AccessErrorModel,
+)
+
+
+class TestConstruction:
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(ValueError):
+            AccessErrorModel(amplitude=0.0, exponent=6.0, v_onset=0.85)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            AccessErrorModel(amplitude=6.0, exponent=-1.0, v_onset=0.85)
+
+    def test_rejects_bad_onset(self):
+        with pytest.raises(ValueError):
+            AccessErrorModel(amplitude=6.0, exponent=6.0, v_onset=0.0)
+
+
+class TestPowerLaw:
+    def test_zero_at_and_above_onset(self):
+        model = ACCESS_COMMERCIAL_40NM
+        assert model.bit_error_probability(0.85) == 0.0
+        assert model.bit_error_probability(1.1) == 0.0
+
+    def test_paper_formula_below_onset(self):
+        """p = 6 * (0.85 - V)^6.14 exactly, per Section IV."""
+        model = ACCESS_COMMERCIAL_40NM
+        for v in (0.5, 0.6, 0.7, 0.8):
+            expected = 6.0 * (0.85 - v) ** 6.14
+            assert model.bit_error_probability(v) == pytest.approx(expected)
+
+    def test_clipped_at_one(self):
+        model = AccessErrorModel(amplitude=100.0, exponent=1.0, v_onset=0.9)
+        assert model.bit_error_probability(0.1) == 1.0
+
+    def test_monotone_decreasing(self):
+        model = ACCESS_COMMERCIAL_40NM
+        probs = [model.bit_error_probability(v) for v in (0.4, 0.5, 0.6, 0.7)]
+        assert all(b < a for a, b in zip(probs, probs[1:]))
+
+    def test_rejects_negative_vdd(self):
+        with pytest.raises(ValueError):
+            ACCESS_COMMERCIAL_40NM.bit_error_probability(-0.2)
+
+    @given(vdd=st.floats(min_value=0.0, max_value=1.2))
+    @settings(max_examples=50, deadline=None)
+    def test_probability_in_unit_interval(self, vdd):
+        p = ACCESS_COMMERCIAL_40NM.bit_error_probability(vdd)
+        assert 0.0 <= p <= 1.0
+
+
+class TestInverse:
+    def test_round_trip(self):
+        model = ACCESS_COMMERCIAL_40NM
+        for p in (1e-17, 1e-9, 1e-3):
+            v = model.vdd_for_bit_error(p)
+            assert model.bit_error_probability(v) == pytest.approx(p, rel=1e-9)
+
+    def test_lower_probability_needs_higher_voltage(self):
+        model = ACCESS_COMMERCIAL_40NM
+        assert model.vdd_for_bit_error(1e-15) > model.vdd_for_bit_error(1e-6)
+
+    def test_rejects_zero_probability(self):
+        with pytest.raises(ValueError):
+            ACCESS_COMMERCIAL_40NM.vdd_for_bit_error(0.0)
+
+
+class TestPaperConstants:
+    def test_commercial_fit_parameters(self):
+        assert ACCESS_COMMERCIAL_40NM.amplitude == 6.0
+        assert ACCESS_COMMERCIAL_40NM.exponent == 6.14
+        assert ACCESS_COMMERCIAL_40NM.v_onset == 0.85
+
+    def test_cell_based_onset_matches_paper(self):
+        """'the minimal access voltage is V0=0.55 (in the worst-case)'"""
+        assert ACCESS_CELL_BASED_40NM.v_onset == pytest.approx(0.55, abs=0.01)
+
+    def test_cell_based_accesses_below_commercial(self):
+        """At 0.6 V the commercial memory fails, the cell-based works."""
+        assert ACCESS_COMMERCIAL_40NM.bit_error_probability(0.6) > 0.0
+        assert ACCESS_CELL_BASED_40NM.bit_error_probability(0.6) == 0.0
+
+    def test_cell_based_access_near_retention(self):
+        """'going down to a few 10mV above the retention voltage': the
+        cell-based onset (0.55 worst-case) with the Table 2 OCEAN
+        operating point 0.33 V sits close above the 0.32 V retention."""
+        from repro.core.retention import RETENTION_CELL_BASED_40NM
+
+        retention = RETENTION_CELL_BASED_40NM.first_failure_voltage(32 * 1024)
+        ocean_v = 0.33
+        assert 0.0 < ocean_v - retention < 0.05
+
+
+class TestFitting:
+    def test_recovers_known_model_fixed_onset(self):
+        model = ACCESS_COMMERCIAL_40NM
+        voltages = np.linspace(0.45, 0.8, 15)
+        rates = np.array(
+            [model.bit_error_probability(float(v)) for v in voltages]
+        )
+        fitted = AccessErrorModel.fit(voltages, rates, v_onset=0.85)
+        assert fitted.amplitude == pytest.approx(6.0, rel=1e-6)
+        assert fitted.exponent == pytest.approx(6.14, rel=1e-6)
+
+    def test_recovers_onset_by_scan(self):
+        model = ACCESS_COMMERCIAL_40NM
+        voltages = np.linspace(0.45, 0.8, 30)
+        rates = np.array(
+            [model.bit_error_probability(float(v)) for v in voltages]
+        )
+        fitted = AccessErrorModel.fit(voltages, rates)
+        assert fitted.v_onset == pytest.approx(0.85, abs=0.02)
+        assert fitted.exponent == pytest.approx(6.14, rel=0.15)
+
+    def test_fit_with_measurement_noise(self):
+        model = ACCESS_COMMERCIAL_40NM
+        rng = np.random.default_rng(4)
+        voltages = np.linspace(0.45, 0.8, 30)
+        rates = np.array(
+            [model.bit_error_probability(float(v)) for v in voltages]
+        )
+        noisy = rates * rng.lognormal(0.0, 0.15, rates.shape)
+        fitted = AccessErrorModel.fit(voltages, noisy, v_onset=0.85)
+        assert fitted.exponent == pytest.approx(6.14, rel=0.1)
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError, match="three"):
+            AccessErrorModel.fit(
+                np.array([0.5, 0.6]), np.array([1e-3, 1e-5])
+            )
+
+    def test_rejects_onset_below_data(self):
+        with pytest.raises(ValueError, match="onset"):
+            AccessErrorModel.fit(
+                np.array([0.5, 0.6, 0.7]),
+                np.array([1e-2, 1e-4, 1e-6]),
+                v_onset=0.65,
+            )

@@ -1,0 +1,145 @@
+"""Tests for the memory calculator and the mitigation planner."""
+
+import pytest
+
+from repro.core.calculator import MemoryCalculator
+from repro.core.fit_solver import SCHEME_NONE, SCHEME_OCEAN, SCHEME_SECDED
+from repro.core.planner import (
+    OVERHEAD_NONE,
+    OVERHEAD_OCEAN,
+    OVERHEAD_SECDED,
+    MitigationPlanner,
+    SchemeOverhead,
+)
+from repro.memdev.library import cell_based_imec_40nm
+
+
+@pytest.fixture(scope="module")
+def calculator():
+    return cell_based_imec_40nm().calculator()
+
+
+class TestOperatingPoint:
+    def test_fields_populated(self, calculator):
+        point = calculator.operating_point(0.5, 1e6)
+        assert point.read_energy > 0.0
+        assert point.write_energy >= point.read_energy
+        assert point.total_power == pytest.approx(
+            point.dynamic_power + point.leakage_power
+        )
+        assert point.energy_per_access > 0.0
+
+    def test_dynamic_power_scales_with_frequency(self, calculator):
+        slow = calculator.operating_point(0.5, 1e5)
+        fast = calculator.operating_point(0.5, 1e6)
+        assert fast.dynamic_power == pytest.approx(
+            10.0 * slow.dynamic_power
+        )
+
+    def test_activity_scales_dynamic_power(self, calculator):
+        full = calculator.operating_point(0.5, 1e6, activity=1.0)
+        half = calculator.operating_point(0.5, 1e6, activity=0.5)
+        assert half.dynamic_power == pytest.approx(
+            0.5 * full.dynamic_power
+        )
+
+    def test_frequency_feasibility_flag(self, calculator):
+        ok = calculator.operating_point(1.1, 1e6)
+        assert ok.frequency_feasible
+        impossible = calculator.operating_point(0.35, 50e6)
+        assert not impossible.frequency_feasible
+
+    def test_error_rates_reported(self, calculator):
+        point = calculator.operating_point(0.40, 1e5)
+        assert point.access_bit_error > 0.0
+        clean = calculator.operating_point(0.60, 1e5)
+        assert clean.access_bit_error == 0.0
+
+    def test_rejects_bad_inputs(self, calculator):
+        with pytest.raises(ValueError):
+            calculator.operating_point(0.5, 0.0)
+        with pytest.raises(ValueError):
+            calculator.operating_point(0.5, 1e6, activity=1.5)
+
+    def test_rejects_bad_read_fraction(self):
+        with pytest.raises(ValueError):
+            cell_based_imec_40nm().calculator(read_fraction=1.2)
+
+
+class TestSweepAndOptimum:
+    def test_sweep_length(self, calculator):
+        points = calculator.sweep([0.4, 0.6, 0.8], 1e5)
+        assert [p.vdd for p in points] == [0.4, 0.6, 0.8]
+
+    def test_energy_minimal_voltage_is_interior(self, calculator):
+        """Figure 1's message: the optimum sits at near-threshold, not
+        at the lowest feasible voltage (leakage) nor at nominal (CV^2)."""
+        import numpy as np
+
+        grid = np.arange(0.35, 1.15, 0.025)
+        best = calculator.energy_minimal_voltage(100e3, grid)
+        assert 0.35 < best.vdd < 0.9
+
+    def test_energy_minimal_voltage_respects_frequency(self, calculator):
+        import numpy as np
+
+        grid = np.arange(0.35, 1.15, 0.05)
+        fast = calculator.energy_minimal_voltage(20e6, grid)
+        slow = calculator.energy_minimal_voltage(50e3, grid)
+        assert fast.vdd > slow.vdd
+
+    def test_unreachable_frequency_raises(self, calculator):
+        with pytest.raises(ValueError):
+            calculator.energy_minimal_voltage(1e5, [0.2, 0.25])
+
+
+class TestSchemeOverhead:
+    def test_defaults_are_identity(self):
+        assert OVERHEAD_NONE.access_energy_factor == 1.0
+        assert OVERHEAD_NONE.cycle_overhead == 0.0
+
+    def test_secded_reflects_39_over_32(self):
+        assert OVERHEAD_SECDED.static_power_factor == pytest.approx(39 / 32)
+        assert OVERHEAD_SECDED.access_energy_factor > 39 / 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SchemeOverhead(scheme=SCHEME_NONE, access_energy_factor=0.9)
+        with pytest.raises(ValueError):
+            SchemeOverhead(scheme=SCHEME_NONE, cycle_overhead=-0.1)
+
+
+class TestMitigationPlanner:
+    def test_ocean_wins_at_low_frequency(self, calculator):
+        """The 290 kHz case: OCEAN's lower voltage beats its overhead."""
+        planner = MitigationPlanner(calculator)
+        best = planner.best(290e3)
+        assert best.name == "OCEAN"
+
+    def test_plans_sorted_by_power(self, calculator):
+        plans = MitigationPlanner(calculator).evaluate(290e3)
+        powers = [plan.total_power for plan in plans]
+        assert powers == sorted(powers)
+        assert {plan.name for plan in plans} == {"none", "SECDED", "OCEAN"}
+
+    def test_voltage_ordering_matches_table2(self, calculator):
+        plans = {
+            p.name: p for p in MitigationPlanner(calculator).evaluate(290e3)
+        }
+        assert plans["none"].vdd > plans["SECDED"].vdd > plans["OCEAN"].vdd
+
+    def test_high_frequency_compresses_gains(self, calculator):
+        """When the performance floor binds, scheme voltages converge
+        and the mitigation advantage shrinks (Table 2's 1.96 MHz row
+        and the paper's parallelism argument)."""
+        planner = MitigationPlanner(calculator)
+
+        def gain(freq):
+            plans = {p.name: p for p in planner.evaluate(freq)}
+            return plans["none"].total_power / plans["OCEAN"].total_power
+
+        assert gain(100e3) > gain(3e6)
+
+    def test_rejects_empty_schemes(self, calculator):
+        with pytest.raises(ValueError):
+            MitigationPlanner(calculator, overheads=())

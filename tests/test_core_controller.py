@@ -1,0 +1,154 @@
+"""Tests for the run-time monitoring and voltage control loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.access import ACCESS_CELL_BASED_40NM
+from repro.core.controller import (
+    AdaptiveVoltageController,
+    ControllerConfig,
+)
+
+
+def model_monitor(v_onset=0.44, gain=400.0):
+    """Deterministic monitor: errors appear below an onset voltage and
+    grow linearly — a stylised corrected-error counter."""
+
+    def monitor(vdd: float) -> int:
+        if vdd >= v_onset:
+            return 0
+        return int(gain * (v_onset - vdd)) + 1
+
+    return monitor
+
+
+def stochastic_monitor(rng, accesses_per_window=5000, width=39):
+    """Monitor fed by the Eq. 5 model: Poisson-ish corrected counts."""
+
+    def monitor(vdd: float) -> int:
+        p = ACCESS_CELL_BASED_40NM.bit_error_probability(vdd)
+        return int(rng.binomial(accesses_per_window * width, p))
+
+    return monitor
+
+
+class TestConfigValidation:
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(v_step=0.0)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(v_min=1.0, v_max=0.5)
+
+    def test_rejects_no_hysteresis(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(raise_threshold=1, lower_threshold=1)
+
+    def test_rejects_initial_out_of_range(self):
+        with pytest.raises(ValueError):
+            AdaptiveVoltageController(
+                model_monitor(), ControllerConfig(), initial_vdd=2.0
+            )
+
+
+class TestControlLaw:
+    def test_lowers_voltage_when_clean(self):
+        controller = AdaptiveVoltageController(
+            lambda v: 0, initial_vdd=0.8
+        )
+        controller.run(40)
+        assert controller.vdd < 0.8
+
+    def test_raises_voltage_under_errors(self):
+        controller = AdaptiveVoltageController(
+            lambda v: 10, initial_vdd=0.5
+        )
+        controller.run(10)
+        assert controller.vdd == pytest.approx(0.5 + 10 * 0.01)
+
+    def test_converges_just_above_error_onset(self):
+        controller = AdaptiveVoltageController(
+            model_monitor(v_onset=0.44), initial_vdd=0.9
+        )
+        controller.run(400)
+        assert controller.settled_voltage == pytest.approx(0.44, abs=0.02)
+
+    def test_respects_voltage_rails(self):
+        config = ControllerConfig(v_min=0.3, v_max=0.6)
+        low = AdaptiveVoltageController(
+            lambda v: 0, config, initial_vdd=0.35
+        )
+        low.run(200)
+        assert low.vdd >= 0.3
+        high = AdaptiveVoltageController(
+            lambda v: 99, config, initial_vdd=0.55
+        )
+        high.run(200)
+        assert high.vdd <= 0.6
+
+    def test_hold_band_between_thresholds(self):
+        config = ControllerConfig(raise_threshold=5, lower_threshold=0)
+        controller = AdaptiveVoltageController(
+            lambda v: 2, config, initial_vdd=0.5
+        )
+        controller.run(50)
+        assert controller.vdd == pytest.approx(0.5)
+        assert set(controller.trace.actions) == {"hold"}
+
+    def test_monitor_negative_count_rejected(self):
+        controller = AdaptiveVoltageController(
+            lambda v: -1, initial_vdd=0.5
+        )
+        with pytest.raises(ValueError):
+            controller.step()
+
+    def test_trace_records_every_window(self):
+        controller = AdaptiveVoltageController(
+            model_monitor(), initial_vdd=0.6
+        )
+        trace = controller.run(25)
+        assert len(trace) == 25
+        assert len(trace.voltages) == len(trace.errors) == 25
+
+    def test_rejects_negative_windows(self):
+        controller = AdaptiveVoltageController(
+            model_monitor(), initial_vdd=0.6
+        )
+        with pytest.raises(ValueError):
+            controller.run(-1)
+
+
+class TestLifetimeTracking:
+    def test_reconverges_after_aging_drift(self):
+        """Section IV: 'the minimal voltage will change over lifetime of
+        a product requiring a monitoring and control loop'.  Shift the
+        error onset upward mid-run (ageing) and the loop must follow."""
+        onset = {"v": 0.40}
+
+        def aging_monitor(vdd: float) -> int:
+            return 0 if vdd >= onset["v"] else 25
+
+        controller = AdaptiveVoltageController(
+            aging_monitor, initial_vdd=0.7
+        )
+        controller.run(300)
+        before = controller.settled_voltage
+        assert before == pytest.approx(0.40, abs=0.02)
+        onset["v"] = 0.48  # the part aged: needs more voltage now
+        controller.run(300)
+        after = controller.settled_voltage
+        assert after == pytest.approx(0.48, abs=0.02)
+
+    def test_with_stochastic_eq5_monitor(self):
+        """Against the real Eq. 5 statistics the loop settles near the
+        voltage where a window sees ~zero corrected errors."""
+        rng = np.random.default_rng(0)
+        controller = AdaptiveVoltageController(
+            stochastic_monitor(rng), initial_vdd=0.9,
+            config=ControllerConfig(lower_patience=3),
+        )
+        controller.run(600)
+        settled = controller.settled_voltage
+        # Error-visible region starts below ~0.45 V for this window size
+        assert 0.38 < settled < 0.50

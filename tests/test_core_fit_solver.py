@@ -1,0 +1,152 @@
+"""Unit tests for the minimum-voltage solver — the Table 2 engine."""
+
+import math
+
+import pytest
+
+from repro.core.access import (
+    ACCESS_CELL_BASED_40NM,
+    ACCESS_COMMERCIAL_40NM,
+)
+from repro.core.fit_solver import (
+    FIT_TARGET_PAPER,
+    SCHEME_NONE,
+    SCHEME_OCEAN,
+    SCHEME_SECDED,
+    SchemeReliability,
+    minimum_voltage,
+    solve_paper_schemes,
+)
+from repro.core.retention import RETENTION_CELL_BASED_40NM
+
+
+class TestSchemeReliability:
+    def test_paper_thresholds(self):
+        """Section V: SECDED dies at triple, OCEAN at quintuple errors."""
+        assert SCHEME_NONE.fail_threshold == 1
+        assert SCHEME_SECDED.fail_threshold == 3
+        assert SCHEME_OCEAN.fail_threshold == 5
+
+    def test_secded_word_is_39_bits(self):
+        """'(39, 32) SECDED code implementation'."""
+        assert SCHEME_SECDED.word_bits == 39
+
+    def test_rejects_threshold_beyond_word(self):
+        with pytest.raises(ValueError):
+            SchemeReliability(name="bad", word_bits=8, fail_threshold=9)
+
+    def test_failure_probability_ordering(self):
+        p_bit = 1e-5
+        assert (
+            SCHEME_NONE.failure_probability(p_bit)
+            > SCHEME_SECDED.failure_probability(p_bit)
+            > SCHEME_OCEAN.failure_probability(p_bit)
+        )
+
+    def test_max_bit_error_meets_fit(self):
+        p = SCHEME_SECDED.max_bit_error(1e-15)
+        assert SCHEME_SECDED.failure_probability(p) == pytest.approx(
+            1e-15, rel=1e-5
+        )
+
+
+class TestTable2CellBased:
+    """The headline reproduction: Table 2's 290 kHz column."""
+
+    def test_no_mitigation_055(self):
+        sol = minimum_voltage(ACCESS_CELL_BASED_40NM, SCHEME_NONE)
+        assert sol.vdd == pytest.approx(0.55, abs=0.01)
+
+    def test_secded_044(self):
+        sol = minimum_voltage(ACCESS_CELL_BASED_40NM, SCHEME_SECDED)
+        assert sol.vdd == pytest.approx(0.44, abs=0.01)
+
+    def test_ocean_033(self):
+        sol = minimum_voltage(ACCESS_CELL_BASED_40NM, SCHEME_OCEAN)
+        assert sol.vdd == pytest.approx(0.33, abs=0.01)
+
+    def test_fit_actually_met_at_solution(self):
+        for scheme in (SCHEME_NONE, SCHEME_SECDED, SCHEME_OCEAN):
+            sol = minimum_voltage(ACCESS_CELL_BASED_40NM, scheme)
+            p_bit = ACCESS_CELL_BASED_40NM.bit_error_probability(sol.vdd)
+            assert scheme.failure_probability(p_bit) <= FIT_TARGET_PAPER * 1.01
+
+
+class TestCommercialMemory:
+    """The 11 MHz case of Section V.B uses the commercial memory; the
+    paper quotes 0.88 / 0.77 / 0.66 V (snapped to its 0.11 V grid)."""
+
+    def test_no_mitigation_near_088(self):
+        sol = minimum_voltage(ACCESS_COMMERCIAL_40NM, SCHEME_NONE)
+        assert sol.vdd == pytest.approx(0.85, abs=0.04)
+
+    def test_secded_near_077(self):
+        sol = minimum_voltage(ACCESS_COMMERCIAL_40NM, SCHEME_SECDED)
+        assert sol.vdd == pytest.approx(0.77, abs=0.04)
+
+    def test_ocean_near_066(self):
+        sol = minimum_voltage(ACCESS_COMMERCIAL_40NM, SCHEME_OCEAN)
+        assert sol.vdd == pytest.approx(0.66, abs=0.04)
+
+    def test_scheme_ordering(self):
+        sols = solve_paper_schemes(ACCESS_COMMERCIAL_40NM)
+        assert sols["none"].vdd > sols["SECDED"].vdd > sols["OCEAN"].vdd
+
+
+class TestConstraintCombination:
+    def test_retention_floor_binds_when_access_would_go_lower(self):
+        relaxed = SchemeReliability(name="x", word_bits=39, fail_threshold=20)
+        sol = minimum_voltage(
+            ACCESS_CELL_BASED_40NM,
+            relaxed,
+            retention_model=RETENTION_CELL_BASED_40NM,
+            retention_bits=32 * 1024,
+        )
+        assert sol.binding == "retention"
+        assert sol.vdd > 0.32
+
+    def test_frequency_floor_binds(self):
+        """Table 2's 1.96 MHz row: OCEAN moves from 0.33 V to the
+        performance floor."""
+        sol = minimum_voltage(
+            ACCESS_CELL_BASED_40NM, SCHEME_OCEAN, frequency_floor_v=0.44
+        )
+        assert sol.binding == "frequency"
+        assert sol.vdd == pytest.approx(0.44)
+
+    def test_access_floor_recorded_even_when_not_binding(self):
+        sol = minimum_voltage(
+            ACCESS_CELL_BASED_40NM, SCHEME_OCEAN, frequency_floor_v=0.44
+        )
+        assert sol.access_floor == pytest.approx(0.33, abs=0.01)
+
+    def test_nan_floors_for_missing_constraints(self):
+        sol = minimum_voltage(ACCESS_CELL_BASED_40NM, SCHEME_OCEAN)
+        assert math.isnan(sol.retention_floor)
+        assert math.isnan(sol.frequency_floor)
+
+    def test_rejects_bad_fit_target(self):
+        with pytest.raises(ValueError):
+            minimum_voltage(ACCESS_CELL_BASED_40NM, SCHEME_NONE, fit_target=0.0)
+
+
+class TestFitTargetSensitivity:
+    def test_stricter_fit_needs_more_voltage(self):
+        loose = minimum_voltage(
+            ACCESS_CELL_BASED_40NM, SCHEME_SECDED, fit_target=1e-9
+        )
+        strict = minimum_voltage(
+            ACCESS_CELL_BASED_40NM, SCHEME_SECDED, fit_target=1e-18
+        )
+        assert strict.vdd > loose.vdd
+
+    def test_ocean_advantage_grows_with_loose_fit(self):
+        """Relaxing the FIT target moves the multi-bit schemes much
+        deeper down the power law than the no-mitigation case, so the
+        voltage gap between them widens."""
+
+        def gap(fit):
+            sols = solve_paper_schemes(ACCESS_CELL_BASED_40NM, fit_target=fit)
+            return sols["none"].vdd - sols["OCEAN"].vdd
+
+        assert gap(1e-6) > gap(1e-18)

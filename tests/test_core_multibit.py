@@ -1,0 +1,162 @@
+"""Unit tests for the multi-bit error probability math."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.core.multibit import (
+    bit_error_for_word_failure,
+    expected_errors,
+    prob_at_least,
+    prob_exactly,
+)
+
+
+class TestProbExactly:
+    def test_matches_scipy_moderate_p(self):
+        for k in range(0, 8):
+            ours = prob_exactly(39, k, 0.01)
+            ref = stats.binom.pmf(k, 39, 0.01)
+            assert ours == pytest.approx(ref, rel=1e-10)
+
+    def test_tiny_p_no_underflow(self):
+        p = prob_exactly(39, 5, 1e-18)
+        # C(39,5) * 1e-90 = 5.76e5 * 1e-90
+        assert p == pytest.approx(575757 * 1e-90, rel=1e-6)
+
+    def test_degenerate_p_zero(self):
+        assert prob_exactly(39, 0, 0.0) == 1.0
+        assert prob_exactly(39, 1, 0.0) == 0.0
+
+    def test_degenerate_p_one(self):
+        assert prob_exactly(39, 39, 1.0) == 1.0
+        assert prob_exactly(39, 38, 1.0) == 0.0
+
+    def test_k_beyond_n_is_zero(self):
+        assert prob_exactly(8, 9, 0.1) == 0.0
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            prob_exactly(39, 1, 1.5)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            prob_exactly(0, 0, 0.5)
+
+
+class TestProbAtLeast:
+    def test_matches_scipy_survival(self):
+        for k in (1, 2, 3, 5):
+            ours = prob_at_least(39, k, 0.02)
+            ref = stats.binom.sf(k - 1, 39, 0.02)
+            assert ours == pytest.approx(ref, rel=1e-9)
+
+    def test_at_least_zero_is_one(self):
+        assert prob_at_least(39, 0, 0.3) == 1.0
+
+    def test_beyond_n_is_zero(self):
+        assert prob_at_least(8, 9, 0.3) == 0.0
+
+    def test_small_p_first_term_dominates(self):
+        """For n*p << 1 the tail is ~ C(n,k) p^k."""
+        p_bit = 1e-8
+        tail = prob_at_least(39, 3, p_bit)
+        leading = math.comb(39, 3) * p_bit**3
+        assert tail == pytest.approx(leading, rel=1e-4)
+
+    def test_monotone_in_p(self):
+        probs = [prob_at_least(39, 3, p) for p in (1e-6, 1e-4, 1e-2, 0.1)]
+        assert all(b > a for a, b in zip(probs, probs[1:]))
+
+    def test_monotone_in_k(self):
+        probs = [prob_at_least(39, k, 0.01) for k in (1, 2, 3, 4, 5)]
+        assert all(b < a for a, b in zip(probs, probs[1:]))
+
+    def test_scheme_ordering_at_fixed_p(self):
+        """No-mitigation fails far more often than SECDED, which fails
+        far more often than OCEAN (Section V's failure thresholds)."""
+        p_bit = 1e-5
+        none = prob_at_least(32, 1, p_bit)
+        secded = prob_at_least(39, 3, p_bit)
+        ocean = prob_at_least(39, 5, p_bit)
+        assert none > 1e4 * secded
+        assert secded > 1e4 * ocean
+
+    @given(
+        n=st.integers(min_value=1, max_value=64),
+        k=st.integers(min_value=0, max_value=64),
+        p=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_is_probability(self, n, k, p):
+        assert 0.0 <= prob_at_least(n, k, p) <= 1.0
+
+    @given(
+        n=st.integers(min_value=2, max_value=64),
+        k=st.integers(min_value=1, max_value=8),
+        p=st.floats(min_value=1e-9, max_value=0.5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_complement_identity(self, n, k, p):
+        """P(>=k) + P(<k) == 1 via exact pmf summation."""
+        if k > n:
+            return
+        below = sum(prob_exactly(n, j, p) for j in range(k))
+        assert prob_at_least(n, k, p) + below == pytest.approx(1.0, abs=1e-9)
+
+
+class TestExpectedErrors:
+    def test_linear(self):
+        assert expected_errors(39, 0.01) == pytest.approx(0.39)
+
+    def test_zero_p(self):
+        assert expected_errors(39, 0.0) == 0.0
+
+
+class TestInverse:
+    def test_round_trip_paper_operating_points(self):
+        """The FIT solver inverse at the paper's exact configurations."""
+        for n, k in ((32, 1), (39, 3), (39, 5)):
+            p_bit = bit_error_for_word_failure(n, k, 1e-15)
+            assert prob_at_least(n, k, p_bit) == pytest.approx(1e-15, rel=1e-6)
+
+    def test_round_trip_moderate_targets(self):
+        for target in (1e-9, 1e-6, 1e-3):
+            p_bit = bit_error_for_word_failure(39, 3, target)
+            assert prob_at_least(39, 3, p_bit) == pytest.approx(
+                target, rel=1e-6
+            )
+
+    def test_higher_threshold_tolerates_more_bit_errors(self):
+        """OCEAN's 5-bit threshold admits a vastly higher BER than
+        SECDED's 3-bit at the same FIT — the source of its voltage
+        advantage in Table 2."""
+        secded = bit_error_for_word_failure(39, 3, 1e-15)
+        ocean = bit_error_for_word_failure(39, 5, 1e-15)
+        assert ocean > 50.0 * secded
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            bit_error_for_word_failure(39, 0, 1e-15)
+        with pytest.raises(ValueError):
+            bit_error_for_word_failure(39, 40, 1e-15)
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            bit_error_for_word_failure(39, 3, 0.0)
+
+    @given(
+        n=st.integers(min_value=4, max_value=64),
+        k=st.integers(min_value=1, max_value=6),
+        exp=st.floats(min_value=-16, max_value=-2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_inverse_property(self, n, k, exp):
+        if k > n:
+            return
+        target = 10.0**exp
+        p_bit = bit_error_for_word_failure(n, k, target)
+        assert prob_at_least(n, k, p_bit) == pytest.approx(target, rel=1e-4)

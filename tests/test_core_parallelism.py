@@ -1,0 +1,107 @@
+"""Tests for the parallelism-vs-voltage explorer."""
+
+import pytest
+
+from repro.analysis.experiments import platform_frequency_floor
+from repro.core.access import ACCESS_CELL_BASED_40NM
+from repro.core.fit_solver import SCHEME_OCEAN, SCHEME_SECDED
+from repro.core.parallelism import ParallelismExplorer
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return ParallelismExplorer(
+        ACCESS_CELL_BASED_40NM,
+        SCHEME_OCEAN,
+        platform_frequency_floor,
+    )
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelismExplorer(
+                ACCESS_CELL_BASED_40NM, SCHEME_OCEAN,
+                platform_frequency_floor, sync_overhead=-0.1,
+            )
+        with pytest.raises(ValueError):
+            ParallelismExplorer(
+                ACCESS_CELL_BASED_40NM, SCHEME_OCEAN,
+                platform_frequency_floor, leakage_fraction=1.0,
+            )
+
+
+class TestDesignPoints:
+    def test_single_core_is_reference(self, explorer):
+        point = explorer.design_point(1.96e6, 1)
+        assert point.relative_power == pytest.approx(1.0)
+        assert point.relative_area == 1.0
+
+    def test_more_cores_lower_voltage(self, explorer):
+        """Splitting a performance-bound workload lets each core slow
+        down and ride the reliability limit instead."""
+        single = explorer.design_point(1.96e6, 1)
+        quad = explorer.design_point(1.96e6, 4)
+        assert single.binding == "frequency"
+        assert quad.vdd < single.vdd
+
+    def test_voltage_gains_beat_linear_cost(self, explorer):
+        """The paper's claim, NTC-tempered: for a frequency-bound
+        point, parallel cores at lower voltage cut total power despite
+        replication.  Near threshold the frequency-voltage curve is
+        steep, so the dividend is real but smaller than the
+        super-threshold quadratic intuition suggests."""
+        quad = explorer.design_point(1.96e6, 4)
+        assert quad.vdd < explorer.design_point(1.96e6, 1).vdd
+        assert quad.relative_power < 0.97
+
+    def test_reliability_floor_caps_the_gains(self, explorer):
+        """Once every core already sits at the reliability limit,
+        more cores only add overhead and leakage."""
+        at_floor = explorer.design_point(290e3, 1)
+        assert at_floor.binding == "access"
+        more = explorer.design_point(290e3, 4)
+        assert more.relative_power > 1.0
+
+    def test_validation(self, explorer):
+        with pytest.raises(ValueError):
+            explorer.design_point(1e6, 0)
+        with pytest.raises(ValueError):
+            explorer.design_point(0.0, 2)
+
+
+class TestBestCoreCount:
+    def test_frequency_bound_prefers_parallel(self, explorer):
+        best = explorer.best_core_count(5e6, max_cores=8)
+        assert best.cores > 1
+        assert best.relative_power < 0.95
+
+    def test_reliability_bound_prefers_single(self, explorer):
+        best = explorer.best_core_count(100e3, max_cores=8)
+        assert best.cores == 1
+
+    def test_heavier_sync_overhead_discourages_parallelism(self):
+        light = ParallelismExplorer(
+            ACCESS_CELL_BASED_40NM, SCHEME_OCEAN,
+            platform_frequency_floor, sync_overhead=0.01,
+        )
+        heavy = ParallelismExplorer(
+            ACCESS_CELL_BASED_40NM, SCHEME_OCEAN,
+            platform_frequency_floor, sync_overhead=0.5,
+        )
+        assert (
+            heavy.best_core_count(5e6).cores
+            <= light.best_core_count(5e6).cores
+        )
+
+    def test_works_for_secded_too(self):
+        explorer = ParallelismExplorer(
+            ACCESS_CELL_BASED_40NM, SCHEME_SECDED,
+            platform_frequency_floor,
+        )
+        best = explorer.best_core_count(20e6, max_cores=8)
+        assert best.cores > 1
+
+    def test_validation(self, explorer):
+        with pytest.raises(ValueError):
+            explorer.best_core_count(1e6, max_cores=0)

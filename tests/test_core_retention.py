@@ -1,0 +1,145 @@
+"""Unit tests for the retention model (Figure 4 / Table 1 anchors)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.noise_margin import NoiseMarginModel
+from repro.core.retention import (
+    RETENTION_CELL_BASED_40NM,
+    RETENTION_CELL_BASED_65NM,
+    RETENTION_COMMERCIAL_40NM,
+    RetentionModel,
+)
+
+
+@pytest.fixture
+def model():
+    return RetentionModel(v_mean=0.3, v_sigma=0.05)
+
+
+class TestConstruction:
+    def test_rejects_non_positive_sigma(self):
+        with pytest.raises(ValueError):
+            RetentionModel(v_mean=0.3, v_sigma=0.0)
+
+
+class TestNoiseMarginEquivalence:
+    def test_from_noise_margin(self):
+        nm = NoiseMarginModel(c0=2.0, c1=-0.6, sigma=0.1)
+        model = RetentionModel.from_noise_margin(nm)
+        assert model.v_mean == pytest.approx(0.3)
+        assert model.v_sigma == pytest.approx(0.05)
+
+    def test_round_trip_probabilities(self, model):
+        nm = model.to_noise_margin(c0=3.0)
+        for v in (0.2, 0.3, 0.45):
+            assert nm.bit_error_probability(v) == pytest.approx(
+                model.bit_error_probability(v), rel=1e-9
+            )
+
+
+class TestBitErrorProbability:
+    def test_half_at_mean(self, model):
+        assert model.bit_error_probability(0.3) == pytest.approx(0.5)
+
+    def test_decreasing_in_vdd(self, model):
+        probs = [model.bit_error_probability(v) for v in (0.1, 0.25, 0.4, 0.6)]
+        assert all(b < a for a, b in zip(probs, probs[1:]))
+
+    def test_inverse_round_trip(self, model):
+        for p in (1e-10, 1e-4, 0.3):
+            v = model.vdd_for_bit_error(p)
+            assert model.bit_error_probability(v) == pytest.approx(p, rel=1e-6)
+
+    def test_rejects_negative_vdd(self, model):
+        with pytest.raises(ValueError):
+            model.bit_error_probability(-0.01)
+
+
+class TestFirstFailureVoltage:
+    def test_32kbit_is_about_4_sigma(self, model):
+        """The worst of 32768 cells sits near the +4 sigma quantile."""
+        v = model.first_failure_voltage(32768)
+        assert v == pytest.approx(0.3 + 4.01 * 0.05, abs=0.005)
+
+    def test_larger_memory_fails_earlier(self, model):
+        assert model.first_failure_voltage(2**20) > model.first_failure_voltage(
+            2**10
+        )
+
+    def test_single_bit_is_the_mean(self, model):
+        assert model.first_failure_voltage(1) == pytest.approx(0.3)
+
+    def test_rejects_non_positive_bits(self, model):
+        with pytest.raises(ValueError):
+            model.first_failure_voltage(0)
+
+
+class TestTable1Anchors:
+    """The calibrated populations must land on Table 1's measured rows."""
+
+    def test_commercial_retention_085(self):
+        v = RETENTION_COMMERCIAL_40NM.first_failure_voltage(32 * 1024)
+        assert v == pytest.approx(0.85, abs=0.02)
+
+    def test_cell_based_retention_032(self):
+        v = RETENTION_CELL_BASED_40NM.first_failure_voltage(32 * 1024)
+        assert v == pytest.approx(0.32, abs=0.01)
+
+    def test_cell_based_65nm_retention_025(self):
+        v = RETENTION_CELL_BASED_65NM.first_failure_voltage(32 * 1024)
+        assert v == pytest.approx(0.25, abs=0.01)
+
+    def test_cell_based_far_below_commercial(self):
+        """The whole point of Section III: cell-based memories retain at
+        much lower voltage than the commercial 6T IP."""
+        assert (
+            RETENTION_CELL_BASED_40NM.first_failure_voltage(32 * 1024)
+            < 0.5 * RETENTION_COMMERCIAL_40NM.first_failure_voltage(32 * 1024)
+        )
+
+
+class TestSampling:
+    def test_sample_statistics(self, model):
+        rng = np.random.default_rng(9)
+        samples = model.sample_cell_voltages(100_000, rng)
+        assert samples.mean() == pytest.approx(0.3, abs=0.002)
+        assert samples.std() == pytest.approx(0.05, abs=0.002)
+
+    def test_samples_clipped_at_zero(self):
+        wide = RetentionModel(v_mean=0.05, v_sigma=0.2)
+        samples = wide.sample_cell_voltages(10_000, np.random.default_rng(1))
+        assert (samples >= 0.0).all()
+
+    def test_rejects_negative_count(self, model):
+        with pytest.raises(ValueError):
+            model.sample_cell_voltages(-1, np.random.default_rng(0))
+
+
+class TestShifted:
+    def test_shift_moves_mean_only(self, model):
+        shifted = model.shifted(0.04)
+        assert shifted.v_mean == pytest.approx(0.34)
+        assert shifted.v_sigma == model.v_sigma
+
+    @given(delta=st.floats(min_value=-0.05, max_value=0.05))
+    @settings(max_examples=30, deadline=None)
+    def test_shift_translates_ber_curve(self, delta):
+        model = RetentionModel(v_mean=0.3, v_sigma=0.05)
+        shifted = model.shifted(delta)
+        assert shifted.bit_error_probability(0.3 + delta) == pytest.approx(
+            model.bit_error_probability(0.3), rel=1e-9
+        )
+
+
+class TestFitting:
+    def test_recovers_known_population(self, model):
+        voltages = np.linspace(0.15, 0.45, 16)
+        rates = np.array(
+            [model.bit_error_probability(float(v)) for v in voltages]
+        )
+        fitted = RetentionModel.fit(voltages, rates)
+        assert fitted.v_mean == pytest.approx(0.3, abs=1e-6)
+        assert fitted.v_sigma == pytest.approx(0.05, abs=1e-6)

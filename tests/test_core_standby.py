@@ -1,0 +1,135 @@
+"""Tests for the standby / data-retention management model."""
+
+import pytest
+
+from repro.core.retention import (
+    RETENTION_CELL_BASED_40NM,
+    RETENTION_COMMERCIAL_40NM,
+)
+from repro.core.standby import StandbyModel, standby_savings_ratio
+from repro.memdev.library import cell_based_imec_40nm, commercial_cots_40nm
+
+
+@pytest.fixture(scope="module")
+def model():
+    return StandbyModel(
+        retention=RETENTION_CELL_BASED_40NM,
+        leakage_power=cell_based_imec_40nm().energy.leakage_power,
+        total_words=1024,
+        word_bits=39,
+        correctable_bits=1,
+    )
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StandbyModel(
+                RETENTION_CELL_BASED_40NM, lambda v: 1e-6, total_words=0
+            )
+        with pytest.raises(ValueError):
+            StandbyModel(
+                RETENTION_CELL_BASED_40NM, lambda v: 1e-6,
+                correctable_bits=-1,
+            )
+
+
+class TestFailureStatistics:
+    def test_upset_probability_halves_retention_ber(self, model):
+        vdd = 0.25
+        assert model.cell_upset_probability(vdd) == pytest.approx(
+            0.5 * RETENTION_CELL_BASED_40NM.bit_error_probability(vdd)
+        )
+
+    def test_word_loss_monotone_decreasing_in_vdd(self, model):
+        probs = [model.word_loss_probability(v) for v in (0.2, 0.25, 0.3, 0.35)]
+        assert all(b < a for a, b in zip(probs, probs[1:]))
+
+    def test_memory_loss_above_word_loss(self, model):
+        vdd = 0.26
+        assert model.memory_loss_probability(vdd) > (
+            model.word_loss_probability(vdd)
+        )
+
+    def test_stronger_ecc_tolerates_lower_voltage(self):
+        weak = StandbyModel(
+            RETENTION_CELL_BASED_40NM, lambda v: 1e-6 * v,
+            correctable_bits=0,
+        )
+        strong = StandbyModel(
+            RETENTION_CELL_BASED_40NM, lambda v: 1e-6 * v,
+            correctable_bits=4, word_bits=56,
+        )
+        v_weak = weak.optimal_retention_voltage(1.0).retention_vdd
+        v_strong = strong.optimal_retention_voltage(1.0).retention_vdd
+        assert v_strong < v_weak
+
+
+class TestEvaluate:
+    def test_energy_scales_with_duration(self, model):
+        one = model.evaluate(0.35, 1.0)
+        ten = model.evaluate(0.35, 10.0)
+        assert ten.standby_energy_j == pytest.approx(
+            10.0 * one.standby_energy_j
+        )
+
+    def test_safe_point_flag(self, model):
+        assert model.evaluate(0.40, 1.0).data_safe
+        assert not model.evaluate(0.20, 1.0).data_safe
+
+    def test_rejects_bad_duration(self, model):
+        with pytest.raises(ValueError):
+            model.evaluate(0.35, 0.0)
+
+
+class TestOptimalRetentionVoltage:
+    def test_budget_met_and_tight(self, model):
+        plan = model.optimal_retention_voltage(60.0, loss_budget=1e-9)
+        assert model.memory_loss_probability(plan.retention_vdd) <= 1e-9
+        # 5 mV lower would blow the budget (the solution is tight).
+        assert model.memory_loss_probability(
+            plan.retention_vdd - 0.005
+        ) > 1e-9
+
+    def test_optimum_above_population_mean(self, model):
+        plan = model.optimal_retention_voltage(60.0)
+        assert plan.retention_vdd > RETENTION_CELL_BASED_40NM.v_mean
+
+    def test_looser_budget_allows_lower_voltage(self, model):
+        tight = model.optimal_retention_voltage(1.0, loss_budget=1e-12)
+        loose = model.optimal_retention_voltage(1.0, loss_budget=1e-3)
+        assert loose.retention_vdd < tight.retention_vdd
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.optimal_retention_voltage(1.0, loss_budget=0.0)
+
+
+class TestPaperClaims:
+    def test_10x_static_power_claim(self, model):
+        """Section II: supply voltage scaling in standby 'is a leverage
+        achieving up to 10x better static power'."""
+        ratio = standby_savings_ratio(model, vdd_nominal=1.1, standby_s=1.0)
+        assert ratio > 10.0
+
+    def test_commercial_memory_saves_less(self):
+        """The commercial 6T population retains so poorly that its safe
+        standby voltage is much higher — another face of the memory
+        bottleneck."""
+        commercial = StandbyModel(
+            retention=RETENTION_COMMERCIAL_40NM,
+            leakage_power=commercial_cots_40nm().energy.leakage_power,
+            total_words=1024,
+            word_bits=39,
+            correctable_bits=1,
+        )
+        cell_based = StandbyModel(
+            retention=RETENTION_CELL_BASED_40NM,
+            leakage_power=cell_based_imec_40nm().energy.leakage_power,
+            total_words=1024,
+            word_bits=39,
+            correctable_bits=1,
+        )
+        v_com = commercial.optimal_retention_voltage(1.0).retention_vdd
+        v_cb = cell_based.optimal_retention_voltage(1.0).retention_vdd
+        assert v_com > v_cb + 0.2

@@ -1,0 +1,102 @@
+"""Tests for the die-yield / adaptive-voltage dividend model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.yield_model import (
+    VminPopulation,
+    population_from_access_spread,
+)
+
+
+@pytest.fixture
+def population():
+    return VminPopulation(v_mean=0.44, v_sigma=0.02)
+
+
+class TestConstruction:
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            VminPopulation(v_mean=0.4, v_sigma=0.0)
+
+    def test_from_samples(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(0.44, 0.02, size=4000)
+        fitted = VminPopulation.from_samples(samples)
+        assert fitted.v_mean == pytest.approx(0.44, abs=0.002)
+        assert fitted.v_sigma == pytest.approx(0.02, rel=0.05)
+
+    def test_from_samples_needs_two(self):
+        with pytest.raises(ValueError):
+            VminPopulation.from_samples(np.array([0.4]))
+
+    def test_from_access_spread(self):
+        pop = population_from_access_spread(0.55, 0.015, fit_margin_v=-0.11)
+        assert pop.v_mean == pytest.approx(0.44)
+        assert pop.v_sigma == pytest.approx(0.015)
+
+
+class TestYield:
+    def test_half_yield_at_mean(self, population):
+        assert population.yield_at(0.44) == pytest.approx(0.5)
+
+    def test_monotone(self, population):
+        yields = [population.yield_at(v) for v in (0.40, 0.44, 0.48, 0.52)]
+        assert all(b > a for a, b in zip(yields, yields[1:]))
+
+    def test_voltage_for_yield_round_trip(self, population):
+        for target in (0.5, 0.99, 0.9999):
+            v = population.voltage_for_yield(target)
+            assert population.yield_at(v) == pytest.approx(target, rel=1e-6)
+
+    def test_four_nines_is_about_3_7_sigma(self, population):
+        v = population.voltage_for_yield(0.9999)
+        assert v == pytest.approx(0.44 + 3.72 * 0.02, abs=0.002)
+
+    def test_validation(self, population):
+        with pytest.raises(ValueError):
+            population.yield_at(-0.1)
+        with pytest.raises(ValueError):
+            population.voltage_for_yield(1.0)
+
+    @given(vdd=st.floats(min_value=0.0, max_value=1.2))
+    @settings(max_examples=50, deadline=None)
+    def test_yield_is_probability(self, vdd):
+        population = VminPopulation(v_mean=0.44, v_sigma=0.02)
+        assert 0.0 <= population.yield_at(vdd) <= 1.0
+
+
+class TestAdaptiveDividend:
+    def test_static_voltage_stacks_guardband(self, population):
+        v = population.static_voltage(target_yield=0.9999, guardband_v=0.05)
+        assert v == pytest.approx(
+            population.voltage_for_yield(0.9999) + 0.05
+        )
+
+    def test_dividend_exceeds_one(self, population):
+        """Static worst-case always burns more than monitored parts."""
+        assert population.adaptive_power_dividend() > 1.0
+
+    def test_dividend_grows_with_spread(self):
+        tight = VminPopulation(v_mean=0.44, v_sigma=0.01)
+        wide = VminPopulation(v_mean=0.44, v_sigma=0.04)
+        assert (
+            wide.adaptive_power_dividend()
+            > tight.adaptive_power_dividend()
+        )
+
+    def test_dividend_magnitude_realistic(self, population):
+        """~125 mV of stacked margin on a 0.46 V mean: ~1.5x dynamic
+        power — the monitoring loop's dividend at a Table 2 point."""
+        dividend = population.adaptive_power_dividend(
+            target_yield=0.9999, guardband_v=0.05, margin_v=0.02
+        )
+        assert 1.3 < dividend < 1.8
+
+    def test_validation(self, population):
+        with pytest.raises(ValueError):
+            population.static_voltage(guardband_v=-0.01)
+        with pytest.raises(ValueError):
+            population.mean_adaptive_voltage(margin_v=-0.01)

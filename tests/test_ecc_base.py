@@ -1,0 +1,81 @@
+"""Tests for the codec base abstractions and cross-codec invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.base import Codec, DecodeResult, DecodeStatus
+from repro.ecc.bch import BchCodec
+from repro.ecc.hamming import SecdedCodec
+from repro.ecc.interleave import InterleavedCodec
+from repro.ecc.parity import ParityCodec
+
+ALL_CODECS = [
+    ParityCodec(32),
+    SecdedCodec(),
+    BchCodec(data_bits=32, t=1),
+    BchCodec(data_bits=32, t=2),
+    BchCodec(data_bits=32, t=4),
+    InterleavedCodec(SecdedCodec(), 4),
+]
+
+
+class TestDecodeResult:
+    def test_ok_semantics(self):
+        assert DecodeResult(1, DecodeStatus.CLEAN).ok
+        assert DecodeResult(1, DecodeStatus.CORRECTED, 1).ok
+        assert not DecodeResult(1, DecodeStatus.DETECTED).ok
+
+
+class TestCodecProperties:
+    @pytest.mark.parametrize(
+        "codec", ALL_CODECS, ids=lambda c: type(c).__name__ + str(c.code_bits)
+    )
+    def test_geometry_consistent(self, codec):
+        assert codec.code_bits > codec.data_bits > 0
+        assert codec.check_bits == codec.code_bits - codec.data_bits
+        assert codec.storage_overhead == pytest.approx(
+            codec.check_bits / codec.data_bits
+        )
+
+    @pytest.mark.parametrize(
+        "codec", ALL_CODECS, ids=lambda c: type(c).__name__ + str(c.code_bits)
+    )
+    def test_round_trip_edges(self, codec):
+        for data in (0, 1, (1 << codec.data_bits) - 1):
+            result = codec.decode(codec.encode(data))
+            assert result.status is DecodeStatus.CLEAN
+            assert result.data == data
+
+    @pytest.mark.parametrize(
+        "codec", ALL_CODECS, ids=lambda c: type(c).__name__ + str(c.code_bits)
+    )
+    def test_input_validation(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode(-1)
+        with pytest.raises(ValueError):
+            codec.encode(1 << codec.data_bits)
+        with pytest.raises(ValueError):
+            codec.decode(1 << codec.code_bits)
+
+    @given(data=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_single_flip_never_silently_wrong(self, data):
+        """Universal distance >= 2 property: one flip is never decoded
+        CLEAN with wrong data by any codec in the library."""
+        for codec in ALL_CODECS:
+            if codec.data_bits != 32:
+                continue
+            codeword = codec.encode(data)
+            corrupted = codeword ^ 1
+            result = codec.decode(corrupted)
+            if result.status is DecodeStatus.CLEAN:
+                pytest.fail(f"{type(codec).__name__} missed a single flip")
+            if result.status is DecodeStatus.CORRECTED:
+                assert result.data == data
+
+
+class TestAbstractBase:
+    def test_codec_cannot_be_instantiated(self):
+        with pytest.raises(TypeError):
+            Codec()

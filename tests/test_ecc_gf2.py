@@ -1,0 +1,134 @@
+"""Tests for GF(2) linear algebra helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.gf2 import (
+    as_gf2,
+    bits_to_int,
+    hamming_distance,
+    hamming_weight,
+    int_to_bits,
+    is_codeword,
+    matmul,
+    null_space,
+    rank,
+    row_reduce,
+)
+
+
+class TestBitConversion:
+    @given(value=st.integers(min_value=0, max_value=2**40 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip(self, value):
+        assert bits_to_int(int_to_bits(value, 40)) == value
+
+    def test_little_endian(self):
+        np.testing.assert_array_equal(int_to_bits(0b110, 4), [0, 1, 1, 0])
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+
+class TestRank:
+    def test_identity_full_rank(self):
+        assert rank(np.eye(5, dtype=np.uint8)) == 5
+
+    def test_duplicate_rows_collapse(self):
+        m = np.array([[1, 0, 1], [1, 0, 1], [0, 1, 0]])
+        assert rank(m) == 2
+
+    def test_zero_matrix(self):
+        assert rank(np.zeros((3, 4), dtype=np.uint8)) == 0
+
+    def test_gf2_specific_rank(self):
+        """Rows sum to zero mod 2 => deficient over GF(2) though full
+        rank over the reals."""
+        m = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]])
+        assert rank(m) == 2
+        assert np.linalg.matrix_rank(m.astype(float)) == 3
+
+
+class TestRowReduce:
+    def test_pivots_identify_identity(self):
+        m = np.array([[1, 0, 1], [0, 1, 1]])
+        reduced, pivots = row_reduce(m)
+        assert pivots == [0, 1]
+        np.testing.assert_array_equal(reduced, m)
+
+
+class TestNullSpace:
+    @given(
+        rows=st.integers(min_value=1, max_value=6),
+        cols=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_null_space_vectors_annihilate(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.integers(0, 2, size=(rows, cols)).astype(np.uint8)
+        basis = null_space(m)
+        for vec in basis:
+            assert not matmul(m, vec.reshape(-1, 1)).any()
+
+    def test_rank_nullity(self):
+        rng = np.random.default_rng(0)
+        m = rng.integers(0, 2, size=(4, 9)).astype(np.uint8)
+        assert rank(m) + null_space(m).shape[0] == 9
+
+    def test_full_rank_square_has_trivial_null_space(self):
+        assert null_space(np.eye(4, dtype=np.uint8)).shape[0] == 0
+
+
+class TestIsCodeword:
+    def test_null_space_vectors_are_codewords(self):
+        rng = np.random.default_rng(3)
+        h = rng.integers(0, 2, size=(3, 7)).astype(np.uint8)
+        for vec in null_space(h):
+            assert is_codeword(h, vec)
+
+    def test_non_codeword_rejected(self):
+        h = np.array([[1, 1, 0], [0, 1, 1]])
+        assert not is_codeword(h, np.array([1, 0, 0]))
+
+
+class TestHammingMetrics:
+    def test_weight(self):
+        assert hamming_weight(0b1011) == 3
+        assert hamming_weight(0) == 0
+
+    def test_weight_rejects_negative(self):
+        with pytest.raises(ValueError):
+            hamming_weight(-1)
+
+    def test_distance(self):
+        assert hamming_distance(0b1100, 0b1010) == 2
+        assert hamming_distance(5, 5) == 0
+
+    @given(a=st.integers(0, 2**32 - 1), b=st.integers(0, 2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_distance_symmetry(self, a, b):
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    @given(
+        a=st.integers(0, 2**16 - 1),
+        b=st.integers(0, 2**16 - 1),
+        c=st.integers(0, 2**16 - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert hamming_distance(a, c) <= hamming_distance(
+            a, b
+        ) + hamming_distance(b, c)
+
+
+class TestAsGf2:
+    def test_reduces_mod_2(self):
+        np.testing.assert_array_equal(as_gf2(np.array([2, 3, 4])), [0, 1, 0])

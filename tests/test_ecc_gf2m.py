@@ -1,0 +1,145 @@
+"""Tests for GF(2^m) field arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.gf2m import GF2m, get_field
+
+
+@pytest.fixture(scope="module")
+def gf64():
+    return get_field(6)
+
+
+class TestConstruction:
+    def test_default_fields_build(self):
+        for m in (3, 4, 5, 6, 7, 8):
+            field = GF2m(m)
+            assert field.order == 1 << m
+
+    def test_rejects_unknown_degree_without_poly(self):
+        with pytest.raises(ValueError, match="primitive"):
+            GF2m(12)
+
+    def test_rejects_wrong_degree_poly(self):
+        with pytest.raises(ValueError, match="degree"):
+            GF2m(6, primitive_poly=0b1011)
+
+    def test_rejects_non_primitive_poly(self):
+        # x^6 + x^3 + 1 is irreducible but NOT primitive over GF(2^6)
+        # (its roots have order 9); x^6+x^5+x^4+x^3+x^2+x+1 = (x^7-1)/(x-1)
+        # has roots of order 7.
+        with pytest.raises(ValueError, match="not primitive"):
+            GF2m(6, primitive_poly=0b1001001)
+
+    def test_get_field_is_cached(self):
+        assert get_field(6) is get_field(6)
+
+
+class TestFieldAxioms:
+    @given(a=st.integers(0, 63), b=st.integers(0, 63))
+    @settings(max_examples=100, deadline=None)
+    def test_multiplication_commutative(self, a, b):
+        field = get_field(6)
+        assert field.mul(a, b) == field.mul(b, a)
+
+    @given(a=st.integers(0, 63), b=st.integers(0, 63), c=st.integers(0, 63))
+    @settings(max_examples=100, deadline=None)
+    def test_multiplication_associative(self, a, b, c):
+        field = get_field(6)
+        assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+
+    @given(a=st.integers(0, 63), b=st.integers(0, 63), c=st.integers(0, 63))
+    @settings(max_examples=100, deadline=None)
+    def test_distributive(self, a, b, c):
+        field = get_field(6)
+        left = field.mul(a, field.add(b, c))
+        right = field.add(field.mul(a, b), field.mul(a, c))
+        assert left == right
+
+    @given(a=st.integers(1, 63))
+    @settings(max_examples=63, deadline=None)
+    def test_inverse(self, a):
+        field = get_field(6)
+        assert field.mul(a, field.inv(a)) == 1
+
+    def test_zero_has_no_inverse(self, gf64):
+        with pytest.raises(ZeroDivisionError):
+            gf64.inv(0)
+
+    def test_one_is_multiplicative_identity(self, gf64):
+        for a in range(64):
+            assert gf64.mul(a, 1) == a
+
+    def test_zero_annihilates(self, gf64):
+        for a in range(64):
+            assert gf64.mul(a, 0) == 0
+
+    def test_addition_is_self_inverse(self, gf64):
+        for a in range(64):
+            assert gf64.add(a, a) == 0
+
+
+class TestPowers:
+    def test_alpha_generates_all_nonzero_elements(self, gf64):
+        generated = {gf64.alpha_pow(i) for i in range(63)}
+        assert generated == set(range(1, 64))
+
+    def test_alpha_order_63(self, gf64):
+        assert gf64.alpha_pow(63) == 1
+
+    def test_negative_exponent(self, gf64):
+        a = gf64.alpha_pow(5)
+        assert gf64.mul(a, gf64.alpha_pow(-5)) == 1
+
+    def test_pow_matches_repeated_mul(self, gf64):
+        a = 37
+        acc = 1
+        for exponent in range(10):
+            assert gf64.pow(a, exponent) == acc
+            acc = gf64.mul(acc, a)
+
+    def test_pow_of_zero(self, gf64):
+        assert gf64.pow(0, 0) == 1
+        assert gf64.pow(0, 5) == 0
+        with pytest.raises(ZeroDivisionError):
+            gf64.pow(0, -1)
+
+
+class TestPolynomials:
+    def test_eval_constant(self, gf64):
+        assert gf64.poly_eval([7], 13) == 7
+
+    def test_eval_linear(self, gf64):
+        # p(x) = 3 + 2x at x=5: 3 + mul(2,5)
+        assert gf64.poly_eval([3, 2], 5) == gf64.add(3, gf64.mul(2, 5))
+
+    def test_poly_mul_degrees_add(self, gf64):
+        a = [1, 2, 3]
+        b = [4, 5]
+        assert len(gf64.poly_mul(a, b)) == 4
+
+    def test_poly_trim(self):
+        assert GF2m.poly_trim([1, 2, 0, 0]) == [1, 2]
+        assert GF2m.poly_trim([0, 0]) == [0]
+
+    def test_minimal_polynomial_of_alpha(self, gf64):
+        """alpha's minimal polynomial is the primitive polynomial."""
+        poly = gf64.minimal_polynomial(gf64.alpha_pow(1))
+        packed = sum(coeff << i for i, coeff in enumerate(poly))
+        assert packed == gf64.poly
+
+    def test_minimal_polynomial_annihilates_conjugates(self, gf64):
+        element = gf64.alpha_pow(5)
+        poly = gf64.minimal_polynomial(element)
+        current = element
+        for _ in range(6):
+            assert gf64.poly_eval(poly, current) == 0
+            current = gf64.mul(current, current)
+
+    def test_minimal_polynomial_of_one(self, gf64):
+        assert gf64.minimal_polynomial(1) == [1, 1]  # x + 1
+
+    def test_minimal_polynomial_of_zero(self, gf64):
+        assert gf64.minimal_polynomial(0) == [0, 1]  # x

@@ -1,0 +1,142 @@
+"""Tests for die populations (Figure 4 substrate) and characterisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.access import ACCESS_CELL_BASED_40NM
+from repro.core.retention import RETENTION_CELL_BASED_40NM, RetentionModel
+from repro.memdev.characterize import (
+    access_shmoo,
+    characterize_population,
+    refit_access_model,
+    refit_retention_model,
+    retention_shmoo,
+)
+from repro.memdev.array import MemoryArray
+from repro.memdev.die import DiePopulation
+
+
+@pytest.fixture(scope="module")
+def population():
+    return DiePopulation(
+        base_retention=RETENTION_CELL_BASED_40NM,
+        access_model=ACCESS_CELL_BASED_40NM,
+        words=256,
+        bits=32,
+        n_dies=9,
+        seed=1,
+    )
+
+
+class TestDiePopulation:
+    def test_nine_dies(self, population):
+        assert population.n_dies == 9
+
+    def test_rejects_zero_dies(self):
+        with pytest.raises(ValueError):
+            DiePopulation(
+                RETENTION_CELL_BASED_40NM, ACCESS_CELL_BASED_40NM, n_dies=0
+            )
+
+    def test_dies_differ(self, population):
+        vmins = [d.array.measured_retention_vmin() for d in population.dies]
+        assert len(set(vmins)) == 9
+
+    def test_offsets_are_recorded(self, population):
+        offsets = [d.offset_v for d in population.dies]
+        assert max(offsets) > 0 > min(offsets)
+
+    def test_cumulative_curve_monotone_decreasing(self, population):
+        voltages = np.linspace(0.1, 0.4, 16)
+        curve = population.cumulative_failure_curve(voltages)
+        assert all(b <= a for a, b in zip(curve, curve[1:]))
+        assert curve[0] > 0.5  # essentially everything fails at 0.1 V
+        assert curve[-1] < 1e-3
+
+    def test_per_die_counts_sum_to_cumulative(self, population):
+        vdd = 0.22
+        counts = population.per_die_failure_counts(vdd)
+        curve = population.cumulative_failure_curve(np.array([vdd]))
+        assert sum(counts) == pytest.approx(
+            curve[0] * population.total_bits
+        )
+
+    def test_refit_recovers_population(self, population):
+        voltages = np.linspace(0.14, 0.27, 14)
+        refit = population.refit_retention_model(voltages)
+        assert refit.v_mean == pytest.approx(
+            RETENTION_CELL_BASED_40NM.v_mean, abs=0.01
+        )
+        # Die-to-die offsets widen the observed sigma slightly.
+        assert refit.v_sigma == pytest.approx(
+            RETENTION_CELL_BASED_40NM.v_sigma, rel=0.35
+        )
+
+    def test_worst_die_dominates_retention(self, population):
+        worst = population.worst_die_retention_vmin()
+        assert worst >= max(
+            d.array.measured_retention_vmin() for d in population.dies
+        )
+
+
+class TestShmoo:
+    def test_retention_shmoo_first_passing(self):
+        array = MemoryArray(
+            256, 32,
+            RetentionModel(v_mean=0.2, v_sigma=0.03),
+            ACCESS_CELL_BASED_40NM,
+            rng=np.random.default_rng(2),
+        )
+        shmoo = retention_shmoo(array, np.linspace(0.1, 0.45, 36))
+        v_pass = shmoo.first_passing_voltage()
+        assert v_pass >= array.measured_retention_vmin()
+
+    def test_first_passing_raises_when_none(self):
+        array = MemoryArray(
+            64, 32,
+            RetentionModel(v_mean=0.5, v_sigma=0.01),
+            ACCESS_CELL_BASED_40NM,
+            rng=np.random.default_rng(2),
+        )
+        shmoo = retention_shmoo(array, np.linspace(0.1, 0.3, 5))
+        with pytest.raises(ValueError):
+            shmoo.first_passing_voltage()
+
+    def test_access_shmoo_refit_recovers_model(self):
+        array = MemoryArray(
+            64, 32,
+            RetentionModel(v_mean=0.2, v_sigma=0.03),
+            ACCESS_CELL_BASED_40NM,
+            rng=np.random.default_rng(3),
+        )
+        voltages = np.linspace(0.28, 0.40, 7)
+        shmoo = access_shmoo(array, voltages, accesses_per_point=20_000)
+        fitted = refit_access_model(shmoo, v_onset=0.555)
+        # Finite-count Monte-Carlo statistics leave the exponent fuzzy;
+        # the fitted law must still predict the BER at 0.30 V within 2x.
+        assert 5.0 < fitted.exponent < 10.0
+        truth = ACCESS_CELL_BASED_40NM.bit_error_probability(0.30)
+        assert 0.5 * truth < fitted.bit_error_probability(0.30) < 2.0 * truth
+
+    def test_refit_kind_mismatch_raises(self):
+        array = MemoryArray(
+            64, 32,
+            RetentionModel(v_mean=0.2, v_sigma=0.03),
+            ACCESS_CELL_BASED_40NM,
+            rng=np.random.default_rng(4),
+        )
+        ret = retention_shmoo(array, np.linspace(0.1, 0.3, 5))
+        with pytest.raises(ValueError):
+            refit_access_model(ret)
+        acc = access_shmoo(array, np.linspace(0.35, 0.5, 4), 100)
+        with pytest.raises(ValueError):
+            refit_retention_model(acc)
+
+
+class TestCharacterizationReport:
+    def test_full_campaign(self, population):
+        report = characterize_population(population, "cell-based")
+        assert report.n_dies == 9
+        assert report.retention_vmin_worst == pytest.approx(0.33, abs=0.03)
+        assert report.access_onset_estimate == pytest.approx(0.555, abs=0.01)
+        assert "cell-based" in str(report)

@@ -1,0 +1,122 @@
+"""Tests for the wafer-level variation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.access import ACCESS_CELL_BASED_40NM
+from repro.core.retention import RETENTION_CELL_BASED_40NM
+from repro.memdev.wafer import Wafer
+
+
+@pytest.fixture(scope="module")
+def wafer():
+    return Wafer(seed=4)
+
+
+class TestConstruction:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Wafer(radius_mm=0.0)
+        with pytest.raises(ValueError):
+            Wafer(die_pitch_mm=200.0, radius_mm=150.0)
+        with pytest.raises(ValueError):
+            Wafer(noise_v=-0.01)
+
+    def test_die_count_plausible(self, wafer):
+        """A 300 mm wafer at 20 mm pitch carries on the order of 150
+        whole dies inside the edge exclusion."""
+        assert 100 < wafer.n_dies < 200
+
+    def test_all_sites_inside_radius(self, wafer):
+        for site in wafer.sites:
+            assert np.hypot(site.x_mm, site.y_mm) <= wafer.radius_mm
+
+    def test_reproducible(self):
+        a = Wafer(seed=7).offsets()
+        b = Wafer(seed=7).offsets()
+        np.testing.assert_array_equal(a, b)
+
+    def test_seeds_differ(self):
+        assert not np.array_equal(Wafer(seed=1).offsets(), Wafer(seed=2).offsets())
+
+
+class TestSystematics:
+    def test_edge_worse_than_center(self, wafer):
+        """The radial component dominates: edge dies sit higher."""
+        assert wafer.edge_center_gap() > 0.005
+
+    def test_pure_noise_wafer_has_no_radial_signature(self):
+        flat = Wafer(radial_v=0.0, tilt_v=0.0, noise_v=0.004, seed=3)
+        assert abs(flat.edge_center_gap()) < 0.004
+
+    def test_offset_spread_combines_components(self, wafer):
+        sigma = wafer.offsets().std()
+        assert sigma > wafer.noise_v  # systematics add spread
+
+
+class TestYield:
+    def test_yield_monotone_in_voltage(self, wafer):
+        yields = [
+            wafer.yield_at(v, vmin_nominal=0.44)
+            for v in (0.43, 0.45, 0.47, 0.50)
+        ]
+        assert all(b >= a for a, b in zip(yields, yields[1:]))
+        assert yields[0] < 1.0
+        assert yields[-1] == 1.0
+
+    def test_yield_bounds(self, wafer):
+        assert wafer.yield_at(0.0, 0.44) == 0.0
+        with pytest.raises(ValueError):
+            wafer.yield_at(-0.1, 0.44)
+
+
+class TestSampledPopulation:
+    def test_population_inherits_wafer_offsets(self, wafer):
+        population = wafer.sample_population(
+            RETENTION_CELL_BASED_40NM,
+            ACCESS_CELL_BASED_40NM,
+            n_dies=9,
+            words=64,
+            bits=16,
+        )
+        assert population.n_dies == 9
+        wafer_offsets = {round(s.offset_v, 12) for s in wafer.sites}
+        for die in population.dies:
+            assert round(die.offset_v, 12) in wafer_offsets
+
+    def test_population_measures_like_shifted_dies(self, wafer):
+        population = wafer.sample_population(
+            RETENTION_CELL_BASED_40NM,
+            ACCESS_CELL_BASED_40NM,
+            n_dies=6,
+            words=128,
+            bits=32,
+        )
+        for die in population.dies:
+            vmin = die.array.measured_retention_vmin()
+            expected = RETENTION_CELL_BASED_40NM.shifted(
+                die.offset_v
+            ).first_failure_voltage(128 * 32)
+            assert vmin == pytest.approx(expected, abs=0.03)
+
+    def test_rejects_oversampling(self, wafer):
+        with pytest.raises(ValueError):
+            wafer.sample_population(
+                RETENTION_CELL_BASED_40NM,
+                ACCESS_CELL_BASED_40NM,
+                n_dies=wafer.n_dies + 1,
+            )
+
+    def test_population_supports_figure4_machinery(self, wafer):
+        population = wafer.sample_population(
+            RETENTION_CELL_BASED_40NM,
+            ACCESS_CELL_BASED_40NM,
+            n_dies=5,
+            words=64,
+            bits=32,
+        )
+        voltages = np.linspace(0.14, 0.27, 10)
+        curve = population.cumulative_failure_curve(voltages)
+        assert all(b <= a for a, b in zip(curve, curve[1:]))
+        refit = population.refit_retention_model(voltages)
+        assert refit.v_mean == pytest.approx(0.20, abs=0.03)

@@ -1,0 +1,211 @@
+"""Integration tests: the three mitigation schemes running real FFTs
+under fault injection — the executable heart of Section V."""
+
+import pytest
+
+from repro.core.access import (
+    ACCESS_CELL_BASED_40NM,
+    ACCESS_CELL_BASED_40NM_TYPICAL,
+)
+from repro.mitigation import (
+    NoMitigationRunner,
+    OceanRunner,
+    SecdedRunner,
+    optimize_checkpoint_granularity,
+)
+from repro.workloads.fft import build_fft_program
+
+N = 64
+FREQ = 290e3
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_fft_program(N)
+
+
+@pytest.fixture(scope="module")
+def golden(program):
+    return program.expected_output(list(program.data_words[:N]))
+
+
+class TestCleanOperation:
+    """Above the access onset every scheme completes correctly."""
+
+    @pytest.mark.parametrize(
+        "runner_cls", [NoMitigationRunner, SecdedRunner, OceanRunner]
+    )
+    def test_correct_at_safe_voltage(self, runner_cls, program, golden):
+        runner = runner_cls(ACCESS_CELL_BASED_40NM, seed=1)
+        outcome = runner.run(program.workload, vdd=0.60, frequency=FREQ)
+        assert outcome.completed
+        assert outcome.output_matches(golden)
+        assert sum(outcome.sim.injected_bits.values()) == 0
+
+    def test_reports_have_expected_components(self, program):
+        none = NoMitigationRunner(ACCESS_CELL_BASED_40NM).run(
+            program.workload, 0.60, FREQ
+        )
+        ocean = OceanRunner(ACCESS_CELL_BASED_40NM).run(
+            program.workload, 0.60, FREQ
+        )
+        assert set(none.report.as_dict()) == {"core", "IM", "SP", "total"}
+        assert set(ocean.report.as_dict()) == {
+            "core", "IM", "SP", "PM", "total"
+        }
+
+
+class TestFaultedOperation:
+    def test_no_mitigation_corrupts_silently(self, program, golden):
+        """At 0.40 V the unprotected run finishes but the output is
+        wrong — the silent-corruption failure mode."""
+        corrupted = 0
+        for seed in range(6):
+            runner = NoMitigationRunner(ACCESS_CELL_BASED_40NM, seed=seed)
+            outcome = runner.run(program.workload, vdd=0.40, frequency=FREQ)
+            if not outcome.output_matches(golden):
+                corrupted += 1
+        assert corrupted >= 4
+
+    def test_secded_corrects_through_faults(self, program, golden):
+        for seed in range(4):
+            runner = SecdedRunner(ACCESS_CELL_BASED_40NM, seed=seed)
+            outcome = runner.run(program.workload, vdd=0.40, frequency=FREQ)
+            assert outcome.output_matches(golden)
+            assert outcome.sim.corrected_words >= 1
+
+    def test_ocean_rolls_back_through_faults(self, program, golden):
+        rollbacks = 0
+        detected = 0
+        for seed in range(6):
+            runner = OceanRunner(ACCESS_CELL_BASED_40NM, seed=seed)
+            outcome = runner.run(program.workload, vdd=0.38, frequency=FREQ)
+            assert outcome.output_matches(golden)
+            rollbacks += outcome.sim.rollbacks
+            detected += outcome.sim.detected_words
+        assert detected >= 1
+        assert rollbacks >= 1
+
+    def test_ocean_survives_deeper_voltage_than_secded_semantics(
+        self, program, golden
+    ):
+        """At 0.36 V (just above the typical-part onset) OCEAN still
+        produces correct output under its worst-case error rate."""
+        runner = OceanRunner(ACCESS_CELL_BASED_40NM, seed=2)
+        outcome = runner.run(program.workload, vdd=0.36, frequency=FREQ)
+        assert outcome.output_matches(golden)
+
+    def test_ocean_overhead_cycles_accounted(self, program):
+        runner = OceanRunner(ACCESS_CELL_BASED_40NM, seed=0)
+        outcome = runner.run(program.workload, vdd=0.60, frequency=FREQ)
+        # At least one checkpoint per phase: copies cost modelled cycles.
+        assert outcome.sim.overhead_cycles > 0
+        assert outcome.sim.total_cycles > outcome.sim.cycles
+
+    def test_checkpoint_interval_reduces_pm_traffic(self, program):
+        every = OceanRunner(
+            ACCESS_CELL_BASED_40NM, seed=0, checkpoint_interval=1
+        ).run(program.workload, 0.60, FREQ)
+        sparse = OceanRunner(
+            ACCESS_CELL_BASED_40NM, seed=0, checkpoint_interval=3
+        ).run(program.workload, 0.60, FREQ)
+        assert (
+            sparse.sim.access_counts["PM"][1]
+            < every.sim.access_counts["PM"][1]
+        )
+
+    def test_seeds_reproduce(self, program):
+        a = NoMitigationRunner(ACCESS_CELL_BASED_40NM, seed=9).run(
+            program.workload, 0.40, FREQ
+        )
+        b = NoMitigationRunner(ACCESS_CELL_BASED_40NM, seed=9).run(
+            program.workload, 0.40, FREQ
+        )
+        assert a.output == b.output
+        assert a.sim.injected_bits == b.sim.injected_bits
+
+
+class TestOperatingPointPowerOrdering:
+    """The paper's central claim, executed: each scheme at its own
+    Table 2 voltage; OCEAN < ECC < no-mitigation in total power."""
+
+    def test_power_ordering_at_table2_voltages(self, program, golden):
+        outcomes = {}
+        for runner_cls, vdd in (
+            (NoMitigationRunner, 0.55),
+            (SecdedRunner, 0.44),
+            (OceanRunner, 0.33),
+        ):
+            runner = runner_cls(ACCESS_CELL_BASED_40NM_TYPICAL, seed=3)
+            outcomes[runner_cls.__name__] = runner.run(
+                program.workload, vdd=vdd, frequency=FREQ
+            )
+        for outcome in outcomes.values():
+            assert outcome.output_matches(golden)
+        p_none = outcomes["NoMitigationRunner"].power_w
+        p_ecc = outcomes["SecdedRunner"].power_w
+        p_ocean = outcomes["OceanRunner"].power_w
+        assert p_ocean < p_ecc < p_none
+
+    def test_equal_voltage_mitigation_costs_power(self, program):
+        """At the same supply, protection is pure overhead — the gain
+        only appears because it unlocks lower voltage."""
+        vdd = 0.55
+        p_none = NoMitigationRunner(
+            ACCESS_CELL_BASED_40NM_TYPICAL, seed=0
+        ).run(program.workload, vdd, FREQ).power_w
+        p_ocean = OceanRunner(
+            ACCESS_CELL_BASED_40NM_TYPICAL, seed=0
+        ).run(program.workload, vdd, FREQ).power_w
+        assert p_ocean > p_none
+
+
+class TestCheckpointOptimizer:
+    def test_no_errors_prefers_sparsest_checkpointing(self):
+        plan = optimize_checkpoint_granularity(
+            n_phases=10, p_phase=0.0, e_phase=1.0, e_checkpoint=0.5
+        )
+        assert plan.interval == 10
+        assert plan.expected_rollbacks == 0.0
+
+    def test_high_error_rate_prefers_dense_checkpointing(self):
+        plan = optimize_checkpoint_granularity(
+            n_phases=10, p_phase=0.4, e_phase=1.0, e_checkpoint=0.05
+        )
+        assert plan.interval == 1
+
+    def test_interior_optimum(self):
+        plan = optimize_checkpoint_granularity(
+            n_phases=20, p_phase=0.05, e_phase=1.0, e_checkpoint=1.0
+        )
+        assert 1 < plan.interval < 20
+
+    def test_expected_energy_is_minimal_among_integers(self):
+        from repro.mitigation.ocean import _expected_energy
+
+        args = dict(
+            n_phases=16, p_phase=0.08, e_phase=1.0,
+            e_checkpoint=0.7, e_restore=0.7,
+        )
+        plan = optimize_checkpoint_granularity(
+            args["n_phases"], args["p_phase"], args["e_phase"],
+            args["e_checkpoint"], args["e_restore"],
+        )
+        energies = {
+            k: _expected_energy(float(k), **args)
+            for k in range(1, 17)
+        }
+        assert plan.expected_energy == pytest.approx(min(energies.values()))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            optimize_checkpoint_granularity(0, 0.1, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            optimize_checkpoint_granularity(5, 0.1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            optimize_checkpoint_granularity(5, 1.0, 1.0, 1.0)
+
+    def test_scheme_reliability_exposed(self):
+        assert NoMitigationRunner.reliability.fail_threshold == 1
+        assert SecdedRunner.reliability.fail_threshold == 3
+        assert OceanRunner.reliability.fail_threshold == 5

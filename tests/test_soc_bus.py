@@ -1,0 +1,89 @@
+"""Tests for the shared bus substrate."""
+
+import pytest
+
+from repro.soc.bus import SharedBus
+
+
+@pytest.fixture
+def bus():
+    bus = SharedBus(cycles_per_word=2, wire_cap_f=50e-15)
+    bus.register_master("cpu", priority=0)
+    bus.register_master("dma", priority=1)
+    return bus
+
+
+class TestRegistration:
+    def test_masters_listed(self, bus):
+        assert bus.masters == {"cpu": 0, "dma": 1}
+
+    def test_duplicate_rejected(self, bus):
+        with pytest.raises(ValueError, match="already"):
+            bus.register_master("cpu", priority=2)
+
+    def test_unknown_master_rejected(self, bus):
+        with pytest.raises(KeyError):
+            bus.request("rogue", 4, 0)
+
+
+class TestArbitration:
+    def test_idle_bus_grants_immediately(self, bus):
+        waited, done = bus.request("cpu", 4, now_cycle=10)
+        assert waited == 0
+        assert done == 10 + 8  # 4 words x 2 cycles
+
+    def test_busy_bus_stalls_second_master(self, bus):
+        bus.request("cpu", 4, now_cycle=0)          # busy until 8
+        waited, done = bus.request("dma", 2, now_cycle=3)
+        assert waited == 5                          # 8 - 3
+        assert done == 8 + 4
+
+    def test_back_to_back_tenures_chain(self, bus):
+        bus.request("cpu", 1, 0)     # busy until 2
+        bus.request("cpu", 1, 2)     # no wait
+        assert bus.stats.wait_cycles == 0
+        assert bus.busy_until == 4
+
+    def test_late_request_after_idle_gap(self, bus):
+        bus.request("cpu", 1, 0)
+        waited, done = bus.request("dma", 1, now_cycle=100)
+        assert waited == 0
+        assert done == 102
+
+    def test_stats_accumulate(self, bus):
+        bus.request("cpu", 4, 0)
+        bus.request("dma", 2, 0)
+        assert bus.stats.transactions == 2
+        assert bus.stats.busy_cycles == 12
+        assert bus.stats.per_master["dma"]["wait_cycles"] == 8
+
+    def test_validation(self, bus):
+        with pytest.raises(ValueError):
+            bus.request("cpu", 0, 0)
+        with pytest.raises(ValueError):
+            bus.request("cpu", 1, -1)
+
+
+class TestEnergyAndUtilisation:
+    def test_energy_quadratic_in_vdd(self, bus):
+        assert bus.transfer_energy(10, 1.0) == pytest.approx(
+            4.0 * bus.transfer_energy(10, 0.5)
+        )
+
+    def test_energy_linear_in_words(self, bus):
+        assert bus.transfer_energy(20, 0.8) == pytest.approx(
+            2.0 * bus.transfer_energy(10, 0.8)
+        )
+
+    def test_utilisation(self, bus):
+        bus.request("cpu", 5, 0)  # 10 busy cycles
+        assert bus.utilisation(40) == pytest.approx(0.25)
+        assert bus.utilisation(5) == 1.0  # clipped
+
+    def test_validation(self, bus):
+        with pytest.raises(ValueError):
+            bus.transfer_energy(0, 1.0)
+        with pytest.raises(ValueError):
+            bus.utilisation(0)
+        with pytest.raises(ValueError):
+            SharedBus(cycles_per_word=0)

@@ -1,0 +1,155 @@
+"""Tests for the NTC32 CPU interpreter."""
+
+import pytest
+
+from repro.soc.assembler import assemble
+from repro.soc.cpu import Cpu, ExecutionLimitExceeded, StopReason
+from repro.soc.memory import FaultyMemory
+from repro.soc.platform import Platform
+from repro.soc.ports import RawPort
+
+
+def run_program(source, data=None, max_instructions=1_000_000):
+    """Assemble and run on a fresh raw platform; return the platform."""
+    im = FaultyMemory("IM", 2048, 32)
+    sp = FaultyMemory("SP", 2048, 32)
+    platform = Platform(im, RawPort(im), sp, RawPort(sp))
+    platform.load_program(assemble(source))
+    if data:
+        platform.load_data(data)
+    platform.run_until_stop(max_instructions)
+    return platform
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        plat = run_program(
+            "li r1, 30\nli r2, 12\nadd r3, r1, r2\nsub r4, r1, r2\n"
+            "sw r3, r0, 0\nsw r4, r0, 1\nhalt"
+        )
+        assert plat.read_data(0, 2) == [42, 18]
+
+    def test_wraparound_add(self):
+        plat = run_program(
+            "li r1, 0xFFFFFFFF\naddi r2, r1, 1\nsw r2, r0, 0\nhalt"
+        )
+        assert plat.read_data(0, 1) == [0]
+
+    def test_signed_mul(self):
+        plat = run_program(
+            "li r1, -7\nli r2, 6\nmul r3, r1, r2\nsw r3, r0, 0\nhalt"
+        )
+        assert plat.read_data(0, 1) == [(-42) & 0xFFFFFFFF]
+
+    def test_mulh(self):
+        # 0x10000 * 0x10000 = 2^32: low word 0, high word 1.
+        plat = run_program(
+            "li r1, 0x10000\nmul r2, r1, r1\nmulh r3, r1, r1\n"
+            "sw r2, r0, 0\nsw r3, r0, 1\nhalt"
+        )
+        assert plat.read_data(0, 2) == [0, 1]
+
+    def test_logic_ops(self):
+        plat = run_program(
+            "li r1, 0xF0\nli r2, 0xCC\n"
+            "and r3, r1, r2\nor r4, r1, r2\nxor r5, r1, r2\n"
+            "sw r3, r0, 0\nsw r4, r0, 1\nsw r5, r0, 2\nhalt"
+        )
+        assert plat.read_data(0, 3) == [0xC0, 0xFC, 0x3C]
+
+    def test_shifts(self):
+        plat = run_program(
+            "li r1, -16\nsrai r2, r1, 2\nsrli r3, r1, 28\nslli r4, r1, 1\n"
+            "sw r2, r0, 0\nsw r3, r0, 1\nsw r4, r0, 2\nhalt"
+        )
+        assert plat.read_data(0, 3) == [
+            (-4) & 0xFFFFFFFF, 0xF, (-32) & 0xFFFFFFFF
+        ]
+
+    def test_slt_signed_comparison(self):
+        plat = run_program(
+            "li r1, -1\nli r2, 1\nslt r3, r1, r2\nslt r4, r2, r1\n"
+            "sw r3, r0, 0\nsw r4, r0, 1\nhalt"
+        )
+        assert plat.read_data(0, 2) == [1, 0]
+
+    def test_lui_shifts_by_12(self):
+        plat = run_program("lui r1, 5\nsw r1, r0, 0\nhalt")
+        assert plat.read_data(0, 1) == [5 << 12]
+
+    def test_r0_is_hardwired_zero(self):
+        plat = run_program("li r1, 7\nadd r0, r1, r1\nsw r0, r0, 0\nhalt")
+        assert plat.read_data(0, 1) == [0]
+
+
+class TestControlFlow:
+    def test_branch_taken_costs_extra_cycle(self):
+        taken = run_program("li r1, 1\nbeq r1, r1, skip\nskip:\nhalt")
+        untaken = run_program("li r1, 1\nbne r1, r1, skip\nskip:\nhalt")
+        assert taken.cpu.state.cycles == untaken.cpu.state.cycles + 1
+
+    def test_signed_branch_comparison(self):
+        plat = run_program(
+            "li r1, -5\nli r2, 3\nblt r1, r2, yes\nsw r0, r0, 0\nhalt\n"
+            "yes:\nli r3, 1\nsw r3, r0, 0\nhalt"
+        )
+        assert plat.read_data(0, 1) == [1]
+
+    def test_jal_links_and_jalr_returns(self):
+        plat = run_program(
+            """
+                jal  r15, sub
+                sw   r1, r0, 0
+                halt
+            sub:
+                li   r1, 99
+                jalr r0, r15, 0
+            """
+        )
+        assert plat.read_data(0, 1) == [99]
+
+    def test_runaway_detection(self):
+        with pytest.raises(Exception) as excinfo:
+            run_program("spin:\nj spin\nhalt", max_instructions=1000)
+        assert "runaway" in str(excinfo.value)
+
+    def test_yield_pauses_and_resumes(self):
+        im = FaultyMemory("IM", 64, 32)
+        sp = FaultyMemory("SP", 64, 32)
+        platform = Platform(im, RawPort(im), sp, RawPort(sp))
+        platform.load_program(
+            assemble("li r1, 1\nyield\naddi r1, r1, 1\nsw r1, r0, 0\nhalt")
+        )
+        assert platform.run_until_stop() is StopReason.YIELD
+        assert platform.run_until_stop() is StopReason.HALT
+        assert platform.read_data(0, 1) == [2]
+
+
+class TestMemoryInstructions:
+    def test_load_store_with_offsets(self):
+        plat = run_program(
+            "li r1, 10\nli r2, 77\nsw r2, r1, 5\nlw r3, r1, 5\n"
+            "sw r3, r0, 0\nhalt"
+        )
+        assert plat.read_data(0, 1) == [77]
+        assert plat.read_data(15, 1) == [77]
+
+    def test_counters_track_accesses(self):
+        plat = run_program("li r1, 5\nsw r1, r0, 0\nlw r2, r0, 0\nhalt")
+        assert plat.sp.counters.writes == 1
+        assert plat.sp.counters.reads == 1
+        # Fetches: 4 instructions.
+        assert plat.im.counters.reads == 4
+
+    def test_cycle_accounting(self):
+        plat = run_program("li r1, 5\nsw r1, r0, 0\nhalt")
+        # addi(1) + sw(2) + halt(1)
+        assert plat.cpu.state.cycles == 4
+        assert plat.cpu.state.instructions == 3
+
+
+class TestCpuValidation:
+    def test_run_rejects_bad_limit(self):
+        cpu = Cpu(lambda a: 0, lambda a: 0, lambda a, v: None)
+        with pytest.raises(ValueError):
+            cpu.run(max_instructions=0)

@@ -1,0 +1,150 @@
+"""Tests for the NTC32 ISA encoding and the assembler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc.assembler import AssemblerError, assemble
+from repro.soc.isa import (
+    BIGIMM_TYPE,
+    IllegalInstruction,
+    Instruction,
+    Opcode,
+    decode,
+    encode,
+)
+
+
+class TestEncodeDecode:
+    @given(
+        op=st.sampled_from(sorted(Opcode, key=int)),
+        a=st.integers(0, 15),
+        b=st.integers(0, 15),
+        c=st.integers(0, 15),
+        imm=st.integers(-(1 << 13), (1 << 13) - 1),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_round_trip(self, op, a, b, c, imm):
+        if op in BIGIMM_TYPE:
+            instruction = Instruction(op, a=a, imm=imm)
+        else:
+            instruction = Instruction(op, a=a, b=b, c=c, imm=imm)
+        assert decode(encode(instruction)) == instruction
+
+    def test_big_imm_range(self):
+        instruction = Instruction(Opcode.LUI, a=3, imm=(1 << 21) - 1)
+        assert decode(encode(instruction)) == instruction
+        negative = Instruction(Opcode.JAL, a=0, imm=-(1 << 21))
+        assert decode(encode(negative)) == negative
+
+    def test_imm_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADDI, a=1, b=1, imm=1 << 13)
+
+    def test_register_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, a=16, b=0, c=0)
+
+    def test_decode_invalid_opcode(self):
+        with pytest.raises(IllegalInstruction):
+            decode(0x00 << 26)  # opcode 0 is unassigned
+
+    def test_decode_rejects_oversized_word(self):
+        with pytest.raises(ValueError):
+            decode(1 << 32)
+
+    def test_bitflip_fragility(self):
+        """A single bit flip in the opcode field turns a valid word
+        into either a different instruction or an illegal one — the IM
+        corruption failure mode the paper's platform must survive."""
+        word = encode(Instruction(Opcode.ADD, a=1, b=2, c=3))
+        outcomes = {"illegal": 0, "different": 0}
+        for bit in range(26, 32):
+            try:
+                other = decode(word ^ (1 << bit))
+                if other.opcode != Opcode.ADD:
+                    outcomes["different"] += 1
+            except IllegalInstruction:
+                outcomes["illegal"] += 1
+        assert outcomes["illegal"] + outcomes["different"] == 6
+
+
+class TestAssembler:
+    def test_basic_program(self):
+        words = assemble("addi r1, r0, 5\nadd r2, r1, r1\nhalt")
+        assert len(words) == 3
+        first = decode(words[0])
+        assert first.opcode is Opcode.ADDI
+        assert first.a == 1
+        assert first.imm == 5
+
+    def test_comments_and_blank_lines(self):
+        words = assemble("; only a comment\n\naddi r1, r0, 1 ; trailing\n")
+        assert len(words) == 1
+
+    def test_labels_resolve_forward_and_back(self):
+        source = """
+        top:
+            addi r1, r1, 1
+            beq  r1, r2, done
+            j    top
+        done:
+            halt
+        """
+        words = assemble(source)
+        branch = decode(words[1])
+        assert branch.imm == 2  # to 'done' at 3, from address 1
+        jump = decode(words[2])
+        assert jump.opcode is Opcode.JAL
+        assert jump.imm == -2  # back to 'top' at 0, from address 2
+
+    def test_li_small_uses_addi(self):
+        words = assemble("li r1, 100")
+        assert len(words) == 1
+        assert decode(words[0]).opcode is Opcode.ADDI
+
+    def test_li_large_expands_to_lui_ori(self):
+        words = assemble("li r1, 0x12345678")
+        assert len(words) == 2
+        assert decode(words[0]).opcode is Opcode.LUI
+        assert decode(words[1]).opcode is Opcode.ORI
+
+    def test_li_expansion_keeps_labels_aligned(self):
+        source = """
+            li r1, 0x12345678
+        target:
+            halt
+            j target
+        """
+        words = assemble(source)
+        jump = decode(words[3])
+        assert jump.imm == -1  # target at 2, jump at 3
+
+    def test_pseudo_nop_and_mv(self):
+        words = assemble("nop\nmv r3, r4")
+        assert decode(words[0]).opcode is Opcode.ADD
+        mv = decode(words[1])
+        assert (mv.a, mv.b, mv.c) == (3, 4, 0)
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError, match="register"):
+            assemble("add r1, r2, r99")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="takes"):
+            assemble("add r1, r2")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("x:\nnop\nx:\nnop")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("nop\nnop\nbogus r1\n")
+
+    def test_case_insensitive_mnemonics(self):
+        assert assemble("ADDI r1, r0, 1") == assemble("addi r1, r0, 1")

@@ -1,0 +1,183 @@
+"""Tests for the assembled platform (scheme-independent behaviour)."""
+
+import pytest
+
+from repro.core.access import ACCESS_CELL_BASED_40NM
+from repro.ecc.hamming import SecdedCodec
+from repro.soc.assembler import assemble
+from repro.soc.cpu import StopReason
+from repro.soc.faults import VoltageFaultModel
+from repro.soc.memory import FaultyMemory
+from repro.soc.platform import (
+    DetectedError,
+    Platform,
+    PlatformConfig,
+    SystemFailure,
+)
+from repro.soc.ports import CodecPort, RawPort
+
+
+def raw_platform(im_words=256, sp_words=256):
+    im = FaultyMemory("IM", im_words, 32)
+    sp = FaultyMemory("SP", sp_words, 32)
+    return Platform(im, RawPort(im), sp, RawPort(sp))
+
+
+def secded_platform(vdd=1.0, seed=0):
+    import numpy as np
+
+    codec = SecdedCodec()
+    im = FaultyMemory(
+        "IM", 256, codec.code_bits,
+        faults=VoltageFaultModel(
+            ACCESS_CELL_BASED_40NM, codec.code_bits, vdd,
+            rng=np.random.default_rng(seed),
+        ),
+    )
+    sp = FaultyMemory(
+        "SP", 256, codec.code_bits,
+        faults=VoltageFaultModel(
+            ACCESS_CELL_BASED_40NM, codec.code_bits, vdd,
+            rng=np.random.default_rng(seed + 1),
+        ),
+    )
+    return Platform(
+        im, CodecPort(im, codec, auto_scrub=True),
+        sp, CodecPort(sp, codec, auto_scrub=True),
+    )
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = PlatformConfig()
+        assert config.im_words == 1024   # 4 KB
+        assert config.sp_words == 2048   # 8 KB
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(im_words=0)
+
+
+class TestLoadingAndInspection:
+    def test_program_and_data_loading_counts_nothing(self):
+        platform = raw_platform()
+        platform.load_program(assemble("halt"))
+        platform.load_data([1, 2, 3], base=10)
+        assert platform.im.counters.total == 0
+        assert platform.sp.counters.total == 0
+        assert platform.read_data(10, 3) == [1, 2, 3]
+
+    def test_read_data_decodes_through_codec(self):
+        platform = secded_platform()
+        platform.load_data([7, 8, 9])
+        assert platform.read_data(0, 3) == [7, 8, 9]
+        # backing store holds codewords, not raw values
+        assert platform.sp.peek(0) == SecdedCodec().encode(7)
+
+
+class TestFailureTranslation:
+    def test_illegal_instruction_becomes_system_failure(self):
+        platform = raw_platform()
+        platform.load_program([0])  # opcode 0 is unassigned
+        with pytest.raises(SystemFailure) as excinfo:
+            platform.run_until_stop()
+        assert excinfo.value.kind == "illegal-instruction"
+
+    def test_wild_store_becomes_system_failure(self):
+        platform = raw_platform()
+        platform.load_program(
+            assemble("li r1, 5000\nsw r0, r1, 0\nhalt")
+        )
+        with pytest.raises(SystemFailure) as excinfo:
+            platform.run_until_stop()
+        assert excinfo.value.kind == "wild-access"
+
+    def test_uncorrectable_sp_read_is_detected_error(self):
+        platform = secded_platform()
+        platform.load_program(assemble("lw r1, r0, 0\nhalt"))
+        platform.load_data([42])
+        platform.sp.poke(0, platform.sp.peek(0) ^ 0b11)
+        with pytest.raises(DetectedError) as excinfo:
+            platform.run_until_stop()
+        assert excinfo.value.module == "SP"
+
+    def test_uncorrectable_fetch_is_detected_error_in_im(self):
+        platform = secded_platform()
+        platform.load_program(assemble("nop\nhalt"))
+        platform.im.poke(0, platform.im.peek(0) ^ 0b101)
+        with pytest.raises(DetectedError) as excinfo:
+            platform.run_until_stop()
+        assert excinfo.value.module == "IM"
+
+    def test_single_im_flip_is_transparent(self):
+        platform = secded_platform()
+        platform.load_program(assemble("li r1, 9\nsw r1, r0, 0\nhalt"))
+        platform.im.poke(0, platform.im.peek(0) ^ (1 << 20))
+        assert platform.run_until_stop() is StopReason.HALT
+        assert platform.read_data(0, 1) == [9]
+
+
+class TestCpuSnapshot:
+    def test_snapshot_restore_rewinds_architecture_not_counters(self):
+        platform = raw_platform()
+        platform.load_program(
+            assemble("li r1, 1\nyield\naddi r1, r1, 1\nsw r1, r0, 0\nhalt")
+        )
+        assert platform.run_until_stop() is StopReason.YIELD
+        snapshot = platform.snapshot_cpu()
+        cycles_at_snapshot = platform.cpu.state.cycles
+        assert platform.run_until_stop() is StopReason.HALT
+        platform.restore_cpu(snapshot)
+        # Architectural state rewound...
+        assert platform.cpu.state.pc == snapshot.pc
+        assert platform.cpu.state.registers[1] == 1
+        # ...but the work done still cost cycles.
+        assert platform.cpu.state.cycles > cycles_at_snapshot
+        # Re-execution completes identically.
+        assert platform.run_until_stop() is StopReason.HALT
+        assert platform.read_data(0, 1) == [2]
+
+    def test_snapshot_is_deep(self):
+        platform = raw_platform()
+        platform.load_program(assemble("li r1, 5\nhalt"))
+        snapshot = platform.snapshot_cpu()
+        platform.run_until_stop()
+        assert snapshot.registers[1] == 0  # unaffected by later run
+
+
+class TestResultCollection:
+    def test_result_without_pm(self):
+        platform = raw_platform()
+        platform.load_program(assemble("lw r1, r0, 0\nsw r1, r0, 1\nhalt"))
+        platform.run_until_stop()
+        result = platform.result()
+        assert result.access_counts["SP"] == (1, 1)
+        assert "PM" not in result.access_counts
+        assert result.total_cycles == result.cycles
+
+    def test_result_includes_pm_when_present(self):
+        import numpy as np
+
+        from repro.ecc.bch import BchCodec
+
+        codec = BchCodec(data_bits=32, t=4)
+        im = FaultyMemory("IM", 64, 32)
+        sp = FaultyMemory("SP", 64, 32)
+        pm = FaultyMemory(
+            "PM", 64, codec.code_bits,
+            faults=VoltageFaultModel(
+                ACCESS_CELL_BASED_40NM, codec.code_bits, 1.0,
+                rng=np.random.default_rng(0),
+            ),
+        )
+        platform = Platform(
+            im, RawPort(im), sp, RawPort(sp),
+            pm=pm, pm_port=CodecPort(pm, codec),
+        )
+        platform.load_program(assemble("halt"))
+        platform.pm_port.write(0, 123)
+        platform.run_until_stop()
+        result = platform.result(rollbacks=2, overhead_cycles=50)
+        assert result.access_counts["PM"] == (0, 1)
+        assert result.rollbacks == 2
+        assert result.total_cycles == result.cycles + 50

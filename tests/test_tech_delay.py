@@ -1,0 +1,121 @@
+"""Unit tests for the delay model (backs Figure 10 and Table 2 floors)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tech.delay import (
+    delay_scaling_factor,
+    inverter_delay,
+    logic_max_frequency,
+    minimum_voltage_for_frequency,
+    monte_carlo_inverter_delay,
+)
+from repro.tech.node import (
+    NODE_10NM_MG,
+    NODE_14NM_FINFET,
+    NODE_40NM_LP,
+)
+
+
+class TestInverterDelay:
+    def test_rejects_non_positive_vdd(self):
+        with pytest.raises(ValueError):
+            inverter_delay(NODE_40NM_LP, 0.0)
+
+    def test_monotonically_falls_with_voltage(self):
+        delays = [inverter_delay(NODE_40NM_LP, v) for v in np.arange(0.25, 1.15, 0.05)]
+        assert all(b < a for a, b in zip(delays, delays[1:]))
+
+    def test_near_threshold_blowup(self):
+        """Delay explodes near/below V_th — the core NTC trade-off."""
+        assert inverter_delay(NODE_40NM_LP, 0.35) > 30.0 * inverter_delay(
+            NODE_40NM_LP, 1.1
+        )
+
+    def test_positive_vth_shift_slows_gate(self):
+        fast = inverter_delay(NODE_40NM_LP, 0.45, vth_shift=0.0)
+        slow = inverter_delay(NODE_40NM_LP, 0.45, vth_shift=0.05)
+        assert slow > fast
+
+    def test_picosecond_scale_at_nominal(self):
+        delay = inverter_delay(NODE_40NM_LP, 1.1)
+        assert 1e-13 < delay < 1e-10
+
+    @given(vdd=st.floats(min_value=0.2, max_value=1.3))
+    @settings(max_examples=50, deadline=None)
+    def test_delay_always_positive(self, vdd):
+        assert inverter_delay(NODE_40NM_LP, vdd) > 0.0
+
+
+class TestMonteCarloDelay:
+    def test_mean_close_to_deterministic(self):
+        result = monte_carlo_inverter_delay(
+            NODE_40NM_LP, 0.6, samples=2000, rng=np.random.default_rng(1)
+        )
+        nominal = inverter_delay(NODE_40NM_LP, 0.6)
+        # mismatch skews the mean slightly upward but not wildly
+        assert result.mean == pytest.approx(nominal, rel=0.25)
+
+    def test_sigma_grows_towards_threshold(self):
+        """Figure 10: relative spread explodes at near-threshold."""
+        rng = np.random.default_rng(2)
+        low = monte_carlo_inverter_delay(NODE_14NM_FINFET, 0.3, 1500, rng=rng)
+        high = monte_carlo_inverter_delay(NODE_14NM_FINFET, 0.8, 1500, rng=rng)
+        assert low.sigma_over_mean > 3.0 * high.sigma_over_mean
+
+    def test_10nm_tighter_than_14nm(self):
+        """Figure 10: 10 nm multi-gate shows smaller sigma spread."""
+        rng = np.random.default_rng(3)
+        finfet14 = monte_carlo_inverter_delay(NODE_14NM_FINFET, 0.35, 2000, rng=rng)
+        mg10 = monte_carlo_inverter_delay(NODE_10NM_MG, 0.35, 2000, rng=rng)
+        assert mg10.sigma_over_mean < finfet14.sigma_over_mean
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError):
+            monte_carlo_inverter_delay(NODE_40NM_LP, 0.6, samples=1)
+
+
+class TestScalingFactor:
+    def test_10nm_is_about_2x_faster_than_14nm(self):
+        """Section VI: 'Going from 14nm to 10nm results in a 2x speed-up'."""
+        factor = delay_scaling_factor(NODE_10NM_MG, NODE_14NM_FINFET, 0.4)
+        assert 1.5 < factor < 3.5
+
+
+class TestMaxFrequency:
+    def test_monotonic_in_voltage(self):
+        freqs = [logic_max_frequency(NODE_40NM_LP, v) for v in (0.3, 0.5, 0.8, 1.1)]
+        assert all(b > a for a, b in zip(freqs, freqs[1:]))
+
+    def test_guardband_lowers_frequency(self):
+        loose = logic_max_frequency(NODE_40NM_LP, 0.4, guardband_sigma=0.0)
+        tight = logic_max_frequency(NODE_40NM_LP, 0.4, guardband_sigma=4.0)
+        assert tight < loose
+
+
+class TestMinimumVoltageForFrequency:
+    def test_round_trip(self):
+        target = 50e6
+        vmin = minimum_voltage_for_frequency(NODE_40NM_LP, target)
+        assert logic_max_frequency(NODE_40NM_LP, vmin) >= target
+        assert logic_max_frequency(NODE_40NM_LP, vmin - 0.01) < target
+
+    def test_low_frequency_hits_floor(self):
+        vmin = minimum_voltage_for_frequency(NODE_40NM_LP, 1.0, vdd_low=0.15)
+        assert vmin == pytest.approx(0.15)
+
+    def test_unreachable_frequency_raises(self):
+        with pytest.raises(ValueError):
+            minimum_voltage_for_frequency(NODE_40NM_LP, 1e15)
+
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(ValueError):
+            minimum_voltage_for_frequency(NODE_40NM_LP, 0.0)
+
+    @given(freq=st.floats(min_value=1e5, max_value=1e9))
+    @settings(max_examples=20, deadline=None)
+    def test_solution_always_meets_target(self, freq):
+        vmin = minimum_voltage_for_frequency(NODE_40NM_LP, freq)
+        assert logic_max_frequency(NODE_40NM_LP, vmin) >= freq * 0.999

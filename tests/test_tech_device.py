@@ -1,0 +1,169 @@
+"""Unit tests for the EKV-style device model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tech.device import (
+    DeviceParameters,
+    drive_current,
+    inversion_coefficient,
+    thermal_voltage,
+)
+from repro.tech.node import NODE_40NM_LP
+
+
+def make_device(**overrides):
+    params = dict(
+        vth=0.45,
+        subthreshold_slope_mv=90.0,
+        i_spec_ua_per_um=300.0,
+        dibl_mv_per_v=100.0,
+        avt_mv_um=3.5,
+    )
+    params.update(overrides)
+    return DeviceParameters(**params)
+
+
+class TestThermalVoltage:
+    def test_room_temperature(self):
+        assert thermal_voltage(25.0) == pytest.approx(0.0257, abs=2e-4)
+
+    def test_increases_with_temperature(self):
+        assert thermal_voltage(125.0) > thermal_voltage(25.0)
+
+
+class TestDeviceParameters:
+    def test_rejects_negative_vth(self):
+        with pytest.raises(ValueError):
+            make_device(vth=-0.1)
+
+    def test_rejects_sub_thermionic_slope(self):
+        with pytest.raises(ValueError):
+            make_device(subthreshold_slope_mv=50.0)
+
+    def test_rejects_non_positive_ispec(self):
+        with pytest.raises(ValueError):
+            make_device(i_spec_ua_per_um=0.0)
+
+    def test_rejects_negative_dibl(self):
+        with pytest.raises(ValueError):
+            make_device(dibl_mv_per_v=-1.0)
+
+    def test_slope_factor_above_one(self):
+        # 90 mV/dec is worse than the 59.6 mV/dec ideal => n > 1.
+        assert make_device().slope_factor() > 1.0
+
+    def test_ideal_slope_factor_is_one(self):
+        ideal = 1000.0 * thermal_voltage(25.0) * math.log(10.0)
+        device = make_device(subthreshold_slope_mv=ideal + 1e-9)
+        assert device.slope_factor() == pytest.approx(1.0, rel=1e-6)
+
+    def test_vth_shift_returns_new_instance(self):
+        device = make_device()
+        shifted = device.with_vth_shift(0.05)
+        assert shifted.vth == pytest.approx(0.50)
+        assert device.vth == pytest.approx(0.45)
+
+
+class TestDriveCurrent:
+    def test_monotonic_in_vgs(self):
+        device = make_device()
+        currents = [drive_current(device, v) for v in [0.2, 0.3, 0.45, 0.7, 1.1]]
+        assert all(b > a for a, b in zip(currents, currents[1:]))
+
+    def test_scales_with_width(self):
+        device = make_device()
+        single = drive_current(device, 0.6, width_um=1.0)
+        double = drive_current(device, 0.6, width_um=2.0)
+        assert double == pytest.approx(2.0 * single)
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            drive_current(make_device(), 0.6, width_um=0.0)
+
+    def test_subthreshold_is_exponential(self):
+        """Two equal V_GS steps below threshold give equal current ratios."""
+        device = make_device()
+        i1 = drive_current(device, 0.20)
+        i2 = drive_current(device, 0.25)
+        i3 = drive_current(device, 0.30)
+        assert i2 / i1 == pytest.approx(i3 / i2, rel=0.05)
+
+    def test_subthreshold_slope_matches_parameter(self):
+        """A decade of current per SS millivolts of gate drive."""
+        device = make_device(dibl_mv_per_v=0.0)
+        step = device.subthreshold_slope_mv * 1e-3
+        i1 = drive_current(device, 0.15, vds=1.0)
+        i2 = drive_current(device, 0.15 + step, vds=1.0)
+        assert i2 / i1 == pytest.approx(10.0, rel=0.05)
+
+    def test_strong_inversion_is_roughly_quadratic(self):
+        device = make_device()
+        i1 = drive_current(device, device.vth + 0.4)
+        i2 = drive_current(device, device.vth + 0.8)
+        ratio = i2 / i1
+        assert 3.0 < ratio < 5.0  # exact square law would give 4
+
+    def test_dibl_raises_current(self):
+        device = make_device()
+        low_vds = drive_current(device, 0.3, vds=0.1)
+        high_vds = drive_current(device, 0.3, vds=1.1)
+        assert high_vds > low_vds
+
+    def test_steeper_slope_improves_on_off_ratio(self):
+        """The finFET advantage: more decades of current per volt of
+        gate drive, i.e. a better on/off ratio at the same V_th."""
+        planar = make_device(subthreshold_slope_mv=95.0, dibl_mv_per_v=0.0)
+        finfet = make_device(subthreshold_slope_mv=68.0, dibl_mv_per_v=0.0)
+
+        def on_off(device):
+            return drive_current(device, 0.45, vds=0.45) / drive_current(
+                device, 0.0, vds=0.45
+            )
+
+        assert on_off(finfet) > 10.0 * on_off(planar)
+
+    @given(vgs=st.floats(min_value=0.05, max_value=1.3))
+    @settings(max_examples=50, deadline=None)
+    def test_current_always_positive(self, vgs):
+        assert drive_current(make_device(), vgs) > 0.0
+
+    @given(
+        vgs=st.floats(min_value=0.05, max_value=1.2),
+        delta=st.floats(min_value=0.005, max_value=0.1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_current_strictly_monotonic(self, vgs, delta):
+        device = make_device()
+        assert drive_current(device, vgs + delta) > drive_current(device, vgs)
+
+
+class TestInversionCoefficient:
+    def test_weak_inversion_below_threshold(self):
+        device = make_device(dibl_mv_per_v=0.0)
+        assert inversion_coefficient(device, 0.2) < 0.1
+
+    def test_moderate_inversion_near_threshold(self):
+        device = make_device(dibl_mv_per_v=0.0)
+        ic = inversion_coefficient(device, device.vth)
+        assert 0.1 < ic < 10.0
+
+    def test_strong_inversion_above_threshold(self):
+        device = make_device(dibl_mv_per_v=0.0)
+        assert inversion_coefficient(device, device.vth + 0.5) > 10.0
+
+    def test_large_overdrive_does_not_overflow(self):
+        device = make_device()
+        ic = inversion_coefficient(device, 5.0)
+        assert math.isfinite(ic)
+        assert ic > 1000.0
+
+
+class TestNodeDevices:
+    def test_40nm_node_device_sane(self):
+        i_on = drive_current(NODE_40NM_LP.nmos, 1.1)
+        # hundreds of uA/um at nominal voltage for a 40 nm LP NMOS
+        assert 1e-4 < i_on < 5e-3

@@ -1,0 +1,72 @@
+"""Unit tests for the leakage model (backs Figure 1's static component)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tech.leakage import (
+    leakage_current_per_um,
+    leakage_power,
+    leakage_reduction_ratio,
+)
+from repro.tech.node import NODE_40NM_LP
+
+
+class TestLeakageCurrent:
+    def test_zero_supply_zero_current(self):
+        assert leakage_current_per_um(NODE_40NM_LP.nmos, 0.0) == pytest.approx(0.0)
+
+    def test_grows_with_supply(self):
+        """DIBL makes the off current rise with V_DD."""
+        currents = [
+            leakage_current_per_um(NODE_40NM_LP.nmos, v)
+            for v in (0.3, 0.6, 0.9, 1.1)
+        ]
+        assert all(b > a for a, b in zip(currents, currents[1:]))
+
+    def test_low_vth_leaks_more(self):
+        high = leakage_current_per_um(NODE_40NM_LP.nmos, 1.1, vth_shift=0.05)
+        low = leakage_current_per_um(NODE_40NM_LP.nmos, 1.1, vth_shift=-0.05)
+        assert low > high
+
+    def test_rejects_negative_vdd(self):
+        with pytest.raises(ValueError):
+            leakage_current_per_um(NODE_40NM_LP.nmos, -0.1)
+
+    def test_magnitude_is_subthreshold_scale(self):
+        """40 nm LP off-current should be well below 1 uA/um at nominal."""
+        current = leakage_current_per_um(NODE_40NM_LP.nmos, 1.1)
+        assert 1e-14 < current < 1e-6
+
+    @given(vdd=st.floats(min_value=0.0, max_value=1.3))
+    @settings(max_examples=50, deadline=None)
+    def test_never_negative(self, vdd):
+        assert leakage_current_per_um(NODE_40NM_LP.nmos, vdd) >= 0.0
+
+
+class TestLeakagePower:
+    def test_scales_with_width(self):
+        p1 = leakage_power(NODE_40NM_LP.nmos, 1.1, 100.0)
+        p2 = leakage_power(NODE_40NM_LP.nmos, 1.1, 200.0)
+        assert p2 == pytest.approx(2.0 * p1)
+
+    def test_zero_width_zero_power(self):
+        assert leakage_power(NODE_40NM_LP.nmos, 1.1, 0.0) == 0.0
+
+    def test_rejects_negative_width(self):
+        with pytest.raises(ValueError):
+            leakage_power(NODE_40NM_LP.nmos, 1.1, -1.0)
+
+
+class TestLeakageReduction:
+    def test_paper_claims_up_to_10x(self):
+        """Section II: supply scaling achieves 'up to 10x better static
+        power'; nominal (1.1 V) to retention (~0.4 V) must deliver at
+        least that much in the model."""
+        ratio = leakage_reduction_ratio(NODE_40NM_LP.nmos, 1.1, 0.4)
+        assert ratio > 10.0
+
+    def test_ratio_of_equal_voltages_is_one(self):
+        assert leakage_reduction_ratio(
+            NODE_40NM_LP.nmos, 0.8, 0.8
+        ) == pytest.approx(1.0)

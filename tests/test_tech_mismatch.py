@@ -1,0 +1,78 @@
+"""Unit tests for Pelgrom mismatch statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tech.mismatch import MismatchModel, sample_vth_shifts, sigma_vth
+from repro.tech.node import NODE_10NM_MG, NODE_40NM_LP
+
+
+class TestSigmaVth:
+    def test_pelgrom_area_scaling(self):
+        """Quadrupling the area halves the mismatch sigma."""
+        small = sigma_vth(3.5, 0.1, 0.04)
+        large = sigma_vth(3.5, 0.2, 0.08)
+        assert small == pytest.approx(2.0 * large)
+
+    def test_unit_area_equals_avt(self):
+        assert sigma_vth(3.5, 1.0, 1.0) == pytest.approx(3.5e-3)
+
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(ValueError):
+            sigma_vth(3.5, 0.0, 0.04)
+
+    @given(
+        avt=st.floats(min_value=0.5, max_value=6.0),
+        w=st.floats(min_value=0.02, max_value=2.0),
+        length=st.floats(min_value=0.02, max_value=2.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_always_positive(self, avt, w, length):
+        assert sigma_vth(avt, w, length) > 0.0
+
+
+class TestSampleVthShifts:
+    def test_count_and_zero_mean(self):
+        rng = np.random.default_rng(7)
+        shifts = sample_vth_shifts(3.5, 0.12, 0.04, 200_000, rng)
+        assert shifts.shape == (200_000,)
+        sigma = sigma_vth(3.5, 0.12, 0.04)
+        assert abs(shifts.mean()) < 4.0 * sigma / np.sqrt(200_000)
+        assert shifts.std() == pytest.approx(sigma, rel=0.02)
+
+    def test_zero_count(self):
+        rng = np.random.default_rng(7)
+        assert sample_vth_shifts(3.5, 0.12, 0.04, 0, rng).shape == (0,)
+
+    def test_rejects_negative_count(self):
+        rng = np.random.default_rng(7)
+        with pytest.raises(ValueError):
+            sample_vth_shifts(3.5, 0.12, 0.04, -1, rng)
+
+    def test_reproducible_with_seed(self):
+        a = sample_vth_shifts(3.5, 0.12, 0.04, 32, np.random.default_rng(3))
+        b = sample_vth_shifts(3.5, 0.12, 0.04, 32, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMismatchModel:
+    def test_sigma_matches_free_function(self):
+        model = MismatchModel(NODE_40NM_LP.nmos, width_um=0.12, length_um=0.04)
+        assert model.sigma() == pytest.approx(
+            sigma_vth(NODE_40NM_LP.nmos.avt_mv_um, 0.12, 0.04)
+        )
+
+    def test_sample_devices_shifts_thresholds(self):
+        model = MismatchModel(NODE_40NM_LP.nmos, width_um=0.12, length_um=0.04)
+        devices = model.sample_devices(64, np.random.default_rng(11))
+        assert len(devices) == 64
+        vths = {d.vth for d in devices}
+        assert len(vths) > 1  # genuinely different samples
+
+    def test_finfet_mismatch_tighter_than_planar(self):
+        """Section VI: finFET A_vt is under much tighter control."""
+        planar = MismatchModel(NODE_40NM_LP.nmos, 0.12, 0.04)
+        finfet = MismatchModel(NODE_10NM_MG.nmos, 0.12, 0.04)
+        assert finfet.sigma() < 0.5 * planar.sigma()

@@ -1,0 +1,85 @@
+"""Unit tests for technology nodes and corners."""
+
+import pytest
+
+from repro.tech.node import (
+    NODE_10NM_MG,
+    NODE_14NM_FINFET,
+    NODE_40NM_LP,
+    NODE_65NM_LP,
+    Corner,
+    get_node,
+    list_nodes,
+)
+
+
+class TestNodeRegistry:
+    def test_all_four_nodes_listed(self):
+        assert len(list_nodes()) == 4
+
+    def test_lookup_by_name(self):
+        assert get_node("40nm-LP") is NODE_40NM_LP
+
+    def test_unknown_node_raises_with_hint(self):
+        with pytest.raises(KeyError, match="40nm-LP"):
+            get_node("7nm")
+
+
+class TestNodeTrends:
+    """Section VI's qualitative claims encoded as invariants."""
+
+    def test_subthreshold_slope_improves_with_scaling(self):
+        slopes = [
+            NODE_65NM_LP.nmos.subthreshold_slope_mv,
+            NODE_40NM_LP.nmos.subthreshold_slope_mv,
+            NODE_14NM_FINFET.nmos.subthreshold_slope_mv,
+            NODE_10NM_MG.nmos.subthreshold_slope_mv,
+        ]
+        assert all(b < a for a, b in zip(slopes, slopes[1:]))
+
+    def test_avt_improves_with_finfets(self):
+        assert NODE_14NM_FINFET.nmos.avt_mv_um < NODE_40NM_LP.nmos.avt_mv_um
+        assert NODE_10NM_MG.nmos.avt_mv_um < NODE_14NM_FINFET.nmos.avt_mv_um
+
+    def test_wire_capacitance_shrinks(self):
+        assert NODE_10NM_MG.wire_cap_ff_per_um < NODE_40NM_LP.wire_cap_ff_per_um
+
+    def test_drive_current_grows(self):
+        assert (
+            NODE_10NM_MG.nmos.i_spec_ua_per_um
+            > NODE_14NM_FINFET.nmos.i_spec_ua_per_um
+            > NODE_40NM_LP.nmos.i_spec_ua_per_um
+        )
+
+
+class TestCorners:
+    def test_ss_corner_raises_vth(self):
+        ss = NODE_40NM_LP.at_corner(Corner.SS)
+        assert ss.nmos.vth > NODE_40NM_LP.nmos.vth
+        assert ss.pmos.vth > NODE_40NM_LP.pmos.vth
+
+    def test_ff_corner_lowers_vth(self):
+        ff = NODE_40NM_LP.at_corner(Corner.FF)
+        assert ff.nmos.vth < NODE_40NM_LP.nmos.vth
+
+    def test_tt_corner_is_identity_on_devices(self):
+        tt = NODE_40NM_LP.at_corner(Corner.TT)
+        assert tt.nmos.vth == NODE_40NM_LP.nmos.vth
+
+    def test_corner_renames_node(self):
+        assert NODE_40NM_LP.at_corner(Corner.SS).name == "40nm-LP/SS"
+
+    def test_original_unmodified(self):
+        vth_before = NODE_40NM_LP.nmos.vth
+        NODE_40NM_LP.at_corner(Corner.SS)
+        assert NODE_40NM_LP.nmos.vth == vth_before
+
+
+class TestAreaScaling:
+    def test_65_to_40_matches_paper_footnote(self):
+        """Table 1 footnote *4: area scaled by (40/65)^2."""
+        factor = NODE_40NM_LP.area_scale_from(NODE_65NM_LP)
+        assert factor == pytest.approx((40.0 / 65.0) ** 2)
+
+    def test_self_scale_is_unity(self):
+        assert NODE_40NM_LP.area_scale_from(NODE_40NM_LP) == pytest.approx(1.0)

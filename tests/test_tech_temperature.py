@@ -1,0 +1,80 @@
+"""Temperature behaviour of the device models.
+
+Near threshold, CMOS exhibits *temperature inversion*: higher junction
+temperature increases sub-threshold current (the thermal voltage and
+effective overdrive grow faster than mobility degrades in this simple
+model), so near-threshold logic speeds UP when hot — the opposite of
+the super-threshold intuition, and a first-order effect for NTC sign-
+off.  These tests pin that behaviour plus the leakage temperature
+dependence.
+"""
+
+import pytest
+
+from repro.tech.delay import inverter_delay, logic_max_frequency
+from repro.tech.device import drive_current
+from repro.tech.leakage import leakage_current_per_um, leakage_power
+from repro.tech.node import NODE_40NM_LP
+
+
+class TestTemperatureInversion:
+    def test_hot_subthreshold_current_is_higher(self):
+        cold = drive_current(NODE_40NM_LP.nmos, 0.25, temperature_c=-20.0)
+        hot = drive_current(NODE_40NM_LP.nmos, 0.25, temperature_c=105.0)
+        assert hot > 2.0 * cold
+
+    def test_near_threshold_logic_speeds_up_when_hot(self):
+        """Temperature inversion at the NTC operating point."""
+        cold = inverter_delay(NODE_40NM_LP, 0.35, temperature_c=-20.0)
+        hot = inverter_delay(NODE_40NM_LP, 0.35, temperature_c=105.0)
+        assert hot < cold
+
+    def test_temperature_sensitivity_shrinks_with_voltage(self):
+        """The hot/cold delay ratio is dramatic at 0.35 V and modest at
+        nominal — the crossover behind 'temperature inversion'."""
+
+        def hot_cold_ratio(vdd: float) -> float:
+            cold = inverter_delay(NODE_40NM_LP, vdd, temperature_c=-20.0)
+            hot = inverter_delay(NODE_40NM_LP, vdd, temperature_c=105.0)
+            return cold / hot
+
+        assert hot_cold_ratio(0.35) > 3.0 * hot_cold_ratio(1.1)
+
+    def test_max_frequency_tracks(self):
+        cold = logic_max_frequency(NODE_40NM_LP, 0.4, temperature_c=-20.0)
+        hot = logic_max_frequency(NODE_40NM_LP, 0.4, temperature_c=105.0)
+        assert hot > cold
+
+
+class TestLeakageTemperature:
+    def test_leakage_explodes_with_temperature(self):
+        """The classic exponential leakage-temperature dependence: the
+        hot corner dominates any standby budget."""
+        cold = leakage_current_per_um(
+            NODE_40NM_LP.nmos, 1.1, temperature_c=25.0
+        )
+        hot = leakage_current_per_um(
+            NODE_40NM_LP.nmos, 1.1, temperature_c=105.0
+        )
+        assert hot > 5.0 * cold
+
+    def test_leakage_power_temperature_passthrough(self):
+        cold = leakage_power(
+            NODE_40NM_LP.nmos, 0.6, 1000.0, temperature_c=0.0
+        )
+        hot = leakage_power(
+            NODE_40NM_LP.nmos, 0.6, 1000.0, temperature_c=85.0
+        )
+        assert hot > cold
+
+    def test_retention_standby_worst_case_is_hot(self):
+        """The standby planner's voltage choice must be validated at
+        the hot corner: the hot population retains worse AND leaks
+        more, compounding."""
+        from repro.core.retention import RETENTION_CELL_BASED_40NM
+
+        hot_retention = RETENTION_CELL_BASED_40NM.at_temperature(105.0)
+        cold_retention = RETENTION_CELL_BASED_40NM.at_temperature(-20.0)
+        assert hot_retention.first_failure_voltage(32768) > (
+            cold_retention.first_failure_voltage(32768)
+        )

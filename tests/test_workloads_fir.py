@@ -1,0 +1,142 @@
+"""Tests for the FIR streaming workload."""
+
+import numpy as np
+import pytest
+
+from repro.soc.cpu import StopReason
+from repro.soc.memory import FaultyMemory
+from repro.soc.platform import Platform
+from repro.soc.ports import RawPort
+from repro.workloads.fir import (
+    _signed32,
+    build_fir_program,
+    fir_reference,
+    generate_signal,
+    lowpass_taps,
+)
+
+
+def run_on_platform(prog):
+    im = FaultyMemory("IM", 1024, 32)
+    sp = FaultyMemory("SP", 2048, 32)
+    platform = Platform(im, RawPort(im), sp, RawPort(sp))
+    platform.load_program(list(prog.workload.program_words))
+    platform.load_data(list(prog.workload.data_words))
+    yields = 0
+    while platform.run_until_stop() is not StopReason.HALT:
+        yields += 1
+    return platform, yields
+
+
+class TestTaps:
+    def test_bounded_for_accumulator_safety(self):
+        """|sum of taps| must stay below 1.0 in Q15 so the 32-bit
+        accumulator of the generated code cannot overflow."""
+        for n_taps in (8, 16, 32):
+            taps = lowpass_taps(n_taps)
+            assert sum(abs(t) for t in taps) < 32768
+
+    def test_lowpass_dc_gain_near_unity_normalisation(self):
+        taps = lowpass_taps(16, cutoff=0.2)
+        dc = sum(taps) / 32767.0
+        assert 0.5 < dc <= 1.0
+
+    def test_symmetric(self):
+        taps = lowpass_taps(16)
+        assert taps == taps[::-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lowpass_taps(1)
+        with pytest.raises(ValueError):
+            lowpass_taps(8, cutoff=0.6)
+
+
+class TestReference:
+    def test_matches_numpy_convolution(self):
+        signal = generate_signal(64, kind="noise", seed=2)
+        taps = lowpass_taps(8)
+        ours = fir_reference(signal, taps)
+        x = np.array([_signed32(w) for w in signal], dtype=float)
+        h = np.array(taps, dtype=float)
+        full = np.convolve(x, h)[: len(signal)] / 32768.0
+        got = np.array([_signed32(w) for w in ours], dtype=float)
+        assert np.abs(got - full).max() <= 1.0  # rounding only
+
+    def test_impulse_response_returns_taps(self):
+        taps = lowpass_taps(8)
+        impulse = [32767] + [0] * 15
+        out = fir_reference(impulse, taps)
+        got = [_signed32(w) for w in out[:8]]
+        for measured, tap in zip(got, taps):
+            assert abs(measured - tap) <= 1
+
+
+class TestGeneratedProgram:
+    @pytest.mark.parametrize("n,blocks", [(64, 4), (128, 8)])
+    def test_simulator_matches_reference(self, n, blocks):
+        prog = build_fir_program(n, 16, blocks)
+        platform, yields = run_on_platform(prog)
+        out = platform.read_data(prog.workload.result_base, n)
+        assert out == prog.expected_output(
+            list(prog.workload.data_words[:n])
+        )
+        assert yields == blocks
+
+    def test_lowpass_attenuates_chirp_tail(self):
+        """The chirp sweeps up in frequency; the low-pass output must
+        collapse towards the end — observable filter behaviour, not
+        just bit-exactness."""
+        prog = build_fir_program(128, 16, 8)
+        platform, _ = run_on_platform(prog)
+        out = platform.read_data(prog.workload.result_base, 128)
+        magnitudes = [abs(_signed32(w)) for w in out]
+        assert sum(magnitudes[-32:]) < 0.05 * sum(magnitudes[:32])
+
+    def test_program_and_data_fit_platform(self):
+        prog = build_fir_program(256, 16, 8)
+        assert len(prog.workload.program_words) <= 1024
+        assert len(prog.workload.data_words) <= 2048
+
+    def test_custom_signal(self):
+        signal = generate_signal(64, kind="step")
+        prog = build_fir_program(64, 8, 4, signal=signal)
+        platform, _ = run_on_platform(prog)
+        out = platform.read_data(prog.workload.result_base, 64)
+        assert out == prog.expected_output(signal)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_fir_program(100, 16, 7)  # blocks must divide n
+        with pytest.raises(ValueError):
+            build_fir_program(64, 16, 4, signal=[0] * 63)
+        with pytest.raises(ValueError):
+            generate_signal(16, kind="sawtooth")
+
+
+class TestUnderMitigation:
+    def test_fir_survives_faults_with_ocean(self):
+        from repro.core.access import ACCESS_CELL_BASED_40NM
+        from repro.mitigation import OceanRunner
+
+        prog = build_fir_program(64, 8, 4)
+        golden = prog.expected_output(list(prog.workload.data_words[:64]))
+        outcome = OceanRunner(ACCESS_CELL_BASED_40NM, seed=4).run(
+            prog.workload, vdd=0.38, frequency=290e3
+        )
+        assert outcome.output_matches(golden)
+
+    def test_fir_corrupts_without_mitigation(self):
+        from repro.core.access import ACCESS_CELL_BASED_40NM
+        from repro.mitigation import NoMitigationRunner
+
+        prog = build_fir_program(64, 8, 4)
+        golden = prog.expected_output(list(prog.workload.data_words[:64]))
+        wrong = 0
+        for seed in range(6):
+            outcome = NoMitigationRunner(
+                ACCESS_CELL_BASED_40NM, seed=seed
+            ).run(prog.workload, vdd=0.37, frequency=290e3)
+            if not outcome.output_matches(golden):
+                wrong += 1
+        assert wrong >= 3

@@ -11,6 +11,7 @@ from the library alone.
 from repro.analysis.tables import format_table
 from repro.analysis.ascii_plot import histogram, line_plot
 from repro.analysis.sweeps import voltage_sweep
+from repro.analysis.batch import AccessBerGrid, BatchCampaign
 from repro.analysis.campaign import (
     CampaignResult,
     expected_run_failure_probability,
@@ -39,6 +40,8 @@ __all__ = [
     "line_plot",
     "histogram",
     "voltage_sweep",
+    "AccessBerGrid",
+    "BatchCampaign",
     "CampaignResult",
     "run_campaign",
     "expected_run_failure_probability",

@@ -1,0 +1,192 @@
+"""Array-oriented Monte-Carlo campaign runner.
+
+The paper's headline exhibits are statistical sweeps: Figure 5 counts
+access errors per voltage point, Figure 4 aggregates retention failures
+over nine dies, and the failure-rate campaigns execute the live
+platform many times per (scheme, voltage) cell.  This module drives all
+of them batch-first:
+
+* whole voltage grids are evaluated per vectorized call (the per-point
+  Bernoulli matrices are drawn in chunks and counted by numpy);
+* every grid point / die / run derives its own child RNG stream from
+  one master seed, so campaigns are reproducible *and* parallelizable;
+* dies and runs optionally fan out across a
+  :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Each vectorized kernel has a scalar reference (the pre-batch per-access
+loop) consuming the identical RNG stream, so batch results are
+*bit-exact* against the scalar paths under fixed seeds — the perf
+harness in ``benchmarks/perf/`` asserts exactly that before it times
+anything.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.access import AccessErrorModel
+from repro.core.retention import RetentionModel
+from repro.memdev.array import MemoryArray
+
+
+@dataclass(frozen=True)
+class AccessBerGrid:
+    """One Figure-5-style sweep: error counts over a voltage grid."""
+
+    voltages: np.ndarray
+    errors: np.ndarray
+    accesses: int
+    bits: int
+
+    @property
+    def bits_per_point(self) -> int:
+        return self.accesses * self.bits
+
+    @property
+    def bit_error_rates(self) -> np.ndarray:
+        return self.errors / float(self.bits_per_point)
+
+
+def _die_failure_counts(args) -> np.ndarray:
+    """Per-die worker: failing-bit counts over the voltage grid.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it.
+    """
+    retention, access_model, words, bits, child_seed, voltages = args
+    array = MemoryArray(
+        words, bits, retention, access_model,
+        rng=np.random.default_rng(child_seed),
+    )
+    vmin = np.sort(array.retention_vmin_map().ravel())
+    return vmin.size - np.searchsorted(vmin, voltages, side="right")
+
+
+class BatchCampaign:
+    """Vectorized campaign driver with per-point child RNG streams.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Every voltage point and every die derives an
+        independent child stream from ``(seed, index)``, which makes
+        grid evaluation order-independent — a prerequisite for process
+        fan-out.  ``None`` draws a fresh master seed from the OS.
+    processes:
+        When > 1, per-die work fans out across a process pool.
+    """
+
+    def __init__(
+        self, seed: int | None = None, processes: int | None = None
+    ) -> None:
+        if seed is None:
+            seed = int(np.random.SeedSequence().entropy) % (2**63)
+        self.seed = int(seed)
+        self.processes = processes
+
+    def _point_rng(self, index: int) -> np.random.Generator:
+        return np.random.default_rng((self.seed, index))
+
+    # ------------------------------------------------------------------
+    # Figure 5: access-error campaigns
+    # ------------------------------------------------------------------
+    #: Row block of the Bernoulli matrices, in doubles.
+    CHUNK_DOUBLES = 1 << 20
+
+    def access_ber_grid(
+        self,
+        access_model: AccessErrorModel,
+        voltages: np.ndarray,
+        accesses: int,
+        bits: int = 32,
+    ) -> AccessBerGrid:
+        """Quasi-static RW shmoo over a whole voltage grid, vectorized."""
+        voltages = np.asarray(voltages, dtype=float)
+        errors = np.zeros(voltages.shape, dtype=np.int64)
+        chunk = max(1, self.CHUNK_DOUBLES // bits)
+        for i, vdd in enumerate(voltages):
+            p_bit = access_model.bit_error_probability(float(vdd))
+            if p_bit == 0.0:
+                continue
+            rng = self._point_rng(i)
+            done = 0
+            while done < accesses:
+                rows = min(chunk, accesses - done)
+                errors[i] += int(
+                    np.count_nonzero(rng.random((rows, bits)) < p_bit)
+                )
+                done += rows
+        return AccessBerGrid(
+            voltages=voltages, errors=errors, accesses=accesses, bits=bits
+        )
+
+    def access_ber_grid_scalar(
+        self,
+        access_model: AccessErrorModel,
+        voltages: np.ndarray,
+        accesses: int,
+        bits: int = 32,
+    ) -> AccessBerGrid:
+        """Per-access reference loop of :meth:`access_ber_grid`.
+
+        Consumes the identical child RNG streams one access at a time;
+        bit-exact with the vectorized grid under the same seed.  Kept
+        as the correctness oracle and the scalar baseline of the perf
+        harness.
+        """
+        voltages = np.asarray(voltages, dtype=float)
+        errors = np.zeros(voltages.shape, dtype=np.int64)
+        for i, vdd in enumerate(voltages):
+            p_bit = access_model.bit_error_probability(float(vdd))
+            if p_bit == 0.0:
+                continue
+            rng = self._point_rng(i)
+            for _ in range(accesses):
+                errors[i] += int(np.count_nonzero(rng.random(bits) < p_bit))
+        return AccessBerGrid(
+            voltages=voltages, errors=errors, accesses=accesses, bits=bits
+        )
+
+    # ------------------------------------------------------------------
+    # Figure 4: multi-die retention campaigns
+    # ------------------------------------------------------------------
+    def retention_failure_curve(
+        self,
+        base_retention: RetentionModel,
+        access_model: AccessErrorModel,
+        voltages: np.ndarray,
+        n_dies: int = 9,
+        words: int = 1024,
+        bits: int = 32,
+        die_sigma_v: float = 0.015,
+    ) -> np.ndarray:
+        """Cumulative retention-failure probability over ``voltages``.
+
+        Reproduces :meth:`repro.memdev.die.DiePopulation` bit-exactly
+        for the same master seed (identical offset and per-die stream
+        derivation), but builds the dies independently so they can fan
+        out across a process pool.
+        """
+        voltages = np.asarray(voltages, dtype=float)
+        master = np.random.default_rng(self.seed)
+        offsets = master.normal(0.0, die_sigma_v, size=n_dies)
+        jobs = [
+            (
+                base_retention.shifted(float(offset)),
+                access_model,
+                words,
+                bits,
+                int(master.integers(2**63)),
+                voltages,
+            )
+            for offset in offsets
+        ]
+        if self.processes and self.processes > 1:
+            with ProcessPoolExecutor(max_workers=self.processes) as pool:
+                counts = list(pool.map(_die_failure_counts, jobs))
+        else:
+            counts = [_die_failure_counts(job) for job in jobs]
+        total_bits = n_dies * words * bits
+        return np.sum(counts, axis=0) / float(total_bits)

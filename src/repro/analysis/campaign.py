@@ -14,6 +14,7 @@ system actually fail the way the failure model says it does?
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.access import AccessErrorModel
@@ -51,6 +52,29 @@ class CampaignResult:
         return self.silent_corruption / self.runs
 
 
+def _campaign_run_one(args) -> tuple:
+    """Execute one seeded run and reduce it to picklable statistics.
+
+    Module-level so :class:`ProcessPoolExecutor` can ship it to worker
+    processes; each run is fully determined by its own seed, so results
+    are identical whether runs execute serially or fanned out.
+    """
+    (
+        runner_cls, workload, golden, access_model,
+        vdd, frequency, seed, runner_kwargs,
+    ) = args
+    runner = runner_cls(access_model, seed=seed, **runner_kwargs)
+    outcome = runner.run(workload, vdd=vdd, frequency=frequency)
+    return (
+        sum(outcome.sim.injected_bits.values()),
+        outcome.sim.corrected_words,
+        outcome.sim.rollbacks,
+        outcome.output_matches(golden),
+        outcome.completed,
+        outcome.failure,
+    )
+
+
 def run_campaign(
     runner_cls,
     workload: StreamingWorkload,
@@ -60,30 +84,41 @@ def run_campaign(
     frequency: float = 290e3,
     runs: int = 20,
     seed_base: int = 100,
+    processes: int | None = None,
     **runner_kwargs,
 ) -> CampaignResult:
-    """Run ``runs`` independent seeded executions and classify them."""
+    """Run ``runs`` independent seeded executions and classify them.
+
+    With ``processes`` > 1 the runs fan out across a process pool; per
+    run seeding keeps the classification identical to the serial path.
+    """
     if runs <= 0:
         raise ValueError("runs must be positive")
+    jobs = [
+        (
+            runner_cls, workload, golden, access_model,
+            vdd, frequency, seed_base + index, runner_kwargs,
+        )
+        for index in range(runs)
+    ]
+    if processes and processes > 1:
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            outcomes = list(pool.map(_campaign_run_one, jobs))
+    else:
+        outcomes = [_campaign_run_one(job) for job in jobs]
     result = CampaignResult(scheme=runner_cls.name, vdd=vdd)
-    for index in range(runs):
-        runner = runner_cls(
-            access_model, seed=seed_base + index, **runner_kwargs
-        )
-        outcome = runner.run(workload, vdd=vdd, frequency=frequency)
+    for injected, corrected, rollbacks, matches, completed, failure in outcomes:
         result.runs += 1
-        result.total_injected_bits += sum(
-            outcome.sim.injected_bits.values()
-        )
-        result.total_corrected += outcome.sim.corrected_words
-        result.total_rollbacks += outcome.sim.rollbacks
-        if outcome.output_matches(golden):
+        result.total_injected_bits += injected
+        result.total_corrected += corrected
+        result.total_rollbacks += rollbacks
+        if matches:
             result.correct += 1
-        elif outcome.completed:
+        elif completed:
             result.silent_corruption += 1
         else:
             result.detected_failure += 1
-            kind = outcome.failure or "unknown"
+            kind = failure or "unknown"
             result.failures_by_kind[kind] = (
                 result.failures_by_kind.get(kind, 0) + 1
             )

@@ -29,10 +29,10 @@ from repro.core.fit_solver import (
 from repro.core.retention import (
     RETENTION_CELL_BASED_40NM,
     RETENTION_COMMERCIAL_40NM,
+    RetentionModel,
 )
+from repro.analysis.batch import BatchCampaign
 from repro.memdev.array import MemoryArray
-from repro.memdev.characterize import access_shmoo
-from repro.memdev.die import DiePopulation
 from repro.memdev.library import table1_instances
 from repro.mitigation import (
     NoMitigationRunner,
@@ -266,24 +266,34 @@ class Fig4Series:
 
 
 def fig4_retention_ber(
-    n_dies: int = 9, words: int = 256, bits: int = 32, seed: int = 2014
+    n_dies: int = 9,
+    words: int = 256,
+    bits: int = 32,
+    seed: int = 2014,
+    processes: int | None = None,
 ) -> list[Fig4Series]:
-    """Regenerate Figure 4 for both memory designs."""
+    """Regenerate Figure 4 for both memory designs.
+
+    Runs on :class:`BatchCampaign`, which reproduces the
+    :class:`repro.memdev.die.DiePopulation` RNG streams bit-exactly for
+    the same ``seed`` while letting the dies fan out across
+    ``processes`` worker processes.
+    """
+    campaign = BatchCampaign(seed=seed, processes=processes)
     series = []
     for design, retention, access in (
         ("commercial", RETENTION_COMMERCIAL_40NM, ACCESS_COMMERCIAL_40NM),
         ("cell-based", RETENTION_CELL_BASED_40NM, ACCESS_CELL_BASED_40NM),
     ):
-        population = DiePopulation(
-            retention, access, words=words, bits=bits,
-            n_dies=n_dies, seed=seed,
-        )
         center, spread = retention.v_mean, retention.v_sigma
         voltages = np.linspace(
             max(0.05, center - 5.0 * spread), center + 5.0 * spread, 21
         )
-        measured = population.cumulative_failure_curve(voltages)
-        fitted = population.refit_retention_model(voltages)
+        measured = campaign.retention_failure_curve(
+            retention, access, voltages,
+            n_dies=n_dies, words=words, bits=bits,
+        )
+        fitted = RetentionModel.fit(voltages, measured)
         model = np.array(
             [fitted.bit_error_probability(float(v)) for v in voltages]
         )
@@ -316,24 +326,25 @@ class Fig5Series:
 def fig5_access_ber(
     accesses_per_point: int = 20_000, seed: int = 5
 ) -> list[Fig5Series]:
-    """Regenerate Figure 5 for both designs: quasi-static RW shmoo of a
-    synthetic array against the published Eq. 5 power laws."""
+    """Regenerate Figure 5 for both designs: quasi-static RW shmoo
+    against the published Eq. 5 power laws.
+
+    Runs on :class:`BatchCampaign`, whose vectorized grid evaluator is
+    bit-exact against its per-access scalar reference under the same
+    seed (each design gets its own campaign stream).
+    """
     series = []
-    for design, retention, access, v_lo, v_hi in (
+    for design_index, (design, access, v_lo, v_hi) in enumerate(
         (
-            "commercial", RETENTION_COMMERCIAL_40NM,
-            ACCESS_COMMERCIAL_40NM, 0.55, 0.80,
-        ),
-        (
-            "cell-based", RETENTION_CELL_BASED_40NM,
-            ACCESS_CELL_BASED_40NM, 0.30, 0.50,
-        ),
-    ):
-        array = MemoryArray(
-            64, 32, retention, access, rng=np.random.default_rng(seed)
+            ("commercial", ACCESS_COMMERCIAL_40NM, 0.55, 0.80),
+            ("cell-based", ACCESS_CELL_BASED_40NM, 0.30, 0.50),
         )
+    ):
+        campaign = BatchCampaign(seed=seed + 1000 * design_index)
         voltages = np.linspace(v_lo, v_hi, 11)
-        shmoo = access_shmoo(array, voltages, accesses_per_point)
+        grid = campaign.access_ber_grid(
+            access, voltages, accesses_per_point, bits=32
+        )
         model = np.array(
             [access.bit_error_probability(float(v)) for v in voltages]
         )
@@ -341,7 +352,7 @@ def fig5_access_ber(
             Fig5Series(
                 design=design,
                 voltages=voltages,
-                measured_ber=shmoo.bit_error_rates,
+                measured_ber=grid.bit_error_rates,
                 model_ber=model,
             )
         )

@@ -3,6 +3,8 @@
 Statistical voltage-reliability models for near-threshold memories and
 the machinery that turns them into design decisions:
 
+* :mod:`repro.core.bitops` — scalar and vectorized bit-manipulation
+  primitives shared by the codecs and fault engines.
 * :mod:`repro.core.noise_margin` — the Gaussian noise-margin model of
   Eq. 2-3 and its equivalence to the paper's Eq. 4 fit form.
 * :mod:`repro.core.retention` — retention bit-error rate vs. supply
@@ -21,6 +23,14 @@ the machinery that turns them into design decisions:
   loop that tracks the minimal voltage over a product's lifetime.
 """
 
+from repro.core.bitops import (
+    pack_bits_u64,
+    parity,
+    parity_u64,
+    popcount,
+    popcount_u64,
+    unpack_bits_u64,
+)
 from repro.core.noise_margin import NoiseMarginModel
 from repro.core.retention import RetentionModel
 from repro.core.access import (
@@ -52,6 +62,12 @@ from repro.core.yield_model import VminPopulation, population_from_access_spread
 from repro.core.parallelism import ParallelDesignPoint, ParallelismExplorer
 
 __all__ = [
+    "popcount",
+    "parity",
+    "popcount_u64",
+    "parity_u64",
+    "pack_bits_u64",
+    "unpack_bits_u64",
     "NoiseMarginModel",
     "RetentionModel",
     "AccessErrorModel",

@@ -1,0 +1,110 @@
+"""Bit-manipulation primitives shared across the simulator.
+
+Scalar helpers operate on non-negative Python integers (the codec and
+fault-mask representation used throughout :mod:`repro.ecc` and
+:mod:`repro.soc`); the ``*_u64`` helpers operate element-wise on numpy
+``uint64`` arrays and are the building blocks of the vectorized batch
+kernels (matrix-form ECC, block fault sampling).
+
+``popcount`` uses :meth:`int.bit_count` where available (Python >= 3.10)
+and falls back to the string-based count on older interpreters, which
+``pyproject.toml`` still admits (>= 3.9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_U64 = np.uint64
+_ALL_ONES_U64 = _U64(0xFFFFFFFFFFFFFFFF)
+
+
+# ----------------------------------------------------------------------
+# Scalar integers
+# ----------------------------------------------------------------------
+if hasattr(int, "bit_count"):  # Python >= 3.10
+
+    def popcount(value: int) -> int:
+        """Return the number of set bits of a non-negative integer."""
+        if value < 0:
+            raise ValueError(f"value must be non-negative, got {value}")
+        return value.bit_count()
+
+else:  # pragma: no cover - exercised only on Python 3.9
+
+    def popcount(value: int) -> int:
+        """Return the number of set bits of a non-negative integer."""
+        if value < 0:
+            raise ValueError(f"value must be non-negative, got {value}")
+        return bin(value).count("1")
+
+
+def parity(value: int) -> int:
+    """Return the XOR of all bits of a non-negative integer."""
+    return popcount(value) & 1
+
+
+# ----------------------------------------------------------------------
+# uint64 arrays
+# ----------------------------------------------------------------------
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+
+    def popcount_u64(values: np.ndarray) -> np.ndarray:
+        """Element-wise set-bit count of a ``uint64`` array."""
+        return np.bitwise_count(
+            np.asarray(values, dtype=_U64)
+        ).astype(_U64)
+
+else:  # pragma: no cover - SWAR fallback for older numpy
+
+    def popcount_u64(values: np.ndarray) -> np.ndarray:
+        """Element-wise set-bit count of a ``uint64`` array."""
+        x = np.asarray(values, dtype=_U64).copy()
+        x -= (x >> _U64(1)) & _U64(0x5555555555555555)
+        x = (x & _U64(0x3333333333333333)) + (
+            (x >> _U64(2)) & _U64(0x3333333333333333)
+        )
+        x = (x + (x >> _U64(4))) & _U64(0x0F0F0F0F0F0F0F0F)
+        return (x * _U64(0x0101010101010101)) >> _U64(56)
+
+
+def parity_u64(values: np.ndarray) -> np.ndarray:
+    """Element-wise bit parity (0/1) of a ``uint64`` array."""
+    return popcount_u64(values) & _U64(1)
+
+
+def select_mask_u64(condition_bits: np.ndarray) -> np.ndarray:
+    """Spread a 0/1 ``uint64`` array into 0 / all-ones lane masks.
+
+    The branch-free select used by the GF(2) column-XOR kernels:
+    ``out ^= column & select_mask_u64(bit)``.
+    """
+    return np.asarray(condition_bits, dtype=_U64) * _ALL_ONES_U64
+
+
+def pack_bits_u64(bits: np.ndarray) -> np.ndarray:
+    """Pack an ``(n, width)`` 0/1 array into ``n`` little-endian words.
+
+    ``width`` must be at most 64; column ``i`` becomes bit ``i``.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim != 2:
+        raise ValueError(f"expected a 2-D bit array, got shape {bits.shape}")
+    width = bits.shape[1]
+    if width > 64:
+        raise ValueError(f"width must be at most 64, got {width}")
+    if width == 0:
+        return np.zeros(bits.shape[0], dtype=_U64)
+    shifts = np.arange(width, dtype=_U64)
+    return np.bitwise_or.reduce(
+        bits.astype(_U64) << shifts[None, :], axis=1
+    )
+
+
+def unpack_bits_u64(words: np.ndarray, width: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits_u64`: ``(n,)`` words to ``(n, width)``."""
+    if not 0 < width <= 64:
+        raise ValueError(f"width must be in 1..64, got {width}")
+    words = np.asarray(words, dtype=_U64)
+    shifts = np.arange(width, dtype=_U64)
+    return ((words[:, None] >> shifts[None, :]) & _U64(1)).astype(np.uint8)

@@ -15,7 +15,16 @@ GF(2^m) field arithmetic (:mod:`repro.ecc.gf2m`), parity detection
 codec transparently (:mod:`repro.ecc.wrapper`).
 """
 
-from repro.ecc.base import Codec, DecodeResult, DecodeStatus
+from repro.ecc.base import (
+    BatchDecodeResult,
+    Codec,
+    DecodeResult,
+    DecodeStatus,
+    STATUS_CLEAN,
+    STATUS_CORRECTED,
+    STATUS_DETECTED,
+    status_code,
+)
 from repro.ecc.parity import ParityCodec
 from repro.ecc.hamming import SecdedCodec
 from repro.ecc.bch import BchCodec
@@ -26,6 +35,11 @@ __all__ = [
     "Codec",
     "DecodeResult",
     "DecodeStatus",
+    "BatchDecodeResult",
+    "STATUS_CLEAN",
+    "STATUS_CORRECTED",
+    "STATUS_DETECTED",
+    "status_code",
     "ParityCodec",
     "SecdedCodec",
     "BchCodec",

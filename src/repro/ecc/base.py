@@ -5,6 +5,14 @@ treated as little-endian bit vectors: data words of ``data_bits`` bits
 are encoded into codewords of ``code_bits`` bits.  Integers keep the
 simulator fast (XOR of a whole word is one operation) while staying
 bit-exact.
+
+Batch API: Monte-Carlo campaigns decode millions of words, so every
+codec also exposes :meth:`Codec.encode_batch` / :meth:`Codec.decode_batch`
+over ``uint64`` numpy arrays.  The base class provides a scalar
+fallback (a loop over :meth:`Codec.encode` / :meth:`Codec.decode`);
+:class:`repro.ecc.hamming.SecdedCodec` and
+:class:`repro.ecc.bch.BchCodec` override them with GF(2) bit-matrix
+kernels that are bit-exact with the scalar paths.
 """
 
 from __future__ import annotations
@@ -12,6 +20,8 @@ from __future__ import annotations
 import abc
 import enum
 from dataclasses import dataclass
+
+import numpy as np
 
 
 class DecodeStatus(enum.Enum):
@@ -24,6 +34,61 @@ class DecodeStatus(enum.Enum):
     #: Errors were detected but exceed the correction capability; data
     #: is NOT trustworthy (a recovery mechanism must step in).
     DETECTED = "detected"
+
+
+#: Integer codes used by the batch decode path (uint8 status arrays).
+STATUS_CLEAN = 0
+STATUS_CORRECTED = 1
+STATUS_DETECTED = 2
+
+_STATUS_TO_CODE = {
+    DecodeStatus.CLEAN: STATUS_CLEAN,
+    DecodeStatus.CORRECTED: STATUS_CORRECTED,
+    DecodeStatus.DETECTED: STATUS_DETECTED,
+}
+_CODE_TO_STATUS = {code: status for status, code in _STATUS_TO_CODE.items()}
+
+
+def status_code(status: DecodeStatus) -> int:
+    """Return the batch-path integer code of a :class:`DecodeStatus`."""
+    return _STATUS_TO_CODE[status]
+
+
+@dataclass(frozen=True)
+class BatchDecodeResult:
+    """Column-oriented result of decoding a batch of codewords.
+
+    Attributes
+    ----------
+    data:
+        ``uint64`` array of decoded data words (best effort where
+        ``status`` is :data:`STATUS_DETECTED`).
+    status:
+        ``uint8`` array of :data:`STATUS_CLEAN` /
+        :data:`STATUS_CORRECTED` / :data:`STATUS_DETECTED` codes.
+    corrected_bits:
+        ``int64`` array of per-word corrected-bit counts.
+    """
+
+    data: np.ndarray
+    status: np.ndarray
+    corrected_bits: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def ok(self) -> np.ndarray:
+        """Boolean array: which decoded words can be trusted."""
+        return self.status != STATUS_DETECTED
+
+    def __getitem__(self, index: int) -> "DecodeResult":
+        """Return element ``index`` as a scalar :class:`DecodeResult`."""
+        return DecodeResult(
+            data=int(self.data[index]),
+            status=_CODE_TO_STATUS[int(self.status[index])],
+            corrected_bits=int(self.corrected_bits[index]),
+        )
 
 
 @dataclass(frozen=True)
@@ -77,8 +142,58 @@ class Codec(abc.ABC):
         """Decode ``codeword`` (must fit in ``code_bits``)."""
 
     # ------------------------------------------------------------------
+    # Batch API (vectorized campaigns)
+    # ------------------------------------------------------------------
+    def encode_batch(self, words: np.ndarray) -> np.ndarray:
+        """Encode an array of data words into an array of codewords.
+
+        The base implementation is a scalar fallback; fast codecs
+        override it.  Both are bit-exact with :meth:`encode`.
+        """
+        words = self._as_word_array(words, self.data_bits, "data")
+        out = np.empty(words.shape, dtype=np.uint64)
+        for i, word in enumerate(words):
+            out[i] = self.encode(int(word))
+        return out
+
+    def decode_batch(self, codewords: np.ndarray) -> BatchDecodeResult:
+        """Decode an array of codewords; bit-exact with :meth:`decode`."""
+        codewords = self._as_word_array(codewords, self.code_bits, "codeword")
+        n = codewords.shape[0]
+        data = np.empty(n, dtype=np.uint64)
+        status = np.empty(n, dtype=np.uint8)
+        corrected = np.empty(n, dtype=np.int64)
+        for i, codeword in enumerate(codewords):
+            result = self.decode(int(codeword))
+            data[i] = result.data
+            status[i] = status_code(result.status)
+            corrected[i] = result.corrected_bits
+        return BatchDecodeResult(
+            data=data, status=status, corrected_bits=corrected
+        )
+
+    # ------------------------------------------------------------------
     # Shared validation helpers
     # ------------------------------------------------------------------
+    def _as_word_array(
+        self, values: np.ndarray, width: int, label: str
+    ) -> np.ndarray:
+        """Validate and coerce a batch input to a 1-D ``uint64`` array."""
+        if width > 64:
+            raise ValueError(
+                f"batch API supports at most 64 {label} bits, "
+                f"this codec has {width}"
+            )
+        arr = np.ascontiguousarray(values, dtype=np.uint64)
+        if arr.ndim != 1:
+            raise ValueError(
+                f"expected a 1-D array of {label} words, got shape "
+                f"{arr.shape}"
+            )
+        if width < 64 and bool((arr >> np.uint64(width)).any()):
+            raise ValueError(f"every {label} must fit in {width} bits")
+        return arr
+
     def _check_data(self, data: int) -> None:
         if data < 0 or data >> self.data_bits:
             raise ValueError(

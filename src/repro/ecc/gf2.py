@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.bitops import popcount
+
 
 def as_gf2(matrix: np.ndarray) -> np.ndarray:
     """Return ``matrix`` reduced mod 2 as a uint8 array."""
@@ -112,9 +114,7 @@ def is_codeword(parity_check: np.ndarray, word_bits: np.ndarray) -> bool:
 
 def hamming_weight(value: int) -> int:
     """Return the number of set bits of a non-negative integer."""
-    if value < 0:
-        raise ValueError(f"value must be non-negative, got {value}")
-    return bin(value).count("1")
+    return popcount(value)
 
 
 def hamming_distance(a: int, b: int) -> int:

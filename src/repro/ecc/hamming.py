@@ -11,11 +11,30 @@ Construction: the classic extended Hamming layout.  Codeword positions
 are numbered 1..38 with check bits at the power-of-two positions
 (1, 2, 4, 8, 16, 32); the 32 data bits occupy the remaining positions;
 bit 39 (index 38) is the overall parity of everything else.
+
+The batch path works in GF(2) matrix form: the codec precomputes the
+39-bit generator columns (one per data bit — the code is linear, so a
+column is just the encoding of a one-hot word), the six parity-check
+row masks, and a 256-entry syndrome lookup table mapping
+``(overall parity, 6-bit syndrome)`` straight to the flip mask, status
+and corrected-bit count of the scalar decision tree.  ``encode_batch``
+and ``decode_batch`` are bit-exact with the scalar paths.
 """
 
 from __future__ import annotations
 
-from repro.ecc.base import Codec, DecodeResult, DecodeStatus
+import numpy as np
+
+from repro.core.bitops import parity
+from repro.ecc.base import (
+    BatchDecodeResult,
+    Codec,
+    DecodeResult,
+    DecodeStatus,
+    STATUS_CLEAN,
+    STATUS_CORRECTED,
+    STATUS_DETECTED,
+)
 
 _POSITIONS = 38  # Hamming part (positions 1..38)
 _PARITY_POSITIONS = (1, 2, 4, 8, 16, 32)
@@ -24,10 +43,12 @@ _DATA_POSITIONS = tuple(
 )
 assert len(_DATA_POSITIONS) == 32
 
+_U64 = np.uint64
+
 
 def _parity(value: int) -> int:
     """Return the XOR of all bits of ``value``."""
-    return bin(value).count("1") & 1
+    return parity(value)
 
 
 class SecdedCodec(Codec):
@@ -36,9 +57,88 @@ class SecdedCodec(Codec):
     data_bits = 32
     code_bits = 39
 
-    def encode(self, data: int) -> int:
-        """Encode a 32-bit word into a 39-bit SECDED codeword."""
-        self._check_data(data)
+    def __init__(self) -> None:
+        # Generator columns: encode() is linear over GF(2), so the
+        # codeword of any data word is the XOR of the columns of its
+        # set bits.
+        self._columns = np.array(
+            [self._encode_scalar(1 << i) for i in range(self.data_bits)],
+            dtype=_U64,
+        )
+        # Parity-check row masks: syndrome bit j is the parity of the
+        # Hamming positions whose 1-based position number has bit j set.
+        masks = []
+        for j in range(6):
+            mask = 0
+            for pos in range(1, _POSITIONS + 1):
+                if (pos >> j) & 1:
+                    mask |= 1 << (pos - 1)
+            masks.append(mask)
+        self._syndrome_masks = np.array(masks, dtype=_U64)
+        # Byte-sliced kernels: one 256-entry table per input byte turns
+        # the GF(2) matrix products into a handful of gathers per word.
+        # Encoding is linear, so table k entry v is just the scalar
+        # encoding (or syndrome / extraction) of ``v << 8k``.
+        self._enc_byte_luts = np.array(
+            [
+                [self._encode_scalar((v << (8 * k)) & 0xFFFFFFFF)
+                 for v in range(256)]
+                for k in range(4)
+            ],
+            dtype=_U64,
+        )
+        self._ext_byte_luts = np.array(
+            [
+                [self._extract((v << (8 * k)) & ((1 << self.code_bits) - 1))
+                 for v in range(256)]
+                for k in range(5)
+            ],
+            dtype=_U64,
+        )
+        # Index tables: byte k of the codeword contributes
+        # (parity << 6) ^ syndrome to the 7-bit LUT index by XOR.
+        code_mask = (1 << self.code_bits) - 1
+        index_luts = np.zeros((5, 256), dtype=np.uint8)
+        for k in range(5):
+            for v in range(256):
+                part = (v << (8 * k)) & code_mask
+                syndrome = 0
+                remaining = part & ((1 << _POSITIONS) - 1)
+                while remaining:
+                    lsb = remaining & -remaining
+                    syndrome ^= lsb.bit_length()
+                    remaining ^= lsb
+                index_luts[k, v] = (_parity(part) << 6) | syndrome
+        self._index_byte_luts = index_luts
+        # Syndrome LUT: index = (overall parity << 6) | syndrome.  Each
+        # entry resolves the scalar decode decision tree in one lookup:
+        # the codeword flip mask, the status code and the corrected-bit
+        # count.
+        self._flip_lut = np.zeros(256, dtype=_U64)
+        self._status_lut = np.full(256, STATUS_DETECTED, dtype=np.uint8)
+        self._corrected_lut = np.zeros(256, dtype=np.int64)
+        for syndrome in range(64):
+            for overall in (0, 1):
+                index = (overall << 6) | syndrome
+                if overall == 0 and syndrome == 0:
+                    self._status_lut[index] = STATUS_CLEAN
+                elif overall == 1 and syndrome == 0:
+                    # The overall parity bit itself flipped.
+                    self._flip_lut[index] = _U64(1) << _U64(self.code_bits - 1)
+                    self._status_lut[index] = STATUS_CORRECTED
+                    self._corrected_lut[index] = 1
+                elif overall == 1 and 1 <= syndrome <= _POSITIONS:
+                    self._flip_lut[index] = _U64(1) << _U64(syndrome - 1)
+                    self._status_lut[index] = STATUS_CORRECTED
+                    self._corrected_lut[index] = 1
+                # Remaining cases (even parity with non-zero syndrome,
+                # or a syndrome pointing past position 38) stay DETECTED.
+
+    # ------------------------------------------------------------------
+    # Scalar path
+    # ------------------------------------------------------------------
+    @classmethod
+    def _encode_scalar(cls, data: int) -> int:
         word = 0
         syndrome = 0
         for i, pos in enumerate(_DATA_POSITIONS):
@@ -52,8 +152,13 @@ class SecdedCodec(Codec):
                 word |= 1 << (pos - 1)
         # Overall parity over the 38 Hamming positions.
         if _parity(word):
-            word |= 1 << (self.code_bits - 1)
+            word |= 1 << (cls.code_bits - 1)
         return word
+
+    def encode(self, data: int) -> int:
+        """Encode a 32-bit word into a 39-bit SECDED codeword."""
+        self._check_data(data)
+        return self._encode_scalar(data)
 
     def decode(self, codeword: int) -> DecodeResult:
         """Decode a 39-bit codeword; correct 1 error, detect 2."""
@@ -105,4 +210,43 @@ class SecdedCodec(Codec):
         for i, pos in enumerate(_DATA_POSITIONS):
             if (codeword >> (pos - 1)) & 1:
                 data |= 1 << i
+        return data
+
+    # ------------------------------------------------------------------
+    # Batch path (GF(2) matrix form)
+    # ------------------------------------------------------------------
+    def encode_batch(self, words: np.ndarray) -> np.ndarray:
+        """Vectorized encode: byte-sliced generator-matrix gathers."""
+        words = self._as_word_array(words, self.data_bits, "data")
+        out = self._enc_byte_luts[0][(words & _U64(0xFF)).astype(np.intp)]
+        for k in range(1, 4):
+            byte = ((words >> _U64(8 * k)) & _U64(0xFF)).astype(np.intp)
+            out ^= self._enc_byte_luts[k][byte]
+        return out
+
+    def decode_batch(self, codewords: np.ndarray) -> BatchDecodeResult:
+        """Vectorized decode via byte-sliced parity checks + syndrome LUT."""
+        codewords = self._as_word_array(codewords, self.code_bits, "codeword")
+        bytes_ = [
+            ((codewords >> _U64(8 * k)) & _U64(0xFF)).astype(np.intp)
+            for k in range(5)
+        ]
+        index = self._index_byte_luts[0][bytes_[0]]
+        for k in range(1, 5):
+            index ^= self._index_byte_luts[k][bytes_[k]]
+        index = index.astype(np.intp)
+        corrected_words = codewords ^ self._flip_lut[index]
+        data = self._extract_batch(corrected_words)
+        return BatchDecodeResult(
+            data=data,
+            status=self._status_lut[index],
+            corrected_bits=self._corrected_lut[index],
+        )
+
+    def _extract_batch(self, codewords: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_extract` over a ``uint64`` array."""
+        data = self._ext_byte_luts[0][(codewords & _U64(0xFF)).astype(np.intp)]
+        for k in range(1, 5):
+            byte = ((codewords >> _U64(8 * k)) & _U64(0xFF)).astype(np.intp)
+            data ^= self._ext_byte_luts[k][byte]
         return data

@@ -9,7 +9,17 @@ baseline and as the detection stage of the OCEAN ablations.
 
 from __future__ import annotations
 
-from repro.ecc.base import Codec, DecodeResult, DecodeStatus
+import numpy as np
+
+from repro.core.bitops import parity, parity_u64
+from repro.ecc.base import (
+    BatchDecodeResult,
+    Codec,
+    DecodeResult,
+    DecodeStatus,
+    STATUS_CLEAN,
+    STATUS_DETECTED,
+)
 
 
 class ParityCodec(Codec):
@@ -24,13 +34,32 @@ class ParityCodec(Codec):
     def encode(self, data: int) -> int:
         """Append one even-parity bit above the data bits."""
         self._check_data(data)
-        parity = bin(data).count("1") & 1
-        return data | (parity << self.data_bits)
+        return data | (parity(data) << self.data_bits)
 
     def decode(self, codeword: int) -> DecodeResult:
         """Check parity; report DETECTED on violation (no correction)."""
         self._check_codeword(codeword)
         data = codeword & ((1 << self.data_bits) - 1)
-        if bin(codeword).count("1") & 1:
+        if parity(codeword):
             return DecodeResult(data=data, status=DecodeStatus.DETECTED)
         return DecodeResult(data=data, status=DecodeStatus.CLEAN)
+
+    # ------------------------------------------------------------------
+    # Batch API
+    # ------------------------------------------------------------------
+    def encode_batch(self, words: np.ndarray) -> np.ndarray:
+        """Vectorized parity append."""
+        words = self._as_word_array(words, self.data_bits, "data")
+        return words | (parity_u64(words) << np.uint64(self.data_bits))
+
+    def decode_batch(self, codewords: np.ndarray) -> BatchDecodeResult:
+        """Vectorized parity check."""
+        codewords = self._as_word_array(codewords, self.code_bits, "codeword")
+        odd = parity_u64(codewords).astype(bool)
+        status = np.where(odd, STATUS_DETECTED, STATUS_CLEAN).astype(np.uint8)
+        data_mask = np.uint64((1 << self.data_bits) - 1)
+        return BatchDecodeResult(
+            data=codewords & data_mask,
+            status=status,
+            corrected_bits=np.zeros(codewords.shape, dtype=np.int64),
+        )

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.access import AccessErrorModel
+from repro.core.bitops import pack_bits_u64, popcount_u64
 from repro.core.retention import RetentionModel
 
 
@@ -77,11 +78,15 @@ class MemoryArray:
     ) -> None:
         if words <= 0 or bits <= 0:
             raise ValueError("words and bits must be positive")
+        if bits > 64:
+            raise ValueError(
+                f"bits must be at most 64 (uint64 word storage), got {bits}"
+            )
         self.words = words
         self.bits = bits
         self.retention_model = retention_model
         self.access_model = access_model
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else np.random.default_rng()
         self.gradient_v = gradient_v
 
         random_part = retention_model.sample_cell_voltages(
@@ -162,10 +167,11 @@ class MemoryArray:
             flips = self.rng.random(self.bits) < p_bit
             if flips.any():
                 break
-        mask = 0
-        for position in np.nonzero(flips)[0]:
-            mask |= 1 << int(position)
-        return mask
+        return int(pack_bits_u64(flips[None, :])[0])
+
+    #: Row block of the vectorized tester; bounds the Bernoulli matrix
+    #: held in memory to a few megabytes regardless of ``accesses``.
+    BER_CHUNK_DOUBLES = 1 << 20
 
     def measure_access_ber(
         self, vdd: float, accesses: int
@@ -173,14 +179,62 @@ class MemoryArray:
         """Run ``accesses`` word accesses; return (bit errors, bits).
 
         The quasi-static tester of Section IV: write a word, read it
-        back, count differing bits."""
+        back, count differing bits.  Vectorized: the per-access per-bit
+        Bernoulli matrix is drawn in chunks and counted with numpy.
+        Bit-exact with :meth:`measure_access_ber_scalar` under the same
+        RNG state, because numpy fills uniform draws sequentially in C
+        order.
+        """
         if accesses <= 0:
             raise ValueError("accesses must be positive")
+        p_bit = self.access_model.bit_error_probability(vdd)
+        if p_bit == 0.0:
+            return 0, accesses * self.bits
+        errors = 0
+        chunk = max(1, self.BER_CHUNK_DOUBLES // self.bits)
+        done = 0
+        while done < accesses:
+            rows = min(chunk, accesses - done)
+            errors += int(
+                np.count_nonzero(self.rng.random((rows, self.bits)) < p_bit)
+            )
+            done += rows
+        return errors, accesses * self.bits
+
+    def measure_access_ber_scalar(
+        self, vdd: float, accesses: int
+    ) -> tuple[int, int]:
+        """Reference per-access loop of :meth:`measure_access_ber`.
+
+        Kept as the bit-exactness oracle for the batch path (and as the
+        scalar baseline of the perf harness): consumes the RNG stream
+        one access at a time and must return exactly the same counts as
+        the vectorized tester from an identical generator state.
+        """
+        if accesses <= 0:
+            raise ValueError("accesses must be positive")
+        p_bit = self.access_model.bit_error_probability(vdd)
+        if p_bit == 0.0:
+            return 0, accesses * self.bits
         errors = 0
         for _ in range(accesses):
-            mask = self.sample_access_flips(vdd, AccessKind.READ)
-            errors += bin(mask).count("1")
+            errors += int(np.count_nonzero(self.rng.random(self.bits) < p_bit))
         return errors, accesses * self.bits
+
+    def measure_access_ber_grid(
+        self, voltages: np.ndarray, accesses: int
+    ) -> np.ndarray:
+        """Run the quasi-static tester over a whole voltage grid.
+
+        Returns the measured bit-error rate per voltage — one
+        Figure 5 curve in a single call.
+        """
+        voltages = np.asarray(voltages, dtype=float)
+        rates = np.empty(voltages.shape, dtype=float)
+        for i, vdd in enumerate(voltages):
+            errors, bits = self.measure_access_ber(float(vdd), accesses)
+            rates[i] = errors / bits
+        return rates
 
     # ------------------------------------------------------------------
     # Word storage (simulator backing store)
@@ -207,16 +261,12 @@ class MemoryArray:
         Returns the number of flipped bits.
         """
         failures = self.retention_failures(vdd)
-        flipped = 0
-        for word in np.nonzero(failures.any(axis=1))[0]:
-            mask = 0
-            for bit in np.nonzero(failures[word])[0]:
-                if self.rng.random() < 0.5:
-                    mask |= 1 << int(bit)
-            if mask:
-                self._data[word] = np.uint64(int(self._data[word]) ^ mask)
-                flipped += bin(mask).count("1")
-        return flipped
+        if not failures.any():
+            return 0
+        flips = failures & (self.rng.random(failures.shape) < 0.5)
+        masks = pack_bits_u64(flips)
+        self._data ^= masks
+        return int(popcount_u64(masks).sum())
 
     def _check_address(self, address: int) -> None:
         if not 0 <= address < self.words:

@@ -58,15 +58,13 @@ def access_shmoo(
 
     Mirrors the paper's second measurement: "testing is done as
     quasi-static operation", i.e. timing effects are masked and only
-    functional bit errors are counted.
+    functional bit errors are counted.  The sweep runs on the array's
+    vectorized grid tester.
     """
     voltages = np.asarray(voltages, dtype=float)
-    rates = []
-    for vdd in voltages:
-        errors, bits = array.measure_access_ber(float(vdd), accesses_per_point)
-        rates.append(errors / bits)
+    rates = array.measure_access_ber_grid(voltages, accesses_per_point)
     return ShmooResult(
-        voltages=voltages, bit_error_rates=np.array(rates), kind="access"
+        voltages=voltages, bit_error_rates=rates, kind="access"
     )
 
 

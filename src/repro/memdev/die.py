@@ -143,13 +143,20 @@ class DiePopulation:
         self, voltages: np.ndarray
     ) -> np.ndarray:
         """Return the measured cumulative bit-failure probability at
-        each voltage, aggregated over every die (Figure 4's y-axis)."""
+        each voltage, aggregated over every die (Figure 4's y-axis).
+
+        Vectorized: one sort of the pooled per-cell retention voltages
+        answers the whole grid via ``searchsorted`` — the count of
+        cells above ``vdd`` per point — instead of a dies x voltages
+        double loop.
+        """
         voltages = np.asarray(voltages, dtype=float)
-        counts = np.zeros(voltages.shape, dtype=float)
-        for die in self.dies:
-            vmin = die.array.retention_vmin_map()
-            for i, vdd in enumerate(voltages):
-                counts[i] += float((vmin > vdd).sum())
+        pooled = np.sort(
+            np.concatenate(
+                [die.array.retention_vmin_map().ravel() for die in self.dies]
+            )
+        )
+        counts = pooled.size - np.searchsorted(pooled, voltages, side="right")
         return counts / float(self.total_bits)
 
     def per_die_failure_counts(self, vdd: float) -> list[int]:

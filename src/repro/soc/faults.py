@@ -6,15 +6,26 @@ the model's per-bit probability at the current supply voltage.  The
 engine also exposes deterministic *forced* fault injection for directed
 tests (flip exactly these bits on the next access), which the failure-
 injection test-suite uses.
+
+Sampling strategy: at moderate supply voltages the overwhelming
+majority of accesses are fault free, so the engine does not draw a
+Bernoulli per access.  Instead it samples the *gap to the next faulty
+access* from the geometric distribution implied by the word-level fault
+probability, and pre-generates the (conditional, non-zero) flip masks
+of faulty accesses in vectorized blocks.  A fault-free access is a
+counter decrement — O(1), no RNG call — while the flip statistics stay
+exactly Bernoulli per access and per bit.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 
 import numpy as np
 
 from repro.core.access import AccessErrorModel
+from repro.core.bitops import pack_bits_u64, popcount, popcount_u64
 
 
 class VoltageFaultModel:
@@ -32,8 +43,13 @@ class VoltageFaultModel:
         Initial supply voltage; mutable via :meth:`set_vdd` (the
         run-time control loop's knob).
     rng:
-        Random generator (seed for reproducibility).
+        Random generator.  Pass a seeded one for reproducibility; the
+        default is an OS-seeded stream so that independent fault models
+        never share a sequence by accident.
     """
+
+    #: Conditional flip masks pre-generated per refill (vectorized).
+    MASK_BLOCK = 64
 
     def __init__(
         self,
@@ -44,10 +60,13 @@ class VoltageFaultModel:
     ) -> None:
         if width <= 0:
             raise ValueError(f"width must be positive, got {width}")
+        if width > 64:
+            raise ValueError(f"width must be at most 64, got {width}")
         self.access_model = access_model
         self.width = width
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else np.random.default_rng()
         self._forced: deque[int] = deque()
+        self._mask_block: deque[int] = deque()
         self.injected_bits = 0
         self.injected_events = 0
         self.set_vdd(vdd)
@@ -62,11 +81,21 @@ class VoltageFaultModel:
             )
         else:
             self._p_any = 0.0
+        # Cached gap, mask block and flip-count CDF belong to the old
+        # voltage.
+        self._gap: int | None = None
+        self._mask_block.clear()
+        self._cond_cdf: np.ndarray | None = None
         self.vdd = vdd
 
     @property
     def p_bit(self) -> float:
         return self._p_bit
+
+    @property
+    def p_any(self) -> float:
+        """Probability that one access flips at least one stored bit."""
+        return self._p_any
 
     def force_next(self, mask: int) -> None:
         """Queue a deterministic flip mask for the next access."""
@@ -80,15 +109,94 @@ class VoltageFaultModel:
         """Return the flip mask for one access (0 almost always)."""
         if self._forced:
             mask = self._forced.popleft()
-        elif self._p_any == 0.0 or self.rng.random() >= self._p_any:
+        elif self._p_any == 0.0:
             return 0
         else:
-            mask = 0
-            while mask == 0:
-                flips = self.rng.random(self.width) < self._p_bit
-                for position in np.nonzero(flips)[0]:
-                    mask |= 1 << int(position)
+            if self._gap is None:
+                self._gap = int(self.rng.geometric(self._p_any)) - 1
+            if self._gap > 0:
+                self._gap -= 1
+                return 0
+            mask = self._draw_conditional_mask()
+            self._gap = int(self.rng.geometric(self._p_any)) - 1
         if mask:
             self.injected_events += 1
-            self.injected_bits += bin(mask).count("1")
+            self.injected_bits += popcount(mask)
         return mask
+
+    def sample_masks(self, accesses: int) -> np.ndarray:
+        """Return the flip masks of ``accesses`` consecutive accesses.
+
+        Batch equivalent of calling :meth:`sample_mask` ``accesses``
+        times: forced masks fire first, then faulty accesses land at
+        geometrically distributed gaps with conditional non-zero masks.
+        Fault-free stretches cost no RNG draws at all.
+        """
+        if accesses < 0:
+            raise ValueError(f"accesses must be non-negative, got {accesses}")
+        masks = np.zeros(accesses, dtype=np.uint64)
+        start = 0
+        while self._forced and start < accesses:
+            masks[start] = self.sample_mask()
+            start += 1
+        if self._p_any == 0.0 or start >= accesses:
+            return masks
+        # Walk the geometric gaps over the remaining accesses.
+        faulty_indices = []
+        position = start
+        if self._gap is None:
+            self._gap = int(self.rng.geometric(self._p_any)) - 1
+        while True:
+            position += self._gap
+            if position >= accesses:
+                self._gap = position - accesses
+                break
+            faulty_indices.append(position)
+            position += 1
+            self._gap = int(self.rng.geometric(self._p_any)) - 1
+        if faulty_indices:
+            drawn = self._draw_conditional_masks(len(faulty_indices))
+            masks[np.array(faulty_indices, dtype=np.intp)] = drawn
+            self.injected_events += len(faulty_indices)
+            self.injected_bits += int(popcount_u64(drawn).sum())
+        return masks
+
+    # ------------------------------------------------------------------
+    # Conditional mask generation (pre-generated in blocks)
+    # ------------------------------------------------------------------
+    def _draw_conditional_mask(self) -> int:
+        if not self._mask_block:
+            self._mask_block.extend(
+                int(m) for m in self._draw_conditional_masks(self.MASK_BLOCK)
+            )
+        return self._mask_block.popleft()
+
+    def _flip_count_cdf(self) -> np.ndarray:
+        """CDF of the flip count K ~ Binomial(width, p_bit) | K >= 1."""
+        if self._cond_cdf is None:
+            p, w = self._p_bit, self.width
+            pmf = np.array(
+                [
+                    math.comb(w, k) * p**k * (1.0 - p) ** (w - k)
+                    for k in range(1, w + 1)
+                ]
+            )
+            self._cond_cdf = np.cumsum(pmf / pmf.sum())
+        return self._cond_cdf
+
+    def _draw_conditional_masks(self, count: int) -> np.ndarray:
+        """Draw ``count`` iid flip masks conditioned on >= 1 flip.
+
+        Exact two-stage sampling: the flip count comes from the
+        truncated binomial CDF, the flipped positions are a uniform
+        k-subset (the k smallest of ``width`` uniforms per mask) — no
+        rejection loop, so the cost is independent of how small
+        ``p_bit`` is.
+        """
+        cdf = self._flip_count_cdf()
+        ks = 1 + np.searchsorted(cdf, self.rng.random(count), side="right")
+        np.clip(ks, 1, self.width, out=ks)
+        u = self.rng.random((count, self.width))
+        thresholds = np.sort(u, axis=1)[np.arange(count), ks - 1]
+        flips = u <= thresholds[:, None]
+        return pack_bits_u64(flips)

@@ -100,7 +100,7 @@ def monte_carlo_inverter_delay(
     """
     if samples <= 1:
         raise ValueError(f"need at least 2 samples, got {samples}")
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng()
     sigma = sigma_vth(node.nmos.avt_mv_um, width_um, length_um)
     shifts = rng.normal(0.0, sigma, size=samples)
     delays = np.array(

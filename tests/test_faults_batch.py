@@ -1,0 +1,127 @@
+"""Batched fault sampling must reproduce the scalar fault statistics.
+
+The gap-sampling fault engine draws a different RNG stream layout than
+a per-access Bernoulli loop, so the contract is *statistical* equality
+(same per-access, per-bit flip law) plus exact semantics for forced
+masks — and for the array's BER tester, *bit-exact* equality, because
+the vectorized tester consumes the identical uniform stream as the
+scalar reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.access import ACCESS_CELL_BASED_40NM
+from repro.core.bitops import popcount
+from repro.core.retention import RETENTION_CELL_BASED_40NM
+from repro.memdev.array import MemoryArray
+from repro.soc.faults import VoltageFaultModel
+
+
+def make_model(vdd=0.42, width=32, seed=11):
+    return VoltageFaultModel(
+        ACCESS_CELL_BASED_40NM, width=width, vdd=vdd,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestBatchMaskSampling:
+    def test_batch_matches_scalar_statistics(self):
+        """Same seed, same access count: batch and scalar paths must
+        land within a tight band around the Bernoulli expectation."""
+        accesses = 400_000
+        scalar_model = make_model()
+        batch_model = make_model()
+        scalar_bits = 0
+        for _ in range(accesses):
+            scalar_bits += popcount(scalar_model.sample_mask())
+        masks = batch_model.sample_masks(accesses)
+        assert batch_model.injected_bits == sum(
+            popcount(int(m)) for m in masks
+        )
+        expect = accesses * scalar_model.width * scalar_model.p_bit
+        band = 6.0 * np.sqrt(expect) + 10.0
+        assert abs(scalar_bits - expect) < band
+        assert abs(batch_model.injected_bits - expect) < band
+        assert scalar_model.injected_bits == scalar_bits
+
+    def test_event_rate_matches_word_fault_probability(self):
+        accesses = 400_000
+        model = make_model(seed=12)
+        model.sample_masks(accesses)
+        expect = accesses * model.p_any
+        band = 6.0 * np.sqrt(expect) + 10.0
+        assert abs(model.injected_events - expect) < band
+
+    def test_every_sampled_mask_is_nonzero_at_fault_sites(self):
+        model = make_model(vdd=0.34, seed=13)
+        masks = model.sample_masks(50_000)
+        faulty = masks[masks != 0]
+        assert faulty.size == model.injected_events
+        assert int(faulty.max()) < (1 << model.width)
+
+    def test_batch_then_scalar_continues_the_gap_walk(self):
+        """Splitting the same access stream into batch + scalar chunks
+        keeps the overall event rate correct (the leftover gap carries
+        across the boundary)."""
+        accesses, split = 200_000, 70_000
+        model = make_model(vdd=0.40, seed=14)
+        model.sample_masks(split)
+        for _ in range(accesses - split):
+            model.sample_mask()
+        expect = accesses * model.p_any
+        band = 6.0 * np.sqrt(expect) + 10.0
+        assert abs(model.injected_events - expect) < band
+
+    def test_forced_masks_fire_first_in_batch(self):
+        model = make_model()
+        model.force_next(0b101)
+        model.force_next(0b010)
+        masks = model.sample_masks(10)
+        assert masks[0] == 0b101
+        assert masks[1] == 0b010
+
+    def test_zero_probability_costs_no_rng_draws(self):
+        model = make_model(vdd=1.1)
+        assert model.p_any == 0.0
+        state_before = model.rng.bit_generator.state["state"]
+        assert int(model.sample_masks(10_000).sum()) == 0
+        assert model.sample_mask() == 0
+        assert model.rng.bit_generator.state["state"] == state_before
+
+    def test_negative_access_count_rejected(self):
+        with pytest.raises(ValueError):
+            make_model().sample_masks(-1)
+
+
+class TestArrayBerBitExact:
+    def test_vectorized_tester_matches_scalar_reference(self):
+        """Identical RNG state in, identical error counts out."""
+        for vdd in (0.34, 0.40, 0.46):
+            a = MemoryArray(
+                64, 32, RETENTION_CELL_BASED_40NM, ACCESS_CELL_BASED_40NM,
+                rng=np.random.default_rng(21),
+            )
+            b = MemoryArray(
+                64, 32, RETENTION_CELL_BASED_40NM, ACCESS_CELL_BASED_40NM,
+                rng=np.random.default_rng(21),
+            )
+            assert a.measure_access_ber(vdd, 5000) == \
+                b.measure_access_ber_scalar(vdd, 5000)
+
+    def test_grid_matches_pointwise_measurement(self):
+        voltages = np.linspace(0.32, 0.48, 5)
+        a = MemoryArray(
+            64, 32, RETENTION_CELL_BASED_40NM, ACCESS_CELL_BASED_40NM,
+            rng=np.random.default_rng(22),
+        )
+        b = MemoryArray(
+            64, 32, RETENTION_CELL_BASED_40NM, ACCESS_CELL_BASED_40NM,
+            rng=np.random.default_rng(22),
+        )
+        grid = a.measure_access_ber_grid(voltages, 2000)
+        pointwise = np.array([
+            b.measure_access_ber(float(v), 2000)[0] / (2000 * 32)
+            for v in voltages
+        ])
+        np.testing.assert_array_equal(grid, pointwise)

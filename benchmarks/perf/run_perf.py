@@ -32,9 +32,15 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro import obs  # noqa: E402
 from repro.analysis.batch import BatchCampaign  # noqa: E402
 from repro.core.access import ACCESS_CELL_BASED_40NM  # noqa: E402
-from repro.ecc import BchCodec, SecdedCodec, status_code  # noqa: E402
+from repro.ecc import (  # noqa: E402
+    BchCodec,
+    STATUS_DETECTED,
+    SecdedCodec,
+    status_code,
+)
 from repro.soc.faults import VoltageFaultModel  # noqa: E402
 
 
@@ -66,7 +72,7 @@ def _scalar_decode(codec, codewords):
 
 def bench_codec(
     codec, name: str, n_words: int, error_bits: int, rng,
-    dirty_fraction: float = 1.0 / 3.0,
+    dirty_fraction: float = 1.0 / 3.0, registry=None,
 ):
     """Time scalar vs batch encode/decode; verify word-for-word first.
 
@@ -95,6 +101,16 @@ def bench_codec(
         and np.array_equal(batch.status, ref_status)
     )
 
+    # The harness knows the ground truth, so it can publish the one
+    # decode-outcome counter the codec itself cannot: miscorrections
+    # (decoder claims success but the data is wrong).
+    trusted = batch.status != STATUS_DETECTED
+    miscorrected = int(np.count_nonzero(trusted & (batch.data != words)))
+    if registry is not None:
+        registry.counter(
+            f"ecc.{type(codec).__name__}.miscorrected"
+        ).inc(miscorrected)
+
     t_enc_scalar = best_of(lambda: _scalar_encode(codec, words))
     t_enc_batch = best_of(lambda: codec.encode_batch(words))
     t_dec_scalar = best_of(lambda: _scalar_decode(codec, codewords))
@@ -106,6 +122,7 @@ def bench_codec(
         "dirty_fraction": dirty_fraction,
         "encode_bit_exact": encode_exact,
         "decode_bit_exact": decode_exact,
+        "miscorrected": miscorrected,
         "encode_scalar_s": t_enc_scalar,
         "encode_batch_s": t_enc_batch,
         "encode_speedup": t_enc_scalar / t_enc_batch,
@@ -206,9 +223,25 @@ def main() -> int:
         "--output", type=Path, default=REPO_ROOT / "BENCH_perf.json",
         help="where to write the results JSON",
     )
+    parser.add_argument(
+        "--manifest", type=Path, default=None,
+        help="where to write the run manifest "
+        "(default: BENCH_manifest.json next to --output)",
+    )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="install the harness registry as the active one, so "
+        "library-level counters (ecc.*, faults.*) flow into the "
+        "manifest; off by default to keep timings comparable",
+    )
     args = parser.parse_args()
     if not args.output.parent.is_dir():
         parser.error(f"output directory does not exist: {args.output.parent}")
+    manifest_path = (
+        args.manifest
+        if args.manifest is not None
+        else args.output.parent / "BENCH_manifest.json"
+    )
 
     if args.quick:
         secded_n, bch_n = 20_000, 2_000
@@ -217,25 +250,52 @@ def main() -> int:
         secded_n, bch_n = 200_000, 20_000
         fault_n, fig5_n = 2_000_000, 20_000
 
+    # The harness always keeps its own registry (section timers, the
+    # ground-truth miscorrection counters, the manifest snapshot).
+    # Installing it as the *active* registry — so the kernels under
+    # test also publish — is opt-in, because that is exactly the
+    # telemetry-enabled configuration whose cost we want to be able to
+    # measure against the disabled default.
+    registry = obs.MetricsRegistry()
+    if args.telemetry:
+        obs.enable_metrics(registry)
+
+    manifest = obs.RunManifest.capture(
+        kind="benchmark",
+        name="perf-harness",
+        seeds={"rng": 2014, "fault_engine": 7, "fig5_campaign": 5},
+        parameters={
+            "quick": args.quick,
+            "telemetry": args.telemetry,
+            "secded_words": secded_n,
+            "bch_words": bch_n,
+            "fault_accesses": fault_n,
+            "fig5_accesses_per_point": fig5_n,
+        },
+    )
+
     rng = np.random.default_rng(2014)
-    results = {
-        "quick": args.quick,
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "secded": bench_codec(
-            SecdedCodec(), "SECDED(39,32)", secded_n, error_bits=2, rng=rng
-        ),
-        # BCH decode vectorizes only the (dominant in practice) clean
-        # path; dirty words fall back to scalar Berlekamp-Massey.  The
-        # 1% dirty fraction reflects near-threshold word fault rates,
-        # where p_word stays far below a percent.
-        "bch": bench_codec(
+    results = {"quick": args.quick,
+               "python": platform.python_version(),
+               "numpy": np.__version__}
+    with registry.timer("bench.secded").time():
+        results["secded"] = bench_codec(
+            SecdedCodec(), "SECDED(39,32)", secded_n, error_bits=2,
+            rng=rng, registry=registry,
+        )
+    # BCH decode vectorizes only the (dominant in practice) clean
+    # path; dirty words fall back to scalar Berlekamp-Massey.  The
+    # 1% dirty fraction reflects near-threshold word fault rates,
+    # where p_word stays far below a percent.
+    with registry.timer("bench.bch").time():
+        results["bch"] = bench_codec(
             BchCodec(), "BCH(56,32,t=4)", bch_n, error_bits=4, rng=rng,
-            dirty_fraction=0.01,
-        ),
-        "faults": bench_faults(fault_n),
-        "fig5_campaign": bench_fig5_campaign(fig5_n),
-    }
+            dirty_fraction=0.01, registry=registry,
+        )
+    with registry.timer("bench.faults").time():
+        results["faults"] = bench_faults(fault_n)
+    with registry.timer("bench.fig5_campaign").time():
+        results["fig5_campaign"] = bench_fig5_campaign(fig5_n)
 
     checks = {
         "secded_encode_bit_exact": results["secded"]["encode_bit_exact"],
@@ -253,7 +313,29 @@ def main() -> int:
 
     args.output.write_text(json.dumps(results, indent=2) + "\n")
 
+    if args.telemetry:
+        obs.disable_metrics()
+    snapshot = registry.snapshot()
+    for name, stats in snapshot.timers.items():
+        manifest.add_timing(name, stats["total_s"])
+    manifest.attach_metrics(snapshot)
+    manifest.results = {
+        "checks": checks,
+        "all_checks_passed": results["all_checks_passed"],
+        "speedups": {
+            "secded_encode": results["secded"]["encode_speedup"],
+            "secded_decode": results["secded"]["decode_speedup"],
+            "bch_encode": results["bch"]["encode_speedup"],
+            "bch_decode": results["bch"]["decode_speedup"],
+            "faults": results["faults"]["speedup"],
+            "fig5_campaign": results["fig5_campaign"]["speedup"],
+        },
+        "output": str(args.output),
+    }
+    manifest.write(manifest_path)
+
     print(f"wrote {args.output}")
+    print(f"wrote {manifest_path}")
     for section in ("secded", "bch"):
         r = results[section]
         print(

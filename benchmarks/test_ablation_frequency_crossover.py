@@ -11,8 +11,6 @@ This ablation sweeps the frequency, locates the crossovers, and
 quantifies the parallelism trade: N cores at f/N versus one core at f.
 """
 
-import pytest
-
 from repro.analysis import format_table
 from repro.analysis.experiments import platform_frequency_floor
 from repro.core.access import ACCESS_CELL_BASED_40NM

@@ -13,8 +13,6 @@ both effects with the device models:
   retention population scales with the node's A_vt.
 """
 
-import pytest
-
 from repro.analysis import format_table
 from repro.core.fit_solver import SCHEME_OCEAN, minimum_voltage
 from repro.core.access import AccessErrorModel

@@ -14,6 +14,8 @@ Subpackages, bottom-up:
 * :mod:`repro.mitigation` — executable mitigation schemes
   (none / SECDED / OCEAN).
 * :mod:`repro.analysis` — one entry point per paper table and figure.
+* :mod:`repro.obs` — telemetry: metrics registry, span tracing with
+  NDJSON sinks, and run-manifest provenance records.
 
 Quick taste::
 
@@ -34,4 +36,5 @@ __all__ = [
     "workloads",
     "mitigation",
     "analysis",
+    "obs",
 ]

@@ -14,6 +14,7 @@ from repro.analysis.sweeps import voltage_sweep
 from repro.analysis.batch import AccessBerGrid, BatchCampaign
 from repro.analysis.campaign import (
     CampaignResult,
+    EmptyCampaignError,
     expected_run_failure_probability,
     run_campaign,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "AccessBerGrid",
     "BatchCampaign",
     "CampaignResult",
+    "EmptyCampaignError",
     "run_campaign",
     "expected_run_failure_probability",
     "Fig1Row",

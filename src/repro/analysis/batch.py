@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.access import AccessErrorModel
 from repro.core.retention import RetentionModel
 from repro.memdev.array import MemoryArray
+from repro.obs import active_metrics, active_tracer, scoped_metrics
 
 
 @dataclass(frozen=True)
@@ -50,18 +51,23 @@ class AccessBerGrid:
         return self.errors / float(self.bits_per_point)
 
 
-def _die_failure_counts(args) -> np.ndarray:
+def _die_failure_counts(args) -> tuple:
     """Per-die worker: failing-bit counts over the voltage grid.
 
     Module-level so :class:`ProcessPoolExecutor` can pickle it.
+    Returns ``(counts, metrics_snapshot)``; the snapshot carries the
+    worker's instrumented-layer counters back for an exact merge.
     """
     retention, access_model, words, bits, child_seed, voltages = args
-    array = MemoryArray(
-        words, bits, retention, access_model,
-        rng=np.random.default_rng(child_seed),
-    )
-    vmin = np.sort(array.retention_vmin_map().ravel())
-    return vmin.size - np.searchsorted(vmin, voltages, side="right")
+    with scoped_metrics() as registry:
+        array = MemoryArray(
+            words, bits, retention, access_model,
+            rng=np.random.default_rng(child_seed),
+        )
+        vmin = np.sort(array.retention_vmin_map().ravel())
+        counts = vmin.size - np.searchsorted(vmin, voltages, side="right")
+        registry.counter("batch.die.cells").inc(words * bits)
+    return counts, registry.snapshot()
 
 
 class BatchCampaign:
@@ -106,18 +112,31 @@ class BatchCampaign:
         voltages = np.asarray(voltages, dtype=float)
         errors = np.zeros(voltages.shape, dtype=np.int64)
         chunk = max(1, self.CHUNK_DOUBLES // bits)
-        for i, vdd in enumerate(voltages):
-            p_bit = access_model.bit_error_probability(float(vdd))
-            if p_bit == 0.0:
-                continue
-            rng = self._point_rng(i)
-            done = 0
-            while done < accesses:
-                rows = min(chunk, accesses - done)
-                errors[i] += int(
-                    np.count_nonzero(rng.random((rows, bits)) < p_bit)
-                )
-                done += rows
+        with active_tracer().span(
+            "batch.access_ber_grid",
+            points=int(voltages.size),
+            accesses=accesses,
+            bits=bits,
+            seed=self.seed,
+        ):
+            for i, vdd in enumerate(voltages):
+                p_bit = access_model.bit_error_probability(float(vdd))
+                if p_bit == 0.0:
+                    continue
+                rng = self._point_rng(i)
+                done = 0
+                while done < accesses:
+                    rows = min(chunk, accesses - done)
+                    errors[i] += int(
+                        np.count_nonzero(rng.random((rows, bits)) < p_bit)
+                    )
+                    done += rows
+        metrics = active_metrics()
+        metrics.counter("batch.grid_points").inc(int(voltages.size))
+        metrics.counter("batch.grid_accesses").inc(
+            int(voltages.size) * accesses
+        )
+        metrics.counter("batch.grid_errors").inc(int(errors.sum()))
         return AccessBerGrid(
             voltages=voltages, errors=errors, accesses=accesses, bits=bits
         )
@@ -183,10 +202,31 @@ class BatchCampaign:
             )
             for offset in offsets
         ]
-        if self.processes and self.processes > 1:
-            with ProcessPoolExecutor(max_workers=self.processes) as pool:
-                counts = list(pool.map(_die_failure_counts, jobs))
-        else:
-            counts = [_die_failure_counts(job) for job in jobs]
+        tracer = active_tracer()
+        metrics = active_metrics()
+        with tracer.span(
+            "batch.retention_failure_curve",
+            dies=n_dies,
+            words=words,
+            bits=bits,
+            points=int(voltages.size),
+            processes=self.processes or 1,
+            seed=self.seed,
+        ):
+            if self.processes and self.processes > 1:
+                with ProcessPoolExecutor(max_workers=self.processes) as pool:
+                    outcomes = list(pool.map(_die_failure_counts, jobs))
+            else:
+                outcomes = [_die_failure_counts(job) for job in jobs]
+            counts = []
+            for die_index, (die_counts, snapshot) in enumerate(outcomes):
+                counts.append(die_counts)
+                metrics.merge(snapshot)
+                tracer.point(
+                    "batch.die_counts",
+                    die=die_index,
+                    worst_point_failures=int(die_counts.max()),
+                )
+        metrics.counter("batch.dies").inc(n_dies)
         total_bits = n_dies * words * bits
         return np.sum(counts, axis=0) / float(total_bits)

@@ -10,15 +10,40 @@ the analytic prediction.
 
 This is the experiment a reviewer would ask for: does the executable
 system actually fail the way the failure model says it does?
+
+Telemetry: :func:`run_campaign` opens a ``campaign.run`` span and emits
+one unsampled ``campaign.outcome`` trace record per run, so summing the
+``injected`` / ``corrected`` / ``rollbacks`` fields of a trace exactly
+reproduces the :class:`CampaignResult` totals — serial or fanned out.
+Each worker executes under its own scoped metrics registry; the
+snapshots travel back with the outcome tuples and merge exactly into
+the caller's registry, so layer-level counters (``faults.*``,
+``platform.*``) survive the process-pool boundary.
 """
 
 from __future__ import annotations
 
+import math
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.access import AccessErrorModel
+from repro.core.multibit import prob_at_least
+from repro.obs import active_metrics, active_tracer, scoped_metrics
 from repro.workloads.streaming import StreamingWorkload
+
+
+class EmptyCampaignError(ValueError):
+    """A rate was requested from a campaign that has no runs."""
+
+    def __init__(self, statistic: str, scheme: str, vdd: float) -> None:
+        super().__init__(
+            f"cannot compute {statistic}: campaign for scheme "
+            f"{scheme!r} at vdd={vdd:.3f} V has no runs"
+        )
+        self.statistic = statistic
+        self.scheme = scheme
+        self.vdd = vdd
 
 
 @dataclass
@@ -40,7 +65,7 @@ class CampaignResult:
     def failure_rate(self) -> float:
         """Fraction of runs that did not produce correct output."""
         if self.runs == 0:
-            raise ValueError("campaign has no runs")
+            raise EmptyCampaignError("failure_rate", self.scheme, self.vdd)
         return 1.0 - self.correct / self.runs
 
     @property
@@ -48,7 +73,7 @@ class CampaignResult:
         """Fraction of runs that completed with wrong output —
         the failure mode mitigation must drive to zero."""
         if self.runs == 0:
-            raise ValueError("campaign has no runs")
+            raise EmptyCampaignError("silent_rate", self.scheme, self.vdd)
         return self.silent_corruption / self.runs
 
 
@@ -57,14 +82,17 @@ def _campaign_run_one(args) -> tuple:
 
     Module-level so :class:`ProcessPoolExecutor` can ship it to worker
     processes; each run is fully determined by its own seed, so results
-    are identical whether runs execute serially or fanned out.
+    are identical whether runs execute serially or fanned out.  The run
+    executes under a private metrics registry whose snapshot rides back
+    with the statistics (exact cross-process metric merging).
     """
     (
         runner_cls, workload, golden, access_model,
         vdd, frequency, seed, runner_kwargs,
     ) = args
-    runner = runner_cls(access_model, seed=seed, **runner_kwargs)
-    outcome = runner.run(workload, vdd=vdd, frequency=frequency)
+    with scoped_metrics() as registry:
+        runner = runner_cls(access_model, seed=seed, **runner_kwargs)
+        outcome = runner.run(workload, vdd=vdd, frequency=frequency)
     return (
         sum(outcome.sim.injected_bits.values()),
         outcome.sim.corrected_words,
@@ -72,6 +100,7 @@ def _campaign_run_one(args) -> tuple:
         outcome.output_matches(golden),
         outcome.completed,
         outcome.failure,
+        registry.snapshot(),
     )
 
 
@@ -101,27 +130,71 @@ def run_campaign(
         )
         for index in range(runs)
     ]
-    if processes and processes > 1:
-        with ProcessPoolExecutor(max_workers=processes) as pool:
-            outcomes = list(pool.map(_campaign_run_one, jobs))
-    else:
-        outcomes = [_campaign_run_one(job) for job in jobs]
-    result = CampaignResult(scheme=runner_cls.name, vdd=vdd)
-    for injected, corrected, rollbacks, matches, completed, failure in outcomes:
-        result.runs += 1
-        result.total_injected_bits += injected
-        result.total_corrected += corrected
-        result.total_rollbacks += rollbacks
-        if matches:
-            result.correct += 1
-        elif completed:
-            result.silent_corruption += 1
+    tracer = active_tracer()
+    metrics = active_metrics()
+    with tracer.span(
+        "campaign.run",
+        scheme=runner_cls.name,
+        vdd=vdd,
+        runs=runs,
+        processes=processes or 1,
+        seed_base=seed_base,
+    ):
+        if processes and processes > 1:
+            with ProcessPoolExecutor(max_workers=processes) as pool:
+                outcomes = list(pool.map(_campaign_run_one, jobs))
         else:
-            result.detected_failure += 1
-            kind = failure or "unknown"
-            result.failures_by_kind[kind] = (
-                result.failures_by_kind.get(kind, 0) + 1
+            outcomes = [_campaign_run_one(job) for job in jobs]
+        result = CampaignResult(scheme=runner_cls.name, vdd=vdd)
+        for index, (
+            injected, corrected, rollbacks, matches, completed, failure,
+            snapshot,
+        ) in enumerate(outcomes):
+            result.runs += 1
+            result.total_injected_bits += injected
+            result.total_corrected += corrected
+            result.total_rollbacks += rollbacks
+            if matches:
+                result.correct += 1
+                classification = "correct"
+            elif completed:
+                result.silent_corruption += 1
+                classification = "silent-corruption"
+            else:
+                result.detected_failure += 1
+                classification = "detected-failure"
+                kind = failure or "unknown"
+                result.failures_by_kind[kind] = (
+                    result.failures_by_kind.get(kind, 0) + 1
+                )
+            metrics.merge(snapshot)
+            tracer.point(
+                "campaign.outcome",
+                scheme=result.scheme,
+                vdd=result.vdd,
+                run=index,
+                seed=seed_base + index,
+                injected=injected,
+                corrected=corrected,
+                rollbacks=rollbacks,
+                classification=classification,
+                failure=failure,
             )
+        metrics.counter("campaign.runs").inc(result.runs)
+        metrics.counter("campaign.correct").inc(result.correct)
+        metrics.counter("campaign.silent_corruption").inc(
+            result.silent_corruption
+        )
+        metrics.counter("campaign.detected_failure").inc(
+            result.detected_failure
+        )
+        metrics.counter("campaign.injected_bits").inc(
+            result.total_injected_bits
+        )
+        metrics.counter("campaign.corrected_words").inc(
+            result.total_corrected
+        )
+        metrics.counter("campaign.rollbacks").inc(result.total_rollbacks)
     return result
 
 
@@ -139,10 +212,6 @@ def expected_run_failure_probability(
     semantics the Table 2 solver prices at FIT 1e-15; here evaluated at
     countable rates.
     """
-    import math
-
-    from repro.core.multibit import prob_at_least
-
     if transactions <= 0:
         raise ValueError("transactions must be positive")
     p_bit = access_model.bit_error_probability(vdd)

@@ -32,6 +32,7 @@ from repro.core.retention import (
     RetentionModel,
 )
 from repro.analysis.batch import BatchCampaign
+from repro.obs import active_tracer
 from repro.memdev.array import MemoryArray
 from repro.memdev.library import table1_instances
 from repro.mitigation import (
@@ -448,20 +449,42 @@ def _mitigation_study(
 ) -> MitigationStudy:
     program = build_fft_program(fft_points)
     golden = program.expected_output(list(program.data_words[:fft_points]))
+    tracer = active_tracer()
     bars = []
     for runner_cls in (NoMitigationRunner, SecdedRunner, OceanRunner):
         runner = runner_cls(access_model, seed=seed, macro_style=macro_style)
         vdd = scheme_voltages[runner.name]
-        outcome = runner.run(program.workload, vdd=vdd, frequency=frequency)
+        with tracer.span(
+            "study.scheme_run",
+            scheme=runner.name,
+            vdd=vdd,
+            frequency=frequency,
+            fft_points=fft_points,
+            seed=seed,
+        ):
+            outcome = runner.run(
+                program.workload, vdd=vdd, frequency=frequency
+            )
         flat = outcome.report.as_dict()
         total = flat.pop("total")
+        correct = outcome.output_matches(golden)
+        tracer.point(
+            "study.scheme_outcome",
+            scheme=runner.name,
+            vdd=vdd,
+            correct=correct,
+            injected=sum(outcome.sim.injected_bits.values()),
+            corrected=outcome.sim.corrected_words,
+            rollbacks=outcome.sim.rollbacks,
+            total_w=total,
+        )
         bars.append(
             SchemePower(
                 scheme=runner.name,
                 vdd=vdd,
                 components_w=flat,
                 total_w=total,
-                correct=outcome.output_matches(golden),
+                correct=correct,
                 rollbacks=outcome.sim.rollbacks,
                 corrected_words=outcome.sim.corrected_words,
             )

@@ -9,12 +9,25 @@
     python -m repro fig8 --fft 128
     python -m repro fig9
     python -m repro claims
+
+Observability flags (any exhibit):
+
+* ``--json`` — emit the exhibit as machine-readable JSON instead of a
+  rendered table, so CI can diff structured values rather than
+  string-compare text.
+* ``--trace FILE`` — record an NDJSON trace of the run (spans around
+  each campaign, one record per outcome) to ``FILE``.
+* ``--metrics`` — collect the run's metric counters and append them to
+  the output (under a ``metrics`` key in JSON mode).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 
+from repro import obs
 from repro.analysis.experiments import (
     fig8_power_breakdown,
     fig9_power_breakdown,
@@ -24,6 +37,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.report import full_report
 from repro.analysis.tables import format_table
+from repro.obs.manifest import _json_default
 
 
 def _render_table1() -> str:
@@ -89,6 +103,76 @@ def _render_claims(fft_points: int) -> str:
     )
 
 
+# ----------------------------------------------------------------------
+# JSON payloads (machine-readable exhibits)
+# ----------------------------------------------------------------------
+def _study_payload(study) -> dict:
+    return {
+        "frequency_hz": study.frequency,
+        "bars": [dataclasses.asdict(bar) for bar in study.bars],
+        "savings": {
+            "ocean_vs_none": study.savings("OCEAN", "none"),
+            "ocean_vs_secded": study.savings("OCEAN", "SECDED"),
+        },
+    }
+
+
+def _json_payload(exhibit: str, fft_points: int) -> dict:
+    """Structured data behind one exhibit, ready for ``json.dumps``."""
+    if exhibit == "table1":
+        return {"table1": table1_comparison()}
+    if exhibit == "table2":
+        return {"table2": table2_minimum_voltages()}
+    if exhibit == "fig8":
+        return {
+            "fig8": _study_payload(
+                fig8_power_breakdown(fft_points=fft_points)
+            )
+        }
+    if exhibit == "fig9":
+        return {
+            "fig9": _study_payload(
+                fig9_power_breakdown(fft_points=fft_points)
+            )
+        }
+    if exhibit == "claims":
+        return {
+            "claims": dataclasses.asdict(
+                headline_claims(fft_points=fft_points)
+            )
+        }
+    # The full report: every machine-diffable exhibit in one document.
+    return {
+        "table1": table1_comparison(),
+        "table2": table2_minimum_voltages(),
+        "fig8": _study_payload(fig8_power_breakdown(fft_points=fft_points)),
+        "fig9": _study_payload(fig9_power_breakdown(fft_points=fft_points)),
+        "claims": dataclasses.asdict(
+            headline_claims(fft_points=fft_points)
+        ),
+    }
+
+
+def _text_payload(exhibit: str, fft_points: int) -> str:
+    if exhibit == "report":
+        return full_report(fft_points=fft_points)
+    if exhibit == "table1":
+        return _render_table1()
+    if exhibit == "table2":
+        return _render_table2()
+    if exhibit == "fig8":
+        return _render_power(
+            fig8_power_breakdown(fft_points=fft_points),
+            "Figure 8: power at 290 kHz (cell-based platform)",
+        )
+    if exhibit == "fig9":
+        return _render_power(
+            fig9_power_breakdown(fft_points=fft_points),
+            "Figure 9: power at 11 MHz (commercial memory)",
+        )
+    return _render_claims(fft_points)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -112,6 +196,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="FFT size for the simulated power studies (default 64; "
         "the paper's size is 1024)",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of rendered text",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write an NDJSON trace of the run to FILE",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect metric counters and append them to the output",
+    )
     return parser
 
 
@@ -120,23 +220,32 @@ def run(argv: list[str] | None = None) -> str:
     args = build_parser().parse_args(argv)
     if args.fft < 4 or args.fft & (args.fft - 1):
         raise SystemExit("--fft must be a power of two >= 4")
-    if args.exhibit == "report":
-        return full_report(fft_points=args.fft)
-    if args.exhibit == "table1":
-        return _render_table1()
-    if args.exhibit == "table2":
-        return _render_table2()
-    if args.exhibit == "fig8":
-        return _render_power(
-            fig8_power_breakdown(fft_points=args.fft),
-            "Figure 8: power at 290 kHz (cell-based platform)",
-        )
-    if args.exhibit == "fig9":
-        return _render_power(
-            fig9_power_breakdown(fft_points=args.fft),
-            "Figure 9: power at 11 MHz (commercial memory)",
-        )
-    return _render_claims(args.fft)
+
+    registry = obs.enable_metrics() if args.metrics else None
+    if args.trace:
+        obs.enable_tracing(args.trace)
+    try:
+        with obs.active_tracer().span(
+            "cli.exhibit", exhibit=args.exhibit, fft=args.fft
+        ):
+            if args.json:
+                payload = _json_payload(args.exhibit, args.fft)
+                if registry is not None:
+                    payload["metrics"] = registry.snapshot().as_dict()
+                return json.dumps(
+                    payload, indent=2, default=_json_default
+                )
+            text = _text_payload(args.exhibit, args.fft)
+            if registry is not None:
+                text += "\n\n== metrics ==\n" + obs.format_snapshot(
+                    registry.snapshot()
+                )
+            return text
+    finally:
+        if args.trace:
+            obs.disable_tracing()
+        if args.metrics:
+            obs.disable_metrics()
 
 
 def main(argv: list[str] | None = None) -> None:

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import active_metrics
+
 
 class DecodeStatus(enum.Enum):
     """Outcome classification of one decode."""
@@ -168,9 +170,31 @@ class Codec(abc.ABC):
             data[i] = result.data
             status[i] = status_code(result.status)
             corrected[i] = result.corrected_bits
+        self.record_decode_outcomes(status)
         return BatchDecodeResult(
             data=data, status=status, corrected_bits=corrected
         )
+
+    def record_decode_outcomes(self, status: np.ndarray) -> None:
+        """Publish clean/corrected/detected counts of one batch decode.
+
+        One registry touch per *batch* (never per word), so the hot
+        kernels stay at full speed with telemetry disabled and pay a
+        constant overhead with it enabled.  A ``miscorrected`` counter
+        is published by harnesses that know the ground truth (a decoder
+        alone cannot).
+        """
+        metrics = active_metrics()
+        if not metrics.enabled:
+            return
+        name = type(self).__name__
+        clean = int(np.count_nonzero(status == STATUS_CLEAN))
+        corrected = int(np.count_nonzero(status == STATUS_CORRECTED))
+        detected = int(np.count_nonzero(status == STATUS_DETECTED))
+        metrics.counter(f"ecc.{name}.decoded_words").inc(status.size)
+        metrics.counter(f"ecc.{name}.clean").inc(clean)
+        metrics.counter(f"ecc.{name}.corrected").inc(corrected)
+        metrics.counter(f"ecc.{name}.detected").inc(detected)
 
     # ------------------------------------------------------------------
     # Shared validation helpers

@@ -197,6 +197,7 @@ class BchCodec(Codec):
             data[i] = result.data
             status[i] = status_code(result.status)
             corrected[i] = result.corrected_bits
+        self.record_decode_outcomes(status)
         return BatchDecodeResult(
             data=data, status=status, corrected_bits=corrected
         )

@@ -237,9 +237,11 @@ class SecdedCodec(Codec):
         index = index.astype(np.intp)
         corrected_words = codewords ^ self._flip_lut[index]
         data = self._extract_batch(corrected_words)
+        status = self._status_lut[index]
+        self.record_decode_outcomes(status)
         return BatchDecodeResult(
             data=data,
-            status=self._status_lut[index],
+            status=status,
             corrected_bits=self._corrected_lut[index],
         )
 

@@ -57,6 +57,7 @@ class ParityCodec(Codec):
         codewords = self._as_word_array(codewords, self.code_bits, "codeword")
         odd = parity_u64(codewords).astype(bool)
         status = np.where(odd, STATUS_DETECTED, STATUS_CLEAN).astype(np.uint8)
+        self.record_decode_outcomes(status)
         data_mask = np.uint64((1 << self.data_bits) - 1)
         return BatchDecodeResult(
             data=codewords & data_mask,

@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.access import AccessErrorModel
 from repro.core.bitops import pack_bits_u64, popcount_u64
 from repro.core.retention import RetentionModel
+from repro.obs import active_metrics, active_tracer
 
 
 class AccessKind(enum.Enum):
@@ -136,6 +137,9 @@ class MemoryArray:
     def retention_test(self, vdd: float) -> RetentionTestResult:
         """Count failing bits at one standby voltage (one shmoo point)."""
         failures = int(self.retention_failures(vdd).sum())
+        metrics = active_metrics()
+        metrics.counter("memdev.retention_tests").inc()
+        metrics.counter("memdev.retention_failing_bits").inc(failures)
         return RetentionTestResult(
             vdd=vdd, failing_bits=failures, total_bits=self.total_bits
         )
@@ -199,6 +203,10 @@ class MemoryArray:
                 np.count_nonzero(self.rng.random((rows, self.bits)) < p_bit)
             )
             done += rows
+        # Batch-granular telemetry: one registry touch per shmoo point.
+        metrics = active_metrics()
+        metrics.counter("memdev.ber_accesses").inc(accesses)
+        metrics.counter("memdev.ber_errors").inc(errors)
         return errors, accesses * self.bits
 
     def measure_access_ber_scalar(
@@ -266,7 +274,15 @@ class MemoryArray:
         flips = failures & (self.rng.random(failures.shape) < 0.5)
         masks = pack_bits_u64(flips)
         self._data ^= masks
-        return int(popcount_u64(masks).sum())
+        flipped = int(popcount_u64(masks).sum())
+        if flipped:
+            active_metrics().counter(
+                "memdev.retention_flipped_bits"
+            ).inc(flipped)
+            active_tracer().point(
+                "memdev.retention_corruption", vdd=vdd, bits=flipped
+            )
+        return flipped
 
     def _check_address(self, address: int) -> None:
         if not 0 <= address < self.words:

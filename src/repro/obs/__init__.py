@@ -1,0 +1,76 @@
+"""repro.obs — dependency-free telemetry for campaigns and kernels.
+
+Three pillars:
+
+* :mod:`repro.obs.metrics` — a named-instrument registry (counters,
+  gauges, timers, categorical histograms) with a free no-op default
+  and picklable snapshots that merge exactly across process-pool
+  workers.
+* :mod:`repro.obs.trace` — span-based structured tracing emitting
+  NDJSON to pluggable sinks, with a deterministic sampling knob for
+  fault-injection hot paths.
+* :mod:`repro.obs.manifest` — :class:`RunManifest` provenance records
+  (seeds, git revision, versions, parameters, timings, metrics)
+  written alongside campaign and benchmark outputs.
+
+Typical session::
+
+    from repro import obs
+
+    registry = obs.enable_metrics()
+    obs.enable_tracing("campaign.ndjson")
+    ...  # run campaigns; instrumented layers report automatically
+    print(obs.format_snapshot(registry.snapshot()))
+    obs.disable_tracing()
+
+Everything is off by default: library code writes through
+:func:`active_metrics` / :func:`active_tracer`, which cost two no-op
+attribute calls until explicitly enabled.
+"""
+
+from repro.obs.manifest import RunManifest, git_revision
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_METRICS,
+    NullMetrics,
+    active_metrics,
+    disable_metrics,
+    enable_metrics,
+    format_snapshot,
+    scoped_metrics,
+)
+from repro.obs.trace import (
+    InMemorySink,
+    NdjsonFileSink,
+    NULL_TRACER,
+    NullTracer,
+    StderrSink,
+    Tracer,
+    active_tracer,
+    disable_tracing,
+    enable_tracing,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullMetrics",
+    "NULL_METRICS",
+    "active_metrics",
+    "enable_metrics",
+    "disable_metrics",
+    "scoped_metrics",
+    "format_snapshot",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "InMemorySink",
+    "NdjsonFileSink",
+    "StderrSink",
+    "active_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "RunManifest",
+    "git_revision",
+]

@@ -1,0 +1,168 @@
+"""Run manifests: provenance records written alongside outputs.
+
+A :class:`RunManifest` answers "what exactly produced this file?": the
+seeds and parameters of the run, the package/git revision it ran from,
+the interpreter and numpy versions, wall-clock timings, and a metrics
+snapshot.  Campaign drivers and the perf harness write one next to
+their outputs so a surprising number in ``BENCH_perf.json`` or a
+figure can be traced to an exact, re-runnable configuration.
+
+Two serializations:
+
+* :meth:`RunManifest.to_json` — everything, including volatile fields
+  (timestamps, timings, host).  For humans and build artifacts.
+* :meth:`RunManifest.provenance_json` — the deterministic subset
+  (seeds, parameters, versions, git revision, results, counter-valued
+  metrics).  For the same seed this is *byte-identical* across runs,
+  so CI can diff it.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+def _json_default(value):
+    """Coerce numpy scalars/arrays and paths for ``json.dumps``."""
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, Path):
+        return str(value)
+    raise TypeError(
+        f"{type(value).__name__} is not JSON serializable"
+    )
+
+
+def git_revision(cwd=None) -> str | None:
+    """Best-effort ``git rev-parse HEAD`` of the source tree."""
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=cwd if cwd is not None else Path(__file__).parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if probe.returncode != 0:
+        return None
+    return probe.stdout.strip() or None
+
+
+@dataclass
+class RunManifest:
+    """Provenance record of one campaign / benchmark / exhibit run."""
+
+    kind: str
+    name: str
+    seeds: dict = field(default_factory=dict)
+    parameters: dict = field(default_factory=dict)
+    results: dict = field(default_factory=dict)
+    package_version: str = ""
+    git_rev: str | None = None
+    python_version: str = ""
+    numpy_version: str = ""
+    host_platform: str = ""
+    created_at: str = ""
+    timings_s: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+
+    @classmethod
+    def capture(
+        cls,
+        kind: str,
+        name: str,
+        seeds: dict | None = None,
+        parameters: dict | None = None,
+    ) -> "RunManifest":
+        """Start a manifest, stamping the environment now."""
+        import datetime
+
+        import numpy
+
+        from repro import __version__
+
+        return cls(
+            kind=kind,
+            name=name,
+            seeds=dict(seeds or {}),
+            parameters=dict(parameters or {}),
+            package_version=__version__,
+            git_rev=git_revision(),
+            python_version=sys.version.split()[0],
+            numpy_version=numpy.__version__,
+            host_platform=_platform.platform(),
+            created_at=datetime.datetime.now(
+                datetime.timezone.utc
+            ).isoformat(),
+        )
+
+    # ------------------------------------------------------------------
+    # Attachment helpers
+    # ------------------------------------------------------------------
+    def add_timing(self, name: str, seconds: float) -> None:
+        self.timings_s[name] = float(seconds)
+
+    def attach_metrics(self, snapshot) -> None:
+        """Record a :class:`repro.obs.metrics.MetricsSnapshot`."""
+        self.metrics = snapshot.as_dict()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "seeds": self.seeds,
+            "parameters": self.parameters,
+            "results": self.results,
+            "package_version": self.package_version,
+            "git_rev": self.git_rev,
+            "python_version": self.python_version,
+            "numpy_version": self.numpy_version,
+            "host_platform": self.host_platform,
+            "created_at": self.created_at,
+            "timings_s": self.timings_s,
+            "metrics": self.metrics,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(
+            self.to_dict(), indent=2, sort_keys=True, default=_json_default
+        )
+
+    def provenance_dict(self) -> dict:
+        """The deterministic subset: identical across same-seed runs."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "seeds": self.seeds,
+            "parameters": self.parameters,
+            "results": self.results,
+            "package_version": self.package_version,
+            "git_rev": self.git_rev,
+            "metric_counters": dict(self.metrics.get("counters", {})),
+        }
+
+    def provenance_json(self) -> str:
+        return json.dumps(
+            self.provenance_dict(),
+            indent=2,
+            sort_keys=True,
+            default=_json_default,
+        )
+
+    def write(self, path) -> Path:
+        """Write the full manifest as JSON; returns the path."""
+        path = Path(path)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path

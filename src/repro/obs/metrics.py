@@ -1,0 +1,386 @@
+"""Metrics registry: counters, gauges, timers, categorical histograms.
+
+Design constraints, in priority order:
+
+1. **Disabled is free.**  The default active registry is a
+   :class:`NullMetrics` whose instruments are shared no-op singletons;
+   an instrumented hot path pays two attribute calls and nothing else.
+   Instrumentation in this codebase therefore sits on *rare* paths
+   (a fault actually fired, a batch call completed) — never inside a
+   per-access inner loop.
+2. **Snapshots are plain data.**  :meth:`MetricsRegistry.snapshot`
+   returns a :class:`MetricsSnapshot` of dicts of ints/floats — it
+   pickles across :class:`concurrent.futures.ProcessPoolExecutor`
+   boundaries, and :meth:`MetricsRegistry.merge` recombines worker
+   snapshots *exactly* (integer counter addition, min/max/total for
+   timers), so a fanned-out campaign reports the same totals as a
+   serial one.
+3. **Thread-safe.**  All mutators take the registry lock; these are
+   rare-path updates, so the lock cost is irrelevant.
+
+The module-level *active registry* is what instrumented library code
+writes to::
+
+    from repro.obs import active_metrics
+    active_metrics().counter("faults.injected_bits").inc(3)
+
+It defaults to the no-op registry; :func:`enable_metrics` swaps in a
+real one, and :func:`scoped_metrics` swaps one in for a ``with`` block
+(used by process-pool workers to capture their own snapshot).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+class Counter:
+    """Monotonic integer counter."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self.value += n
+
+
+class Gauge:
+    """Last-written float value."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+
+class Timer:
+    """Accumulates observed durations (count / total / min / max)."""
+
+    __slots__ = ("_lock", "count", "total_s", "min_s", "max_s")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total_s += seconds
+            self.min_s = min(self.min_s, seconds)
+            self.max_s = max(self.max_s, seconds)
+
+    @contextmanager
+    def time(self):
+        """Context manager timing its body with ``perf_counter``."""
+        import time as _time
+
+        start = _time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.observe(_time.perf_counter() - start)
+
+
+class Histogram:
+    """Categorical histogram: counts per string key.
+
+    Covers the profiler's opcode/PC histograms (keys are opcode names
+    or formatted PCs) and any other labelled tally.  Merging adds
+    counts per key.
+    """
+
+    __slots__ = ("_lock", "buckets")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.buckets: dict[str, int] = {}
+
+    def add(self, key: str, n: int = 1) -> None:
+        with self._lock:
+            self.buckets[key] = self.buckets.get(key, 0) + n
+
+
+# ----------------------------------------------------------------------
+# Snapshot (plain, picklable)
+# ----------------------------------------------------------------------
+@dataclass
+class MetricsSnapshot:
+    """Frozen, picklable view of a registry's state."""
+
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    timers: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Plain nested-dict form, ready for ``json.dumps``."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "timers": {
+                name: dict(stats)
+                for name, stats in sorted(self.timers.items())
+            },
+            "histograms": {
+                name: dict(sorted(buckets.items()))
+                for name, buckets in sorted(self.histograms.items())
+            },
+        }
+
+
+def format_snapshot(snapshot: MetricsSnapshot) -> str:
+    """Human-readable multi-line rendering of a snapshot."""
+    lines = []
+    for name, value in sorted(snapshot.counters.items()):
+        lines.append(f"{name} = {value}")
+    for name, value in sorted(snapshot.gauges.items()):
+        lines.append(f"{name} = {value:g}")
+    for name, stats in sorted(snapshot.timers.items()):
+        lines.append(
+            f"{name}: n={stats['count']} total={stats['total_s']:.4f}s "
+            f"min={stats['min_s']:.4f}s max={stats['max_s']:.4f}s"
+        )
+    for name, buckets in sorted(snapshot.histograms.items()):
+        top = sorted(buckets.items(), key=lambda kv: -kv[1])[:8]
+        rendered = ", ".join(f"{k}:{v}" for k, v in top)
+        more = len(buckets) - len(top)
+        suffix = f" (+{more} more)" if more > 0 else ""
+        lines.append(f"{name}: {rendered}{suffix}")
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class MetricsRegistry:
+    """Thread-safe named-instrument registry."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def _get(self, table: dict, name: str, factory):
+        instrument = table.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = table.setdefault(name, factory(self._lock))
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(self._counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(self._gauges, name, Gauge)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(self._timers, name, Timer)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(self._histograms, name, Histogram)
+
+    # ------------------------------------------------------------------
+    # Snapshot / merge / reset
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            return MetricsSnapshot(
+                counters={
+                    name: c.value for name, c in self._counters.items()
+                },
+                gauges={name: g.value for name, g in self._gauges.items()},
+                timers={
+                    name: {
+                        "count": t.count,
+                        "total_s": t.total_s,
+                        "min_s": t.min_s,
+                        "max_s": t.max_s,
+                    }
+                    for name, t in self._timers.items()
+                    if t.count > 0
+                },
+                histograms={
+                    name: dict(h.buckets)
+                    for name, h in self._histograms.items()
+                },
+            )
+
+    def merge(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a (worker) snapshot into this registry, exactly."""
+        for name, value in snapshot.counters.items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.gauges.items():
+            self.gauge(name).set(value)
+        for name, stats in snapshot.timers.items():
+            timer = self.timer(name)
+            with self._lock:
+                timer.count += stats["count"]
+                timer.total_s += stats["total_s"]
+                timer.min_s = min(timer.min_s, stats["min_s"])
+                timer.max_s = max(timer.max_s, stats["max_s"])
+        for name, buckets in snapshot.histograms.items():
+            histogram = self.histogram(name)
+            for key, n in buckets.items():
+                histogram.add(key, n)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+            self._histograms.clear()
+
+
+# ----------------------------------------------------------------------
+# No-op registry (the cheap default)
+# ----------------------------------------------------------------------
+class _NullCounter:
+    __slots__ = ()
+    value = 0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+class _NullTimer:
+    __slots__ = ()
+    count = 0
+    total_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        pass
+
+    def time(self):
+        return _NULL_CONTEXT
+
+
+class _NullHistogram:
+    __slots__ = ()
+    buckets: dict = {}
+
+    def add(self, key: str, n: int = 1) -> None:
+        pass
+
+
+_NULL_CONTEXT = _NullContext()
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_TIMER = _NullTimer()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetrics:
+    """Do-nothing registry; every instrument is a shared singleton."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def timer(self, name: str) -> _NullTimer:
+        return _NULL_TIMER
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot()
+
+    def merge(self, snapshot: MetricsSnapshot) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_METRICS = NullMetrics()
+
+# ----------------------------------------------------------------------
+# Active-registry plumbing
+# ----------------------------------------------------------------------
+_active: MetricsRegistry | NullMetrics = NULL_METRICS
+
+
+def active_metrics() -> MetricsRegistry | NullMetrics:
+    """The registry instrumented library code currently writes to."""
+    return _active
+
+
+def enable_metrics(
+    registry: MetricsRegistry | None = None,
+) -> MetricsRegistry:
+    """Install (and return) a live registry as the active one."""
+    global _active
+    if registry is None:
+        registry = MetricsRegistry()
+    _active = registry
+    return registry
+
+
+def disable_metrics() -> None:
+    """Restore the no-op default."""
+    global _active
+    _active = NULL_METRICS
+
+
+@contextmanager
+def scoped_metrics(registry: MetricsRegistry | None = None):
+    """Swap ``registry`` in as the active one for the block.
+
+    Process-pool workers wrap their unit of work in this so the
+    instrumented layers below them write into a private registry whose
+    snapshot travels back to the parent for an exact merge.
+    """
+    global _active
+    if registry is None:
+        registry = MetricsRegistry()
+    previous = _active
+    _active = registry
+    try:
+        yield registry
+    finally:
+        _active = previous

@@ -1,0 +1,272 @@
+"""Span-based structured tracing with NDJSON sinks.
+
+Three record kinds, one JSON object per line:
+
+* ``span_start`` / ``span_end`` — a timed, nestable region opened with
+  :meth:`Tracer.span`; the end record carries the measured duration
+  and, if the body raised, the exception type.
+* ``point`` — an *unsampled* structured event (:meth:`Tracer.point`);
+  campaign outcome records use this so their counters sum exactly.
+* ``event`` — a *sampled* hot-path event (:meth:`Tracer.event`);
+  fault-injection sites use this.  The sampling knob is deterministic
+  (every ``round(1/sample)``-th call emits), so a seeded run traces
+  the same events every time; ``sample=0`` short-circuits before any
+  allocation happens.
+
+The default active tracer is a :class:`NullTracer` whose ``span``
+returns one shared no-op context manager — tracing that is off costs
+an attribute call, not an object.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+class InMemorySink:
+    """Collects event dicts in a list (tests, programmatic readers)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.events.append(record)
+
+    def close(self) -> None:
+        pass
+
+
+class NdjsonFileSink:
+    """Appends one JSON line per record to a file."""
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._file = open(path, "a", encoding="utf-8")
+
+    def emit(self, record: dict) -> None:
+        json.dump(record, self._file, separators=(",", ":"))
+        self._file.write("\n")
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+
+class StderrSink:
+    """Writes NDJSON lines to stderr (ad-hoc debugging)."""
+
+    def emit(self, record: dict) -> None:
+        json.dump(record, sys.stderr, separators=(",", ":"))
+        sys.stderr.write("\n")
+
+    def close(self) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+class _Span:
+    """Context manager for one traced region."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = tracer._next_id()
+        self.parent_id = tracer._current_span_id()
+        self._start = tracer.clock()
+        tracer._emit(
+            {
+                "kind": "span_start",
+                "name": name,
+                "span": self.span_id,
+                "parent": self.parent_id,
+                "t": self._start,
+                **attrs,
+            }
+        )
+
+    def __enter__(self) -> "_Span":
+        self._tracer._push(self.span_id)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._pop()
+        end = self._tracer.clock()
+        record = {
+            "kind": "span_end",
+            "name": self.name,
+            "span": self.span_id,
+            "t": end,
+            "dur_s": end - self._start,
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        self._tracer._emit(record)
+        return False
+
+
+class Tracer:
+    """Emits structured records to one sink.
+
+    Parameters
+    ----------
+    sink:
+        Any object with ``emit(dict)`` / ``close()``.
+    sample:
+        Fraction of :meth:`event` calls that emit.  ``1.0`` keeps every
+        event, ``0.0`` keeps none (and allocates nothing); intermediate
+        values emit deterministically every ``round(1/sample)``-th call.
+    clock:
+        Timestamp source (seconds); injectable for tests.
+    """
+
+    def __init__(self, sink, sample: float = 1.0, clock=time.perf_counter):
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError(f"sample must be in [0, 1], got {sample}")
+        self.sink = sink
+        self.clock = clock
+        self._period = 0 if sample == 0.0 else max(1, round(1.0 / sample))
+        self._event_calls = 0
+        self._id = 0
+        self._stack: list[int] = []
+
+    enabled = True
+
+    # -- internals ------------------------------------------------------
+    def _next_id(self) -> int:
+        self._id += 1
+        return self._id
+
+    def _current_span_id(self) -> int | None:
+        return self._stack[-1] if self._stack else None
+
+    def _push(self, span_id: int) -> None:
+        self._stack.append(span_id)
+
+    def _pop(self) -> None:
+        self._stack.pop()
+
+    def _emit(self, record: dict) -> None:
+        self.sink.emit(record)
+
+    # -- public API -----------------------------------------------------
+    def span(self, name: str, **attrs) -> _Span:
+        """Open a timed, nestable region (use as a context manager)."""
+        return _Span(self, name, attrs)
+
+    def point(self, name: str, **attrs) -> None:
+        """Emit one unsampled structured record."""
+        self._emit(
+            {
+                "kind": "point",
+                "name": name,
+                "span": self._current_span_id(),
+                "t": self.clock(),
+                **attrs,
+            }
+        )
+
+    def event(self, name: str, **attrs) -> None:
+        """Emit one *sampled* record (hot-path safe)."""
+        if self._period == 0:
+            return
+        self._event_calls += 1
+        if self._event_calls % self._period:
+            return
+        self._emit(
+            {
+                "kind": "event",
+                "name": name,
+                "span": self._current_span_id(),
+                "t": self.clock(),
+                **attrs,
+            }
+        )
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+# ----------------------------------------------------------------------
+# No-op tracer (the cheap default)
+# ----------------------------------------------------------------------
+class _NullSpan:
+    __slots__ = ()
+    name = None
+    span_id = None
+    parent_id = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Do-nothing tracer; ``span`` returns one shared context."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def point(self, name: str, **attrs) -> None:
+        pass
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+# ----------------------------------------------------------------------
+# Active-tracer plumbing
+# ----------------------------------------------------------------------
+_active: Tracer | NullTracer = NULL_TRACER
+
+
+def active_tracer() -> Tracer | NullTracer:
+    """The tracer instrumented library code currently emits to."""
+    return _active
+
+
+def enable_tracing(
+    sink_or_path, sample: float = 1.0, clock=time.perf_counter
+) -> Tracer:
+    """Install (and return) a live tracer.
+
+    ``sink_or_path`` may be a sink object or a filesystem path, in
+    which case an :class:`NdjsonFileSink` is opened on it.
+    """
+    global _active
+    sink = (
+        sink_or_path
+        if hasattr(sink_or_path, "emit")
+        else NdjsonFileSink(sink_or_path)
+    )
+    _active = Tracer(sink, sample=sample, clock=clock)
+    return _active
+
+
+def disable_tracing() -> None:
+    """Close the active tracer's sink and restore the no-op default."""
+    global _active
+    if _active is not NULL_TRACER:
+        _active.close()
+    _active = NULL_TRACER

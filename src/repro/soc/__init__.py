@@ -27,7 +27,7 @@ from repro.soc.faults import VoltageFaultModel
 from repro.soc.bus import BusStats, SharedBus
 from repro.soc.dma import DmaEngine, DmaStats
 from repro.soc.ports import CodecPort, DetectOnlyCodec, RawPort
-from repro.soc.profiler import Profile, ProfilingPort
+from repro.soc.profiler import EmptyProfileError, Profile, ProfilingPort
 from repro.soc.energy_model import EnergyReport, PlatformEnergyModel
 from repro.soc.platform import Platform, PlatformConfig, SimulationResult
 
@@ -53,6 +53,7 @@ __all__ = [
     "DetectOnlyCodec",
     "ProfilingPort",
     "Profile",
+    "EmptyProfileError",
     "PlatformEnergyModel",
     "EnergyReport",
     "Platform",

@@ -28,7 +28,6 @@ Labels are case-sensitive; registers are ``r0`` .. ``r15``.
 from __future__ import annotations
 
 from repro.soc.isa import (
-    BIGIMM_TYPE,
     BRANCH_TYPE,
     I_TYPE,
     IMM14_MAX,

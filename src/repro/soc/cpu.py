@@ -20,7 +20,6 @@ from typing import Callable
 from repro.soc.isa import (
     BASE_CYCLES,
     NUM_REGISTERS,
-    Instruction,
     Opcode,
     decode,
 )

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.access import AccessErrorModel
 from repro.core.bitops import pack_bits_u64, popcount, popcount_u64
+from repro.obs import active_metrics, active_tracer
 
 
 class VoltageFaultModel:
@@ -120,8 +121,21 @@ class VoltageFaultModel:
             mask = self._draw_conditional_mask()
             self._gap = int(self.rng.geometric(self._p_any)) - 1
         if mask:
+            # Telemetry on the fault path only: fault-free accesses
+            # (the overwhelming majority) never touch the registry.
+            bits = popcount(mask)
             self.injected_events += 1
-            self.injected_bits += popcount(mask)
+            self.injected_bits += bits
+            metrics = active_metrics()
+            metrics.counter("faults.injected_events").inc()
+            metrics.counter("faults.injected_bits").inc(bits)
+            active_tracer().event(
+                "fault.inject",
+                width=self.width,
+                vdd=self.vdd,
+                bits=bits,
+                mask=mask,
+            )
         return mask
 
     def sample_masks(self, accesses: int) -> np.ndarray:
@@ -157,8 +171,23 @@ class VoltageFaultModel:
         if faulty_indices:
             drawn = self._draw_conditional_masks(len(faulty_indices))
             masks[np.array(faulty_indices, dtype=np.intp)] = drawn
+            bits = int(popcount_u64(drawn).sum())
             self.injected_events += len(faulty_indices)
-            self.injected_bits += int(popcount_u64(drawn).sum())
+            self.injected_bits += bits
+            # One registry touch per batch call, not per access.
+            metrics = active_metrics()
+            metrics.counter("faults.injected_events").inc(
+                len(faulty_indices)
+            )
+            metrics.counter("faults.injected_bits").inc(bits)
+            active_tracer().event(
+                "fault.inject_batch",
+                width=self.width,
+                vdd=self.vdd,
+                accesses=accesses,
+                events=len(faulty_indices),
+                bits=bits,
+            )
         return masks
 
     # ------------------------------------------------------------------

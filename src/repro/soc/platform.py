@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import active_metrics, active_tracer
 from repro.soc.cpu import Cpu, CpuState, ExecutionLimitExceeded, StopReason
 from repro.soc.isa import IllegalInstruction
 from repro.soc.memory import FaultyMemory, MemoryAccessFault
@@ -153,16 +154,35 @@ class Platform:
         try:
             return self.cpu.run(max_instructions)
         except IllegalInstruction as exc:
+            self._record_failure("illegal-instruction")
             raise SystemFailure("illegal-instruction", str(exc)) from exc
         except ExecutionLimitExceeded as exc:
+            self._record_failure("runaway")
             raise SystemFailure("runaway", str(exc)) from exc
         except MemoryAccessFault as exc:
             # A corrupted pointer or runaway PC left the address space:
             # the wild-access face of silent data corruption.
+            self._record_failure("wild-access")
             raise SystemFailure("wild-access", str(exc)) from exc
+        except DetectedError as exc:
+            # Recoverable under a rollback controller; still worth a
+            # trace record — rollback storms start here.
+            active_metrics().counter("platform.detected_errors").inc()
+            active_tracer().point(
+                "platform.detected_error",
+                module=exc.module,
+                address=exc.address,
+            )
+            raise
+
+    @staticmethod
+    def _record_failure(kind: str) -> None:
+        active_metrics().histogram("platform.failures").add(kind)
+        active_tracer().point("platform.failure", kind=kind)
 
     def snapshot_cpu(self) -> CpuState:
         """Copy the architectural state (OCEAN checkpoint support)."""
+        active_metrics().counter("platform.cpu_checkpoints").inc()
         state = self.cpu.state
         copied = CpuState(
             pc=state.pc,
@@ -176,6 +196,14 @@ class Platform:
     def restore_cpu(self, snapshot: CpuState) -> None:
         """Restore architectural state; performance counters keep
         running (re-executed work costs real cycles)."""
+        # Every rollback passes through here, whichever controller
+        # drives it — the natural single point to count them.
+        active_metrics().counter("platform.cpu_restores").inc()
+        active_tracer().point(
+            "platform.rollback",
+            pc=snapshot.pc,
+            cycles=self.cpu.state.cycles,
+        )
         state = self.cpu.state
         state.pc = snapshot.pc
         state.registers = list(snapshot.registers)
@@ -209,6 +237,16 @@ class Platform:
             if self.pm_port is not None:
                 corrected += self.pm_port.stats.corrected_words
                 detected += self.pm_port.stats.detected_words
+        metrics = active_metrics()
+        metrics.counter("platform.runs").inc()
+        metrics.counter("platform.cycles").inc(self.cpu.state.cycles)
+        metrics.counter("platform.instructions").inc(
+            self.cpu.state.instructions
+        )
+        metrics.counter("platform.corrected_words").inc(corrected)
+        metrics.counter("platform.detected_words").inc(detected)
+        metrics.counter("platform.injected_bits").inc(sum(injected.values()))
+        metrics.counter("platform.rollbacks").inc(rollbacks)
         return SimulationResult(
             cycles=self.cpu.state.cycles,
             instructions=self.cpu.state.instructions,

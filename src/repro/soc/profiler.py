@@ -5,6 +5,12 @@ it can attribute executed instructions to opcodes and program counters
 without touching the CPU.  Used to sanity-check generated workloads
 (is the FFT really multiply-dominated?) and to locate the hot loops
 that dominate the energy accounting.
+
+The collected histograms publish into the shared
+:mod:`repro.obs` metrics registry (``profile.*`` namespace) — either
+live while fetching (pass ``metrics=`` to :class:`ProfilingPort`) or
+in one shot via :meth:`Profile.publish` — so a campaign's opcode mix
+lands in the same snapshot as its fault and ECC counters.
 """
 
 from __future__ import annotations
@@ -12,7 +18,19 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.obs import active_metrics
 from repro.soc.isa import IllegalInstruction, Opcode, decode
+
+
+class EmptyProfileError(ValueError):
+    """A fraction was requested from a profile with zero fetches."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            "profile is empty (no instruction fetches recorded); run a "
+            "workload through the ProfilingPort before asking for "
+            "fractions"
+        )
 
 
 @dataclass
@@ -36,9 +54,26 @@ class Profile:
     def fraction(self, *opcodes: Opcode) -> float:
         """Return the executed fraction of the given opcodes."""
         if self.fetches == 0:
-            raise ValueError("profile is empty")
+            raise EmptyProfileError()
         hits = sum(self.by_opcode.get(op, 0) for op in opcodes)
         return hits / self.fetches
+
+    def publish(self, metrics=None) -> None:
+        """Push the profile into a metrics registry.
+
+        Fetch totals become the ``profile.fetches`` counter; the opcode
+        and PC tallies become the ``profile.opcode`` / ``profile.pc``
+        categorical histograms.  Defaults to the active registry.
+        """
+        if metrics is None:
+            metrics = active_metrics()
+        metrics.counter("profile.fetches").inc(self.fetches)
+        opcode_histogram = metrics.histogram("profile.opcode")
+        for opcode, count in self.by_opcode.items():
+            opcode_histogram.add(opcode.name, count)
+        pc_histogram = metrics.histogram("profile.pc")
+        for pc, count in self.by_pc.items():
+            pc_histogram.add(f"{pc:#06x}", count)
 
 
 class ProfilingPort:
@@ -47,22 +82,46 @@ class ProfilingPort:
     Wrap the platform's ``im_port`` before constructing the
     :class:`repro.soc.platform.Platform`; reads pass straight through
     to the inner port (fault behaviour and counters untouched).
+
+    Parameters
+    ----------
+    inner:
+        The wrapped instruction port.
+    metrics:
+        Optional metrics registry for *live* publication: every fetch
+        also feeds the ``profile.*`` instruments as it happens.  The
+        instruments are resolved once here, so the per-fetch cost is a
+        counter increment, not a name lookup.  Without it, call
+        :meth:`Profile.publish` after the run for one-shot publication.
     """
 
-    def __init__(self, inner) -> None:
+    def __init__(self, inner, metrics=None) -> None:
         self.inner = inner
         self.profile = Profile()
+        self._fetch_counter = None
+        self._opcode_histogram = None
+        self._pc_histogram = None
+        if metrics is not None:
+            self._fetch_counter = metrics.counter("profile.fetches")
+            self._opcode_histogram = metrics.histogram("profile.opcode")
+            self._pc_histogram = metrics.histogram("profile.pc")
 
     def read(self, address: int) -> int:
         word = self.inner.read(address)
         self.profile.fetches += 1
         self.profile.by_pc[address] += 1
+        if self._fetch_counter is not None:
+            self._fetch_counter.inc()
+            self._pc_histogram.add(f"{address:#06x}")
         try:
-            self.profile.by_opcode[decode(word).opcode] += 1
+            opcode = decode(word).opcode
         except IllegalInstruction:
             # Corrupted fetch: the CPU will raise on decode; count it
             # nowhere rather than inventing an opcode.
-            pass
+            return word
+        self.profile.by_opcode[opcode] += 1
+        if self._opcode_histogram is not None:
+            self._opcode_histogram.add(opcode.name)
         return word
 
     def write(self, address: int, value: int) -> None:

@@ -1,6 +1,5 @@
 """Unit tests for the analysis layer (tables, sweeps, experiments)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import format_table, voltage_sweep

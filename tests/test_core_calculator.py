@@ -2,11 +2,9 @@
 
 import pytest
 
-from repro.core.calculator import MemoryCalculator
-from repro.core.fit_solver import SCHEME_NONE, SCHEME_OCEAN, SCHEME_SECDED
+from repro.core.fit_solver import SCHEME_NONE
 from repro.core.planner import (
     OVERHEAD_NONE,
-    OVERHEAD_OCEAN,
     OVERHEAD_SECDED,
     MitigationPlanner,
     SchemeOverhead,

@@ -1,7 +1,5 @@
 """Unit tests for the Eq. 2-4 noise-margin model."""
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given, settings

@@ -14,7 +14,6 @@ from repro.analysis.report import full_report
 from repro.core.access import (
     ACCESS_CELL_BASED_40NM,
     ACCESS_CELL_BASED_40NM_TYPICAL,
-    AccessErrorModel,
 )
 from repro.core.fit_solver import SCHEME_SECDED, minimum_voltage
 from repro.core.multibit import prob_at_least

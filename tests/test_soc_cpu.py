@@ -3,7 +3,7 @@
 import pytest
 
 from repro.soc.assembler import assemble
-from repro.soc.cpu import Cpu, ExecutionLimitExceeded, StopReason
+from repro.soc.cpu import Cpu, StopReason
 from repro.soc.memory import FaultyMemory
 from repro.soc.platform import Platform
 from repro.soc.ports import RawPort

@@ -3,10 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.access import (
-    ACCESS_CELL_BASED_40NM,
-    AccessErrorModel,
-)
+from repro.core.access import ACCESS_CELL_BASED_40NM
 from repro.ecc.hamming import SecdedCodec
 from repro.soc.energy_model import (
     MemoryComponentSpec,

@@ -9,8 +9,6 @@ off.  These tests pin that behaviour plus the leakage temperature
 dependence.
 """
 
-import pytest
-
 from repro.tech.delay import inverter_delay, logic_max_frequency
 from repro.tech.device import drive_current
 from repro.tech.leakage import leakage_current_per_um, leakage_power

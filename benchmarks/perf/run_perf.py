@@ -42,6 +42,13 @@ from repro.ecc import (  # noqa: E402
     status_code,
 )
 from repro.soc.faults import VoltageFaultModel  # noqa: E402
+from repro.core.access import ACCESS_CELL_BASED_40NM_TYPICAL  # noqa: E402
+from repro.mitigation import (  # noqa: E402
+    NoMitigationRunner,
+    OceanRunner,
+    SecdedRunner,
+)
+from repro.workloads.fft import build_fft_program  # noqa: E402
 
 
 def best_of(fn, repeats: int = 5, warmup: int = 1) -> float:
@@ -213,6 +220,77 @@ def bench_fig5_campaign(accesses_per_point: int):
     }
 
 
+def _platform_rng_states(runner):
+    """Per-memory RNG bit-generator states after a completed run."""
+    plat = runner.last_platform
+    memories = [plat.im, plat.sp]
+    if plat.pm is not None:
+        memories.append(plat.pm)
+    return [
+        memory.faults.rng.bit_generator.state if memory.faults else None
+        for memory in memories
+    ]
+
+
+def bench_platform(fft_points: int, seed: int = 7):
+    """End-to-end platform runs: reference interpreter vs fast lane.
+
+    One FFT run per scheme at its Table 2 operating voltage, executed
+    twice from identical seeds — once through ``Cpu.run`` and once
+    through the clean-burst fast lane.  Bit-exactness here is the
+    strictest available: identical :class:`SimulationResult` (cycles,
+    instructions, access counters, corrected/detected words, injected
+    bits), identical program output, and byte-identical RNG
+    bit-generator states on every fault stream — i.e. the fast lane
+    consumed exactly the same random draws as per-access sampling.
+    """
+    program = build_fft_program(fft_points)
+    golden = program.expected_output(list(program.data_words[:fft_points]))
+    sections = {}
+    for runner_cls, vdd in (
+        (NoMitigationRunner, 0.55),
+        (SecdedRunner, 0.44),
+        (OceanRunner, 0.33),
+    ):
+        reference = runner_cls(
+            ACCESS_CELL_BASED_40NM_TYPICAL, seed=seed
+        )
+        fast = runner_cls(
+            ACCESS_CELL_BASED_40NM_TYPICAL, seed=seed, fast_lane=True
+        )
+        start = time.perf_counter()
+        ref_outcome = reference.run(program.workload, vdd, 25e6)
+        t_reference = time.perf_counter() - start
+        start = time.perf_counter()
+        fast_outcome = fast.run(program.workload, vdd, 25e6)
+        t_fast = time.perf_counter() - start
+
+        bit_exact = bool(
+            ref_outcome.sim == fast_outcome.sim
+            and ref_outcome.completed == fast_outcome.completed
+            and ref_outcome.failure == fast_outcome.failure
+            and ref_outcome.output == fast_outcome.output
+        )
+        rng_identical = bool(
+            _platform_rng_states(reference) == _platform_rng_states(fast)
+        )
+        instructions = fast_outcome.sim.instructions
+        sections[reference.name] = {
+            "vdd": vdd,
+            "instructions": instructions,
+            "completed": fast_outcome.completed,
+            "output_correct": fast_outcome.output_matches(golden),
+            "bit_exact": bit_exact,
+            "rng_stream_identical": rng_identical,
+            "reference_s": t_reference,
+            "fast_lane_s": t_fast,
+            "reference_mips": instructions / t_reference / 1e6,
+            "fast_lane_mips": instructions / t_fast / 1e6,
+            "speedup": t_reference / t_fast,
+        }
+    return {"fft_points": fft_points, "seed": seed, "schemes": sections}
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -246,9 +324,13 @@ def main() -> int:
     if args.quick:
         secded_n, bch_n = 20_000, 2_000
         fault_n, fig5_n = 200_000, 2_000
+        platform_fft = 64
+        platform_target = 3.0
     else:
         secded_n, bch_n = 200_000, 20_000
         fault_n, fig5_n = 2_000_000, 20_000
+        platform_fft = 256
+        platform_target = 10.0
 
     # The harness always keeps its own registry (section timers, the
     # ground-truth miscorrection counters, the manifest snapshot).
@@ -271,6 +353,8 @@ def main() -> int:
             "bch_words": bch_n,
             "fault_accesses": fault_n,
             "fig5_accesses_per_point": fig5_n,
+            "platform_fft_points": platform_fft,
+            "platform_speedup_target": platform_target,
         },
     )
 
@@ -296,7 +380,10 @@ def main() -> int:
         results["faults"] = bench_faults(fault_n)
     with registry.timer("bench.fig5_campaign").time():
         results["fig5_campaign"] = bench_fig5_campaign(fig5_n)
+    with registry.timer("bench.platform").time():
+        results["platform"] = bench_platform(platform_fft)
 
+    schemes = results["platform"]["schemes"]
     checks = {
         "secded_encode_bit_exact": results["secded"]["encode_bit_exact"],
         "secded_decode_bit_exact": results["secded"]["decode_bit_exact"],
@@ -307,6 +394,18 @@ def main() -> int:
         "secded_encode_20x": results["secded"]["encode_speedup"] >= 20.0,
         "secded_decode_20x": results["secded"]["decode_speedup"] >= 20.0,
         "fig5_campaign_5x": results["fig5_campaign"]["speedup"] >= 5.0,
+        "platform_bit_exact": all(
+            s["bit_exact"] for s in schemes.values()
+        ),
+        "platform_rng_identical": all(
+            s["rng_stream_identical"] for s in schemes.values()
+        ),
+        "platform_output_correct": all(
+            s["output_correct"] for s in schemes.values()
+        ),
+        f"platform_secded_{platform_target:g}x": (
+            schemes["SECDED"]["speedup"] >= platform_target
+        ),
     }
     results["checks"] = checks
     results["all_checks_passed"] = all(checks.values())
@@ -329,6 +428,9 @@ def main() -> int:
             "bch_decode": results["bch"]["decode_speedup"],
             "faults": results["faults"]["speedup"],
             "fig5_campaign": results["fig5_campaign"]["speedup"],
+            "platform": {
+                name: s["speedup"] for name, s in schemes.items()
+            },
         },
         "output": str(args.output),
     }
@@ -351,6 +453,13 @@ def main() -> int:
     )
     c = results["fig5_campaign"]
     print(f"{'fig5 campaign':>16}: batch {c['speedup']:6.1f}x")
+    for name, s in schemes.items():
+        print(
+            f"{'platform ' + name:>16}: fast lane {s['speedup']:6.1f}x "
+            f"({s['fast_lane_mips']:.2f} vs {s['reference_mips']:.2f} "
+            f"MIPS, bit_exact={s['bit_exact']}, "
+            f"rng_identical={s['rng_stream_identical']})"
+        )
     print("checks:", "PASS" if results["all_checks_passed"] else "FAIL",
           {k: v for k, v in checks.items() if not v} or "")
     return 0 if results["all_checks_passed"] else 1

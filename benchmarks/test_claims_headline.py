@@ -4,6 +4,10 @@
   approaches, and 3x compared to no mitigation".
 * Conclusion: "a 3.3x lower dynamic power is achieved beyond the
   voltage limit for error free operation".
+
+Regenerated at the paper's full 1K-point FFT (the clean-burst fast
+lane made the 256-point reduction unnecessary).  Pinned values from
+the seed-1 run: 3.03x vs no mitigation, 1.82x vs ECC, 3.31x dynamic.
 """
 
 import pytest
@@ -14,7 +18,7 @@ from repro.analysis.experiments import headline_claims
 def test_headline_claims(benchmark, show):
     claims = benchmark.pedantic(
         headline_claims, rounds=1, iterations=1,
-        kwargs={"fft_points": 256},
+        kwargs={"fft_points": 1024},
     )
 
     show(
@@ -27,10 +31,10 @@ def test_headline_claims(benchmark, show):
         f"{claims.dynamic_power_ratio_beyond_limit:.2f}x (paper: 3.3x)"
     )
 
-    assert claims.power_ratio_vs_none == pytest.approx(3.0, abs=0.6)
-    assert claims.power_ratio_vs_ecc == pytest.approx(2.0, abs=0.5)
+    assert claims.power_ratio_vs_none == pytest.approx(3.03, abs=0.5)
+    assert claims.power_ratio_vs_ecc == pytest.approx(1.82, abs=0.4)
     assert claims.dynamic_power_ratio_beyond_limit == pytest.approx(
-        3.3, abs=0.3
+        3.31, abs=0.2
     )
     # The two abstract ratios must be mutually consistent:
     assert (

@@ -40,6 +40,7 @@ from repro.mitigation import (
     OceanRunner,
     SecdedRunner,
 )
+from repro.soc.platform import PlatformConfig
 from repro.soc.energy_model import (
     MemoryComponentSpec,
     PlatformEnergyModel,
@@ -449,10 +450,28 @@ def _mitigation_study(
 ) -> MitigationStudy:
     program = build_fft_program(fft_points)
     golden = program.expected_output(list(program.data_words[:fft_points]))
+    # Size the platform to the workload: the paper's 1K-point FFT
+    # carries 1.5K data words (points + twiddles), which must fit the
+    # scratchpad and OCEAN's checkpoint buffer.  Smaller workloads keep
+    # the stock Section V.A sizes, so historical numbers are unchanged.
+    workload = program.workload
+    config = PlatformConfig(
+        im_words=max(1024, len(workload.program_words)),
+        sp_words=max(2048, len(workload.data_words)),
+        pm_words=max(1024, len(workload.data_words)),
+    )
     tracer = active_tracer()
     bars = []
     for runner_cls in (NoMitigationRunner, SecdedRunner, OceanRunner):
-        runner = runner_cls(access_model, seed=seed, macro_style=macro_style)
+        # The fault-free fast lane is bit-exact with the reference
+        # interpreter (differential-fuzzed), so studies always use it.
+        runner = runner_cls(
+            access_model,
+            config=config,
+            seed=seed,
+            macro_style=macro_style,
+            fast_lane=True,
+        )
         vdd = scheme_voltages[runner.name]
         with tracer.span(
             "study.scheme_run",
@@ -583,8 +602,12 @@ class ClaimHeadline:
 LIFETIME_GUARDBAND_V = 0.05
 
 
-def headline_claims(fft_points: int = 256, seed: int = 1) -> ClaimHeadline:
+def headline_claims(fft_points: int = 1024, seed: int = 1) -> ClaimHeadline:
     """Regenerate the abstract's 2x/3x and the conclusion's 3.3x.
+
+    Runs the paper's full 1K-point FFT by default — the clean-burst
+    fast lane makes the platform simulations quick enough that the
+    historical 256-point reduction is no longer needed.
 
     The 3.3x claim compares dynamic power at the guarded error-free
     voltage limit (no-mitigation minimum plus lifetime guardband)

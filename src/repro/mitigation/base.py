@@ -70,6 +70,11 @@ class SchemeRunner(abc.ABC):
         Platform memory sizes.
     seed:
         Fault-engine RNG seed (reproducible campaigns).
+    fast_lane:
+        Run the platform with the clean-burst fast lane
+        (:mod:`repro.soc.fastlane`).  Bit-exact with the reference
+        interpreter; off by default so existing studies keep their
+        exact execution path unless they opt in.
     """
 
     #: Scheme name, matching the fit-solver scheme.
@@ -83,11 +88,17 @@ class SchemeRunner(abc.ABC):
         config: PlatformConfig | None = None,
         seed: int = 0,
         macro_style: str = "cell-based",
+        fast_lane: bool = False,
     ) -> None:
         self.access_model = access_model
         self.config = config if config is not None else PlatformConfig()
         self.seed = seed
         self.macro_style = macro_style
+        self.fast_lane = fast_lane
+        #: The platform of the most recent :meth:`run`, kept for
+        #: post-run inspection (RNG stream positions, cache state) by
+        #: benchmarks and differential tests.
+        self.last_platform: Platform | None = None
 
     # ------------------------------------------------------------------
     # Scheme-specific hooks
@@ -128,6 +139,7 @@ class SchemeRunner(abc.ABC):
     ) -> RunOutcome:
         """Execute the full workload at one operating point."""
         platform = self.build_platform(vdd)
+        self.last_platform = platform
         platform.load_program(list(workload.program_words))
         platform.load_data(list(workload.data_words), workload.data_base)
         completed, failure, rollbacks, overhead = self.execute(

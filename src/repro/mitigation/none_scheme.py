@@ -46,7 +46,9 @@ class NoMitigationRunner(SchemeRunner):
                 self.access_model, 32, vdd, rng=self._rng(2)
             ),
         )
-        return Platform(im, RawPort(im), sp, RawPort(sp))
+        return Platform(
+            im, RawPort(im), sp, RawPort(sp), fast_lane=self.fast_lane
+        )
 
     def memory_specs(self) -> list[MemoryComponentSpec]:
         return [

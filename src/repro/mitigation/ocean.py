@@ -219,6 +219,7 @@ class OceanRunner(SchemeRunner):
             CodecPort(sp, sp_codec, raise_on_detect=True),
             pm=pm,
             pm_port=CodecPort(pm, pm_codec, raise_on_detect=True),
+            fast_lane=self.fast_lane,
         )
 
     def memory_specs(self) -> list[MemoryComponentSpec]:

@@ -17,6 +17,8 @@ simulator.  This subpackage is that platform, purpose-built:
 * :mod:`repro.soc.energy_model` — per-module energy accounting (core,
   IM, SP, PM — the components of Figures 8 and 9).
 * :mod:`repro.soc.platform` — the assembled Figure 6 platform.
+* :mod:`repro.soc.fastlane` — clean-burst fast lane: bit-exact
+  fault-free execution against predecoded memory views.
 """
 
 from repro.soc.isa import Instruction, Opcode, decode, encode
@@ -30,6 +32,7 @@ from repro.soc.ports import CodecPort, DetectOnlyCodec, RawPort
 from repro.soc.profiler import EmptyProfileError, Profile, ProfilingPort
 from repro.soc.energy_model import EnergyReport, PlatformEnergyModel
 from repro.soc.platform import Platform, PlatformConfig, SimulationResult
+from repro.soc.fastlane import FastLaneEngine
 
 __all__ = [
     "Opcode",
@@ -57,6 +60,7 @@ __all__ = [
     "PlatformEnergyModel",
     "EnergyReport",
     "Platform",
+    "FastLaneEngine",
     "PlatformConfig",
     "SimulationResult",
 ]

@@ -52,6 +52,10 @@ class VoltageFaultModel:
     #: Conditional flip masks pre-generated per refill (vectorized).
     MASK_BLOCK = 64
 
+    #: :meth:`clean_run_length` result when faults are impossible
+    #: (``p_any == 0``): effectively infinite, still a safe int.
+    UNBOUNDED = 1 << 62
+
     def __init__(
         self,
         access_model: AccessErrorModel,
@@ -137,6 +141,56 @@ class VoltageFaultModel:
                 mask=mask,
             )
         return mask
+
+    def clean_run_length(self) -> int:
+        """How many upcoming accesses are guaranteed fault-free.
+
+        Exposes the already-sampled geometric gap so a caller (the
+        platform's fault-free fast lane) can run that many accesses
+        against a plain-word view without consulting the model per
+        access.  Drawing the lazy gap here is the *same* RNG call
+        :meth:`sample_mask` would make on the next access, so the
+        random stream stays bit-identical to per-access sampling —
+        provided at least one more access actually occurs, which every
+        caller guarantees by only asking when about to access.
+
+        Returns 0 when a forced mask is queued (the next access must go
+        through :meth:`sample_mask`), and :attr:`UNBOUNDED` when faults
+        are impossible at the current voltage.
+        """
+        if self._forced:
+            return 0
+        if self._p_any == 0.0:
+            return self.UNBOUNDED
+        if self._gap is None:
+            self._gap = int(self.rng.geometric(self._p_any)) - 1
+        return self._gap
+
+    def consume_clean(self, accesses: int) -> None:
+        """Account ``accesses`` fault-free accesses taken off the gap.
+
+        Equivalent to ``accesses`` calls of :meth:`sample_mask` that
+        all returned 0 — a pure counter decrement, no RNG.  The caller
+        must not consume more than :meth:`clean_run_length` granted.
+        """
+        if accesses < 0:
+            raise ValueError(
+                f"accesses must be non-negative, got {accesses}"
+            )
+        if accesses == 0:
+            return
+        if self._forced:
+            raise RuntimeError(
+                "cannot consume clean accesses past a forced fault"
+            )
+        if self._p_any == 0.0:
+            return
+        if self._gap is None or accesses > self._gap:
+            raise RuntimeError(
+                f"consume_clean({accesses}) exceeds the sampled clean "
+                f"run ({self._gap})"
+            )
+        self._gap -= accesses
 
     def sample_masks(self, accesses: int) -> np.ndarray:
         """Return the flip masks of ``accesses`` consecutive accesses.

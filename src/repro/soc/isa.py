@@ -157,21 +157,41 @@ class IllegalInstruction(Exception):
     """
 
 
-def decode(word: int) -> Instruction:
-    """Decode a 32-bit word; raises :class:`IllegalInstruction` on junk."""
+#: Opcode lookup by the 6 opcode bits; ``None`` marks illegal encodings.
+#: A flat table keeps the hot decode path to one list index instead of
+#: an exception-driven ``Opcode(...)`` construction per fetched word.
+OPCODE_FROM_BITS: list = [None] * 64
+for _op in Opcode:
+    OPCODE_FROM_BITS[int(_op)] = _op
+del _op
+
+
+def decode_fields(word: int) -> tuple:
+    """Decode a 32-bit word into raw ``(opcode, a, b, c, imm)`` fields.
+
+    This is the allocation-free core of :func:`decode`: no
+    :class:`Instruction` object is built and no field re-validation
+    runs (the bit extraction cannot produce out-of-range fields).
+    Raises :class:`IllegalInstruction` on junk opcodes, exactly like
+    :func:`decode`.
+    """
     if word < 0 or word >> 32:
         raise ValueError(f"word must be a 32-bit value, got {word:#x}")
     op_bits = (word >> 26) & 0x3F
-    try:
-        op = Opcode(op_bits)
-    except ValueError:
+    op = OPCODE_FROM_BITS[op_bits]
+    if op is None:
         raise IllegalInstruction(
             f"invalid opcode {op_bits:#04x} in word {word:#010x}"
-        ) from None
+        )
     a = (word >> 22) & 0xF
     if op in BIGIMM_TYPE:
-        return Instruction(op, a=a, imm=_sign_extend(word & 0x3FFFFF, 22))
+        return op, a, 0, 0, _sign_extend(word & 0x3FFFFF, 22)
     b = (word >> 18) & 0xF
     c = (word >> 14) & 0xF
-    imm = _sign_extend(word & 0x3FFF, 14)
+    return op, a, b, c, _sign_extend(word & 0x3FFF, 14)
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word; raises :class:`IllegalInstruction` on junk."""
+    op, a, b, c, imm = decode_fields(word)
     return Instruction(op, a=a, b=b, c=c, imm=imm)

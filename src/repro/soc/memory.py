@@ -77,6 +77,12 @@ class FaultyMemory:
         self.fault_on_write = fault_on_write
         self.counters = AccessCounters()
         self._data = [0] * words
+        #: Monotonic content-generation counter, bumped on every
+        #: mutation of the stored words (including destructive read
+        #: upsets and back-door pokes).  Cached plain-word views — the
+        #: fast lane's predecoded IM and clean scratchpad mirrors —
+        #: compare it to detect staleness without hooking every writer.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # WordStore protocol (compatible with repro.ecc.wrapper)
@@ -96,6 +102,7 @@ class FaultyMemory:
             if mask:
                 value ^= mask
                 self._data[address] = value
+                self.version += 1
         return value
 
     def write(self, address: int, value: int) -> None:
@@ -110,6 +117,7 @@ class FaultyMemory:
         if self.faults is not None and self.fault_on_write:
             value ^= self.faults.sample_mask()
         self._data[address] = value
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Back-door access (loader / checker; no faults, no counters)
@@ -128,6 +136,7 @@ class FaultyMemory:
                     f"{self.width} bits"
                 )
             self._data[base + offset] = value
+        self.version += 1
 
     def peek(self, address: int) -> int:
         """Inspect a word without faults or counters."""
@@ -138,6 +147,7 @@ class FaultyMemory:
         """Set a word without faults or counters (test hook)."""
         self._check(address)
         self._data[address] = value
+        self.version += 1
 
     def snapshot(self) -> list[int]:
         """Return a copy of the full contents (checkpoint support)."""
@@ -151,6 +161,7 @@ class FaultyMemory:
                 f"{self.words}"
             )
         self._data = list(snapshot)
+        self.version += 1
 
     def _check(self, address: int) -> None:
         if not 0 <= address < self.words:

@@ -85,6 +85,12 @@ class Platform:
         Scratchpad and the data port.
     pm / pm_port:
         Optional protected buffer (OCEAN).
+    fast_lane:
+        Execute fault-free stretches through the clean-burst engine
+        (:mod:`repro.soc.fastlane`) — bit-exact with the reference
+        interpreter but an order of magnitude faster.  Silently falls
+        back to the reference path when the ports are not the stock
+        types (e.g. a profiling wrapper observes every fetch).
     """
 
     def __init__(
@@ -95,6 +101,7 @@ class Platform:
         sp_port,
         pm: FaultyMemory | None = None,
         pm_port=None,
+        fast_lane: bool = False,
     ) -> None:
         self.im = im
         self.im_port = im_port
@@ -102,6 +109,8 @@ class Platform:
         self.sp_port = sp_port
         self.pm = pm
         self.pm_port = pm_port
+        self.fast_lane = fast_lane
+        self._fast_engine = None
         self.cpu = Cpu(
             fetch=self._fetch, load=self._load, store=self._store
         )
@@ -152,7 +161,7 @@ class Platform:
         system-level failure it is.
         """
         try:
-            return self.cpu.run(max_instructions)
+            return self._runner()(max_instructions)
         except IllegalInstruction as exc:
             self._record_failure("illegal-instruction")
             raise SystemFailure("illegal-instruction", str(exc)) from exc
@@ -174,6 +183,26 @@ class Platform:
                 address=exc.address,
             )
             raise
+
+    def _runner(self):
+        """Pick the execution entry point for this run.
+
+        The fast-lane engine is built lazily and kept across runs (its
+        predecoded views survive YIELD boundaries); it is rebuilt if
+        the port wiring changed, and skipped entirely when the ports
+        are not fast-lane capable.
+        """
+        if not self.fast_lane:
+            return self.cpu.run
+        engine = self._fast_engine
+        if engine is None or not engine.matches(self):
+            from repro.soc.fastlane import FastLaneEngine
+
+            engine = FastLaneEngine.try_build(self)
+            self._fast_engine = engine
+        if engine is None:
+            return self.cpu.run
+        return engine.run
 
     @staticmethod
     def _record_failure(kind: str) -> None:

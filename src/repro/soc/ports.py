@@ -18,6 +18,9 @@ from repro.soc.memory import FaultyMemory
 class RawPort:
     """Unprotected 32-bit port: bit flips pass silently to the core."""
 
+    #: Uniform interface with :class:`CodecPort` (no codec attached).
+    codec = None
+
     def __init__(self, memory: FaultyMemory) -> None:
         if memory.width != 32:
             raise ValueError(
@@ -39,6 +42,17 @@ class RawPort:
     def peek(self, address: int) -> int:
         """Fault-free inspection of the decoded word."""
         return self.memory.peek(address)
+
+    # -- fast-lane bulk accounting ------------------------------------
+    # A clean burst performs its reads/writes against a cached plain
+    # view; these settle the counters that the per-access path would
+    # have bumped.  RawPort reads never touch the (all-zero) wrapper
+    # stats, so only the memory counters move.
+    def account_clean_reads(self, count: int) -> None:
+        self.memory.counters.reads += count
+
+    def account_clean_writes(self, count: int) -> None:
+        self.memory.counters.writes += count
 
 
 class CodecPort:
@@ -89,6 +103,18 @@ class CodecPort:
         """Fault-free best-effort decode (result inspection)."""
         return self.codec.decode(self.memory.peek(address)).data
 
+    # -- fast-lane bulk accounting ------------------------------------
+    # Per-access reads bump both the memory counters (store.read) and
+    # the wrapper stats; clean bursts must settle both.  No corrected/
+    # detected counters move: a burst only ever covers CLEAN words.
+    def account_clean_reads(self, count: int) -> None:
+        self.memory.counters.reads += count
+        self.wrapper.stats.reads += count
+
+    def account_clean_writes(self, count: int) -> None:
+        self.memory.counters.writes += count
+        self.wrapper.stats.writes += count
+
 
 class DetectOnlyCodec(Codec):
     """Use any codec purely for error *detection*.
@@ -107,6 +133,11 @@ class DetectOnlyCodec(Codec):
 
     def encode(self, data: int) -> int:
         return self.inner.encode(data)
+
+    def encode_batch(self, words):
+        # Encoding is unchanged by detect-only semantics; delegate to
+        # the inner codec's vectorized path (used by burst write-back).
+        return self.inner.encode_batch(words)
 
     def decode(self, codeword: int):
         from repro.ecc.base import DecodeResult

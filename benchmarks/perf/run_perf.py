@@ -22,8 +22,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -48,6 +50,8 @@ from repro.mitigation import (  # noqa: E402
     OceanRunner,
     SecdedRunner,
 )
+from repro.analysis.campaign import run_campaign  # noqa: E402
+from repro.resilience import ChaosPolicy  # noqa: E402
 from repro.workloads.fft import build_fft_program  # noqa: E402
 
 
@@ -291,6 +295,94 @@ def bench_platform(fft_points: int, seed: int = 7):
     return {"fft_points": fft_points, "seed": seed, "schemes": sections}
 
 
+def bench_resilience(
+    runs: int,
+    fft_points: int,
+    max_retries: int,
+    task_timeout: float | None,
+    journal_path: Path | None,
+    vdd: float = 0.40,
+):
+    """Prove the resilient campaign layer and price its overhead.
+
+    Three campaigns at the same seeds: an unperturbed serial baseline,
+    a chaos-perturbed pooled run (worker kill + in-task exception) that
+    must converge to a bit-identical ``CampaignResult``, and a
+    journal-interrupted run resumed to completion — also bit-identical.
+    """
+    program = build_fft_program(fft_points)
+    golden = program.expected_output(list(program.data_words[:fft_points]))
+    kwargs = dict(
+        workload=program.workload,
+        golden=golden,
+        access_model=ACCESS_CELL_BASED_40NM_TYPICAL,
+        vdd=vdd,
+        runs=runs,
+        seed_base=100,
+        macro_style="cell-based",
+        max_retries=max_retries,
+        task_timeout=task_timeout,
+    )
+
+    start = time.perf_counter()
+    baseline = run_campaign(SecdedRunner, **kwargs)
+    t_baseline = time.perf_counter() - start
+
+    # Kill one worker mid-task and raise inside another: the pooled
+    # campaign must still converge to the baseline result.
+    chaos = ChaosPolicy(
+        kill=[("run-101", 1)], raise_in_task=[("run-102", 1)]
+    )
+    start = time.perf_counter()
+    perturbed = run_campaign(
+        SecdedRunner, processes=2, chaos=chaos, **kwargs
+    )
+    t_perturbed = time.perf_counter() - start
+
+    # Interrupt-and-resume via the journal: first half checkpointed,
+    # then the full campaign resumed from the same file.
+    if journal_path is not None:
+        journal = str(journal_path)
+        cleanup = False
+    else:
+        handle = tempfile.NamedTemporaryFile(
+            suffix=".ndjson", delete=False
+        )
+        handle.close()
+        journal = handle.name
+        os.unlink(journal)  # executor treats a missing file as fresh
+        cleanup = True
+    try:
+        run_campaign(
+            SecdedRunner, journal=journal,
+            **{**kwargs, "runs": max(1, runs // 2)},
+        )
+        start = time.perf_counter()
+        resumed = run_campaign(SecdedRunner, journal=journal, **kwargs)
+        t_resumed = time.perf_counter() - start
+    finally:
+        if cleanup and os.path.exists(journal):
+            os.unlink(journal)
+
+    return {
+        "runs": runs,
+        "fft_points": fft_points,
+        "vdd": vdd,
+        "max_retries": max_retries,
+        "task_timeout": task_timeout,
+        "chaos_bit_identical": bool(perturbed == baseline),
+        "chaos_retries": perturbed.resilience.retries,
+        "chaos_pool_breaks": perturbed.resilience.pool_breaks,
+        "resume_bit_identical": bool(resumed == baseline),
+        "resumed_tasks": resumed.resilience.resumed,
+        "executed_after_resume": resumed.resilience.executed,
+        "baseline_s": t_baseline,
+        "perturbed_s": t_perturbed,
+        "resumed_s": t_resumed,
+        "journal": journal if journal_path is not None else None,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -312,6 +404,20 @@ def main() -> int:
         "library-level counters (ecc.*, faults.*) flow into the "
         "manifest; off by default to keep timings comparable",
     )
+    parser.add_argument(
+        "--resume", type=Path, default=None, metavar="JOURNAL",
+        help="checkpoint the resilience section's campaigns to this "
+        "NDJSON journal (resumes it if it already exists)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=3, metavar="N",
+        help="retry budget per campaign run in the resilience section "
+        "(default 3)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run deadline in the resilience section (default none)",
+    )
     args = parser.parse_args()
     if not args.output.parent.is_dir():
         parser.error(f"output directory does not exist: {args.output.parent}")
@@ -326,11 +432,13 @@ def main() -> int:
         fault_n, fig5_n = 200_000, 2_000
         platform_fft = 64
         platform_target = 3.0
+        resilience_runs = 4
     else:
         secded_n, bch_n = 200_000, 20_000
         fault_n, fig5_n = 2_000_000, 20_000
         platform_fft = 256
         platform_target = 10.0
+        resilience_runs = 8
 
     # The harness always keeps its own registry (section timers, the
     # ground-truth miscorrection counters, the manifest snapshot).
@@ -355,6 +463,9 @@ def main() -> int:
             "fig5_accesses_per_point": fig5_n,
             "platform_fft_points": platform_fft,
             "platform_speedup_target": platform_target,
+            "resilience_runs": resilience_runs,
+            "resilience_max_retries": args.max_retries,
+            "resilience_task_timeout": args.task_timeout,
         },
     )
 
@@ -382,6 +493,11 @@ def main() -> int:
         results["fig5_campaign"] = bench_fig5_campaign(fig5_n)
     with registry.timer("bench.platform").time():
         results["platform"] = bench_platform(platform_fft)
+    with registry.timer("bench.resilience").time():
+        results["resilience"] = bench_resilience(
+            resilience_runs, 64, args.max_retries, args.task_timeout,
+            args.resume,
+        )
 
     schemes = results["platform"]["schemes"]
     checks = {
@@ -405,6 +521,18 @@ def main() -> int:
         ),
         f"platform_secded_{platform_target:g}x": (
             schemes["SECDED"]["speedup"] >= platform_target
+        ),
+        "resilience_chaos_bit_identical": (
+            results["resilience"]["chaos_bit_identical"]
+        ),
+        "resilience_chaos_recovered": (
+            results["resilience"]["chaos_retries"] >= 1
+        ),
+        "resilience_resume_bit_identical": (
+            results["resilience"]["resume_bit_identical"]
+        ),
+        "resilience_resume_skipped_work": (
+            results["resilience"]["resumed_tasks"] >= 1
         ),
     }
     results["checks"] = checks
@@ -453,6 +581,15 @@ def main() -> int:
     )
     c = results["fig5_campaign"]
     print(f"{'fig5 campaign':>16}: batch {c['speedup']:6.1f}x")
+    res = results["resilience"]
+    print(
+        f"{'resilience':>16}: chaos identical={res['chaos_bit_identical']} "
+        f"(retries {res['chaos_retries']}, pool breaks "
+        f"{res['chaos_pool_breaks']}), resume "
+        f"identical={res['resume_bit_identical']} "
+        f"({res['resumed_tasks']} resumed / "
+        f"{res['executed_after_resume']} executed)"
+    )
     for name, s in schemes.items():
         print(
             f"{'platform ' + name:>16}: fast lane {s['speedup']:6.1f}x "

@@ -22,7 +22,7 @@ anything.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,7 +30,8 @@ import numpy as np
 from repro.core.access import AccessErrorModel
 from repro.core.retention import RetentionModel
 from repro.memdev.array import MemoryArray
-from repro.obs import active_metrics, active_tracer, scoped_metrics
+from repro.obs import MetricsSnapshot, active_metrics, active_tracer, scoped_metrics
+from repro.resilience import ChaosPolicy, ResilientExecutor, TaskSpec
 
 
 @dataclass(frozen=True)
@@ -68,6 +69,23 @@ def _die_failure_counts(args) -> tuple:
         counts = vmin.size - np.searchsorted(vmin, voltages, side="right")
         registry.counter("batch.die.cells").inc(words * bits)
     return counts, registry.snapshot()
+
+
+def _encode_die(outcome) -> dict:
+    """JSON-safe journal form of one :func:`_die_failure_counts` tuple."""
+    counts, snapshot = outcome
+    return {
+        "counts": [int(n) for n in np.asarray(counts).ravel()],
+        "metrics": snapshot.as_dict(),
+    }
+
+
+def _decode_die(data: dict) -> tuple:
+    """Inverse of :func:`_encode_die` (exact integer round-trip)."""
+    return (
+        np.asarray(data["counts"], dtype=np.int64),
+        MetricsSnapshot.from_dict(data["metrics"]),
+    )
 
 
 class BatchCampaign:
@@ -180,6 +198,10 @@ class BatchCampaign:
         words: int = 1024,
         bits: int = 32,
         die_sigma_v: float = 0.015,
+        max_retries: int = 3,
+        task_timeout: float | None = None,
+        journal: str | None = None,
+        chaos: ChaosPolicy | None = None,
     ) -> np.ndarray:
         """Cumulative retention-failure probability over ``voltages``.
 
@@ -187,21 +209,48 @@ class BatchCampaign:
         for the same master seed (identical offset and per-die stream
         derivation), but builds the dies independently so they can fan
         out across a process pool.
+
+        Per-die execution is resilient: worker death, deadlines
+        (``task_timeout``) and exceptions retry up to ``max_retries``
+        times; ``journal`` checkpoints completed dies to an NDJSON file
+        for bit-identical resume.  A die quarantined after exhausting
+        its retries raises ``RuntimeError`` rather than silently
+        skewing the population curve.
         """
         voltages = np.asarray(voltages, dtype=float)
         master = np.random.default_rng(self.seed)
         offsets = master.normal(0.0, die_sigma_v, size=n_dies)
-        jobs = [
-            (
-                base_retention.shifted(float(offset)),
-                access_model,
-                words,
-                bits,
-                int(master.integers(2**63)),
-                voltages,
+        tasks = [
+            TaskSpec(
+                key=f"die-{die_index}",
+                args=(
+                    (
+                        base_retention.shifted(float(offset)),
+                        access_model,
+                        words,
+                        bits,
+                        int(master.integers(2**63)),
+                        voltages,
+                    ),
+                ),
             )
-            for offset in offsets
+            for die_index, offset in enumerate(offsets)
         ]
+        executor = ResilientExecutor(
+            _die_failure_counts,
+            processes=self.processes,
+            max_retries=max_retries,
+            task_timeout=task_timeout,
+            chaos=chaos,
+            encode=_encode_die,
+            decode=_decode_die,
+        )
+        grid_digest = hashlib.sha256(voltages.tobytes()).hexdigest()[:16]
+        fingerprint = (
+            f"retention-curve:v1:seed={self.seed}:dies={n_dies}:"
+            f"words={words}:bits={bits}:sigma={die_sigma_v!r}:"
+            f"retention={base_retention!r}:voltages={grid_digest}"
+        )
         tracer = active_tracer()
         metrics = active_metrics()
         with tracer.span(
@@ -213,13 +262,25 @@ class BatchCampaign:
             processes=self.processes or 1,
             seed=self.seed,
         ):
-            if self.processes and self.processes > 1:
-                with ProcessPoolExecutor(max_workers=self.processes) as pool:
-                    outcomes = list(pool.map(_die_failure_counts, jobs))
-            else:
-                outcomes = [_die_failure_counts(job) for job in jobs]
+            report = executor.run(
+                tasks,
+                run_id=f"retention-curve-{self.seed}",
+                fingerprint=fingerprint,
+                journal=journal,
+            )
+            if report.quarantined:
+                raise RuntimeError(
+                    "retention_failure_curve lost dies to quarantine: "
+                    + ", ".join(
+                        f"{key} ({reason})"
+                        for key, reason in sorted(
+                            report.quarantined.items()
+                        )
+                    )
+                )
             counts = []
-            for die_index, (die_counts, snapshot) in enumerate(outcomes):
+            for die_index, task in enumerate(tasks):
+                die_counts, snapshot = report.results[task.key]
                 counts.append(die_counts)
                 metrics.merge(snapshot)
                 tracer.point(

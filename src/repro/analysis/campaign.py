@@ -24,12 +24,13 @@ the caller's registry, so layer-level counters (``faults.*``,
 from __future__ import annotations
 
 import math
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.access import AccessErrorModel
+from repro.core.errors import validate_vdd
 from repro.core.multibit import prob_at_least
-from repro.obs import active_metrics, active_tracer, scoped_metrics
+from repro.obs import MetricsSnapshot, active_metrics, active_tracer, scoped_metrics
+from repro.resilience import ChaosPolicy, ResilientExecutor, TaskSpec
 from repro.workloads.streaming import StreamingWorkload
 
 
@@ -48,7 +49,16 @@ class EmptyCampaignError(ValueError):
 
 @dataclass
 class CampaignResult:
-    """Outcome statistics of one (scheme, voltage) campaign."""
+    """Outcome statistics of one (scheme, voltage) campaign.
+
+    ``quarantined`` counts runs the resilient executor retired after
+    exhausting their retry budget; they are excluded from ``runs`` and
+    every rate.  ``resilience`` carries the raw
+    :class:`~repro.resilience.ExecutionReport` (retries, requeues,
+    checkpoints, …) for inspection; it is excluded from equality so a
+    perturbed-but-recovered campaign still compares bit-identical to an
+    unperturbed one.
+    """
 
     scheme: str
     vdd: float
@@ -60,6 +70,8 @@ class CampaignResult:
     total_corrected: int = 0
     total_rollbacks: int = 0
     failures_by_kind: dict = field(default_factory=dict)
+    quarantined: int = 0
+    resilience: object = field(default=None, compare=False, repr=False)
 
     @property
     def failure_rate(self) -> float:
@@ -104,6 +116,54 @@ def _campaign_run_one(args) -> tuple:
     )
 
 
+def _encode_outcome(outcome) -> dict:
+    """JSON-safe journal form of one :func:`_campaign_run_one` tuple."""
+    injected, corrected, rollbacks, matches, completed, failure, snapshot = (
+        outcome
+    )
+    return {
+        "injected": int(injected),
+        "corrected": int(corrected),
+        "rollbacks": int(rollbacks),
+        "matches": bool(matches),
+        "completed": bool(completed),
+        "failure": failure,
+        "metrics": snapshot.as_dict(),
+    }
+
+
+def _decode_outcome(data: dict) -> tuple:
+    """Inverse of :func:`_encode_outcome` (exact round-trip)."""
+    return (
+        int(data["injected"]),
+        int(data["corrected"]),
+        int(data["rollbacks"]),
+        bool(data["matches"]),
+        bool(data["completed"]),
+        data["failure"],
+        MetricsSnapshot.from_dict(data["metrics"]),
+    )
+
+
+def _campaign_fingerprint(
+    scheme: str, vdd: float, frequency: float, runner_kwargs: dict
+) -> str:
+    """Journal identity of a campaign's per-seed task results.
+
+    Includes exactly the parameters that determine one seeded run's
+    outcome.  Deliberately excludes ``runs`` and ``seed_base``: each
+    task is keyed by its own seed, so an extended campaign (more runs,
+    same everything else) can legally reuse an earlier journal.
+    """
+    kwargs = ",".join(
+        f"{key}={runner_kwargs[key]!r}" for key in sorted(runner_kwargs)
+    )
+    return (
+        f"campaign:v1:scheme={scheme}:vdd={vdd!r}:"
+        f"frequency={frequency!r}:kwargs={kwargs}"
+    )
+
+
 def run_campaign(
     runner_cls,
     workload: StreamingWorkload,
@@ -114,22 +174,50 @@ def run_campaign(
     runs: int = 20,
     seed_base: int = 100,
     processes: int | None = None,
+    max_retries: int = 3,
+    task_timeout: float | None = None,
+    journal: str | None = None,
+    chaos: ChaosPolicy | None = None,
     **runner_kwargs,
 ) -> CampaignResult:
     """Run ``runs`` independent seeded executions and classify them.
 
     With ``processes`` > 1 the runs fan out across a process pool; per
     run seeding keeps the classification identical to the serial path.
+
+    Execution is resilient (:class:`~repro.resilience.ResilientExecutor`):
+    worker death, per-task deadline overruns (``task_timeout`` seconds)
+    and in-task exceptions retry up to ``max_retries`` times with
+    deterministic backoff before the run is quarantined.  Passing
+    ``journal`` checkpoints every completed run to an NDJSON file and
+    resumes from it if it already exists — the resumed
+    :class:`CampaignResult` is bit-identical to an uninterrupted one.
+    ``chaos`` injects harness faults for testing.
     """
+    vdd = validate_vdd(vdd, "run_campaign")
     if runs <= 0:
         raise ValueError("runs must be positive")
-    jobs = [
-        (
-            runner_cls, workload, golden, access_model,
-            vdd, frequency, seed_base + index, runner_kwargs,
+    tasks = [
+        TaskSpec(
+            key=f"run-{seed_base + index}",
+            args=(
+                (
+                    runner_cls, workload, golden, access_model,
+                    vdd, frequency, seed_base + index, runner_kwargs,
+                ),
+            ),
         )
         for index in range(runs)
     ]
+    executor = ResilientExecutor(
+        _campaign_run_one,
+        processes=processes,
+        max_retries=max_retries,
+        task_timeout=task_timeout,
+        chaos=chaos,
+        encode=_encode_outcome,
+        decode=_decode_outcome,
+    )
     tracer = active_tracer()
     metrics = active_metrics()
     with tracer.span(
@@ -140,16 +228,25 @@ def run_campaign(
         processes=processes or 1,
         seed_base=seed_base,
     ):
-        if processes and processes > 1:
-            with ProcessPoolExecutor(max_workers=processes) as pool:
-                outcomes = list(pool.map(_campaign_run_one, jobs))
-        else:
-            outcomes = [_campaign_run_one(job) for job in jobs]
+        report = executor.run(
+            tasks,
+            run_id=f"campaign-{runner_cls.name}-vdd{vdd:.3f}",
+            fingerprint=_campaign_fingerprint(
+                runner_cls.name, vdd, frequency, runner_kwargs
+            ),
+            journal=journal,
+        )
         result = CampaignResult(scheme=runner_cls.name, vdd=vdd)
-        for index, (
-            injected, corrected, rollbacks, matches, completed, failure,
-            snapshot,
-        ) in enumerate(outcomes):
+        result.resilience = report
+        result.quarantined = len(report.quarantined)
+        for index, task in enumerate(tasks):
+            outcome = report.results.get(task.key)
+            if outcome is None:
+                continue  # quarantined: counted, never merged
+            (
+                injected, corrected, rollbacks, matches, completed, failure,
+                snapshot,
+            ) = outcome
             result.runs += 1
             result.total_injected_bits += injected
             result.total_corrected += corrected
@@ -195,6 +292,10 @@ def run_campaign(
             result.total_corrected
         )
         metrics.counter("campaign.rollbacks").inc(result.total_rollbacks)
+        if result.quarantined:
+            metrics.counter("campaign.quarantined_runs").inc(
+                result.quarantined
+            )
     return result
 
 

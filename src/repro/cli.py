@@ -19,6 +19,17 @@ Observability flags (any exhibit):
   each campaign, one record per outcome) to ``FILE``.
 * ``--metrics`` — collect the run's metric counters and append them to
   the output (under a ``metrics`` key in JSON mode).
+
+The ``campaign`` exhibit runs a resilient Monte-Carlo failure-rate
+campaign (see ``repro.resilience``) with checkpoint/resume::
+
+    python -m repro campaign --scheme ocean --vdd 0.38 --runs 20 \
+        --processes 4 --resume campaign.ndjson --max-retries 3 \
+        --task-timeout 60
+
+``--resume FILE`` checkpoints every completed run to ``FILE`` and, when
+the file already exists, resumes from it — the merged result is
+bit-identical to an uninterrupted run at the same seed.
 """
 
 from __future__ import annotations
@@ -153,6 +164,93 @@ def _json_payload(exhibit: str, fft_points: int) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Resilient campaign exhibit
+# ----------------------------------------------------------------------
+def _campaign_result(args):
+    """Run one resilient failure-rate campaign from CLI arguments."""
+    from repro.analysis.campaign import run_campaign
+    from repro.core.access import ACCESS_CELL_BASED_40NM_TYPICAL
+    from repro.mitigation import (
+        NoMitigationRunner,
+        OceanRunner,
+        SecdedRunner,
+    )
+    from repro.workloads.fft import build_fft_program
+
+    schemes = {
+        "none": NoMitigationRunner,
+        "secded": SecdedRunner,
+        "ocean": OceanRunner,
+    }
+    runner_cls = schemes[args.scheme]
+    program = build_fft_program(args.fft)
+    golden = program.expected_output(list(program.data_words[: args.fft]))
+    return run_campaign(
+        runner_cls,
+        workload=program.workload,
+        golden=golden,
+        access_model=ACCESS_CELL_BASED_40NM_TYPICAL,
+        vdd=args.vdd,
+        runs=args.runs,
+        seed_base=args.seed,
+        processes=args.processes,
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
+        journal=args.resume,
+        macro_style="cell-based",
+    )
+
+
+def _campaign_payload(result) -> dict:
+    report = result.resilience
+    payload = dataclasses.asdict(
+        dataclasses.replace(result, resilience=None)
+    )
+    payload.pop("resilience", None)
+    payload["resilience"] = {
+        "resumed": report.resumed,
+        "executed": report.executed,
+        "retries": report.retries,
+        "requeues": report.requeues,
+        "checkpoints": report.checkpoints,
+        "pool_breaks": report.pool_breaks,
+        "deadline_overruns": report.deadline_overruns,
+        "degraded_to_serial": report.degraded_to_serial,
+        "quarantined": dict(report.quarantined),
+        "journal": report.journal_path,
+    }
+    return {"campaign": payload}
+
+
+def _render_campaign(result) -> str:
+    report = result.resilience
+    lines = [
+        f"campaign: {result.scheme} at {result.vdd:.3f} V, "
+        f"{result.runs} runs",
+        f"correct {result.correct} | silent {result.silent_corruption} "
+        f"| detected {result.detected_failure} "
+        f"| quarantined {result.quarantined}",
+        f"injected bits {result.total_injected_bits} | corrected "
+        f"{result.total_corrected} | rollbacks {result.total_rollbacks}",
+    ]
+    if result.failures_by_kind:
+        kinds = ", ".join(
+            f"{kind}:{count}"
+            for kind, count in sorted(result.failures_by_kind.items())
+        )
+        lines.append(f"failure kinds: {kinds}")
+    lines.append(
+        f"resilience: resumed {report.resumed} | executed "
+        f"{report.executed} | retries {report.retries} | requeues "
+        f"{report.requeues} | checkpoints {report.checkpoints} | pool "
+        f"breaks {report.pool_breaks}"
+    )
+    if report.journal_path:
+        lines.append(f"journal: {report.journal_path}")
+    return "\n".join(lines)
+
+
 def _text_payload(exhibit: str, fft_points: int) -> str:
     if exhibit == "report":
         return full_report(fft_points=fft_points)
@@ -185,7 +283,10 @@ def build_parser() -> argparse.ArgumentParser:
         "exhibit",
         nargs="?",
         default="report",
-        choices=["report", "table1", "table2", "fig8", "fig9", "claims"],
+        choices=[
+            "report", "table1", "table2", "fig8", "fig9", "claims",
+            "campaign",
+        ],
         help="which exhibit to regenerate (default: the full report)",
     )
     parser.add_argument(
@@ -212,6 +313,61 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collect metric counters and append them to the output",
     )
+    campaign = parser.add_argument_group(
+        "campaign options (exhibit: campaign)"
+    )
+    campaign.add_argument(
+        "--scheme",
+        choices=["none", "secded", "ocean"],
+        default="secded",
+        help="mitigation scheme under test (default secded)",
+    )
+    campaign.add_argument(
+        "--vdd",
+        type=float,
+        default=0.40,
+        help="supply voltage in volts (default 0.40)",
+    )
+    campaign.add_argument(
+        "--runs",
+        type=int,
+        default=20,
+        help="number of independent seeded runs (default 20)",
+    )
+    campaign.add_argument(
+        "--seed",
+        type=int,
+        default=100,
+        help="seed of the first run; run i uses seed+i (default 100)",
+    )
+    campaign.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan runs out over N worker processes (default serial)",
+    )
+    campaign.add_argument(
+        "--resume",
+        metavar="JOURNAL",
+        default=None,
+        help="checkpoint completed runs to this NDJSON journal; if the "
+        "file already exists, resume from it (bit-identical result)",
+    )
+    campaign.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="retries per run before quarantining it (default 3)",
+    )
+    campaign.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-run deadline; an overrun counts as a failed attempt",
+    )
     return parser
 
 
@@ -228,6 +384,21 @@ def run(argv: list[str] | None = None) -> str:
         with obs.active_tracer().span(
             "cli.exhibit", exhibit=args.exhibit, fft=args.fft
         ):
+            if args.exhibit == "campaign":
+                result = _campaign_result(args)
+                if args.json:
+                    payload = _campaign_payload(result)
+                    if registry is not None:
+                        payload["metrics"] = registry.snapshot().as_dict()
+                    return json.dumps(
+                        payload, indent=2, default=_json_default
+                    )
+                text = _render_campaign(result)
+                if registry is not None:
+                    text += "\n\n== metrics ==\n" + obs.format_snapshot(
+                        registry.snapshot()
+                    )
+                return text
             if args.json:
                 payload = _json_payload(args.exhibit, args.fft)
                 if registry is not None:

@@ -23,6 +23,7 @@ the machinery that turns them into design decisions:
   loop that tracks the minimal voltage over a product's lifetime.
 """
 
+from repro.core.errors import InvalidVoltageError, validate_vdd
 from repro.core.bitops import (
     pack_bits_u64,
     parity,
@@ -62,6 +63,8 @@ from repro.core.yield_model import VminPopulation, population_from_access_spread
 from repro.core.parallelism import ParallelDesignPoint, ParallelismExplorer
 
 __all__ = [
+    "InvalidVoltageError",
+    "validate_vdd",
     "popcount",
     "parity",
     "popcount_u64",

@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.errors import validate_vdd
+
 
 @dataclass(frozen=True)
 class AccessErrorModel:
@@ -53,8 +55,7 @@ class AccessErrorModel:
 
         Clipped to [0, 1]; exactly zero at or above the onset voltage.
         """
-        if vdd < 0.0:
-            raise ValueError(f"vdd must be non-negative, got {vdd}")
+        vdd = validate_vdd(vdd, "AccessErrorModel.bit_error_probability")
         if vdd >= self.v_onset:
             return 0.0
         p = self.amplitude * (self.v_onset - vdd) ** self.exponent

@@ -1,0 +1,51 @@
+"""Typed validation errors shared across the reproduction's layers.
+
+Every layer of the stack evaluates models at a supply voltage — the
+Eq. 4/5 error laws, the energy model, the fault engine, the campaign
+entry points.  Before this module each site raised its own bare
+``ValueError`` with a slightly different message, which made "the
+caller handed us a nonsense voltage" impossible to catch specifically.
+:class:`InvalidVoltageError` is the single typed error for that case;
+it subclasses :class:`ValueError`, so existing ``except ValueError``
+callers keep working.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class InvalidVoltageError(ValueError):
+    """A supply voltage the models cannot evaluate.
+
+    Raised for negative, NaN, infinite or non-numeric ``vdd`` values.
+    ``context`` names the rejecting call site so a campaign stack trace
+    says *which* layer refused the voltage.
+    """
+
+    def __init__(self, vdd, context: str = "vdd") -> None:
+        super().__init__(
+            f"{context}: supply voltage must be finite and "
+            f"non-negative, got {vdd!r}"
+        )
+        self.vdd = vdd
+        self.context = context
+
+
+def validate_vdd(vdd, context: str = "vdd") -> float:
+    """Return ``vdd`` as a float, or raise :class:`InvalidVoltageError`.
+
+    The single gate every voltage-taking entry point funnels through:
+    accepts any real, finite, non-negative number (ints, floats, numpy
+    scalars) and normalises it to a plain ``float``.
+    """
+    try:
+        value = float(vdd)
+    except (TypeError, ValueError):
+        raise InvalidVoltageError(vdd, context) from None
+    if not math.isfinite(value) or value < 0.0:
+        raise InvalidVoltageError(vdd, context)
+    return value
+
+
+__all__ = ["InvalidVoltageError", "validate_vdd"]

@@ -26,6 +26,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import special
 
+from repro.core.errors import validate_vdd
+
 
 def _phi(z: float) -> float:
     """Standard normal CDF, accurate deep in the tails."""
@@ -96,8 +98,7 @@ class NoiseMarginModel:
 
         P(NM <= 0) at supply ``vdd`` — the paper's Eq. 4.
         """
-        if vdd < 0.0:
-            raise ValueError(f"vdd must be non-negative, got {vdd}")
+        vdd = validate_vdd(vdd, "NoiseMarginModel.bit_error_probability")
         return _phi(-self.mean_margin(vdd) / self.sigma)
 
     def vdd_for_bit_error(self, p_target: float) -> float:

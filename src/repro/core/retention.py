@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import special
 
+from repro.core.errors import validate_vdd
 from repro.core.noise_margin import NoiseMarginModel
 
 
@@ -64,8 +65,7 @@ class RetentionModel:
     # ------------------------------------------------------------------
     def bit_error_probability(self, vdd: float) -> float:
         """Return the fraction of cells that cannot retain at ``vdd``."""
-        if vdd < 0.0:
-            raise ValueError(f"vdd must be non-negative, got {vdd}")
+        vdd = validate_vdd(vdd, "RetentionModel.bit_error_probability")
         z = (self.v_mean - vdd) / self.v_sigma
         return float(0.5 * special.erfc(-z / math.sqrt(2.0)))
 

@@ -21,6 +21,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import special
 
+from repro.core.errors import validate_vdd
+
 
 def _phi(z: float) -> float:
     return 0.5 * special.erfc(-z / math.sqrt(2.0))
@@ -62,8 +64,7 @@ class VminPopulation:
     # ------------------------------------------------------------------
     def yield_at(self, vdd: float) -> float:
         """Fraction of dies whose minimum voltage is at or below ``vdd``."""
-        if vdd < 0.0:
-            raise ValueError(f"vdd must be non-negative, got {vdd}")
+        vdd = validate_vdd(vdd, "VminPopulation.yield_at")
         return _phi((vdd - self.v_mean) / self.v_sigma)
 
     def voltage_for_yield(self, target: float) -> float:

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.errors import validate_vdd
 from repro.core.access import AccessErrorModel
 from repro.core.bitops import pack_bits_u64, popcount_u64
 from repro.core.retention import RetentionModel
@@ -130,8 +131,7 @@ class MemoryArray:
     def retention_failures(self, vdd: float) -> np.ndarray:
         """Return the boolean (words x bits) map of cells failing at
         ``vdd`` during standby."""
-        if vdd < 0.0:
-            raise ValueError(f"vdd must be non-negative, got {vdd}")
+        vdd = validate_vdd(vdd, "MemoryArray.retention_failures")
         return self._vmin > vdd
 
     def retention_test(self, vdd: float) -> RetentionTestResult:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.errors import validate_vdd
 from repro.tech.delay import inverter_delay
 from repro.tech.mismatch import sigma_vth
 from repro.tech.leakage import leakage_power as device_leakage_power
@@ -239,5 +240,4 @@ class MemoryEnergyModel:
 
     @staticmethod
     def _check_vdd(vdd: float) -> None:
-        if vdd < 0.0:
-            raise ValueError(f"vdd must be non-negative, got {vdd}")
+        validate_vdd(vdd, "MemoryEnergyModel")

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.errors import validate_vdd
 from repro.core.access import AccessErrorModel
 from repro.core.retention import RetentionModel
 from repro.memdev.die import DiePopulation
@@ -131,8 +132,7 @@ class Wafer:
 
     def yield_at(self, vdd: float, vmin_nominal: float) -> float:
         """Fraction of dies whose (nominal + offset) Vmin is <= vdd."""
-        if vdd < 0.0:
-            raise ValueError("vdd must be non-negative")
+        vdd = validate_vdd(vdd, "WaferMap.yield_at")
         vmins = vmin_nominal + self.offsets()
         return float((vmins <= vdd).mean())
 

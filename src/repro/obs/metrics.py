@@ -144,6 +144,40 @@ class MetricsSnapshot:
             },
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsSnapshot":
+        """Inverse of :meth:`as_dict` (modulo key ordering).
+
+        Lets a snapshot round-trip through JSON — the resilience
+        journal checkpoints worker snapshots this way, so a resumed
+        campaign merges the *original* run's layer counters exactly.
+        """
+        return cls(
+            counters={
+                str(name): int(value)
+                for name, value in data.get("counters", {}).items()
+            },
+            gauges={
+                str(name): float(value)
+                for name, value in data.get("gauges", {}).items()
+            },
+            timers={
+                str(name): {
+                    "count": int(stats["count"]),
+                    "total_s": float(stats["total_s"]),
+                    "min_s": float(stats["min_s"]),
+                    "max_s": float(stats["max_s"]),
+                }
+                for name, stats in data.get("timers", {}).items()
+            },
+            histograms={
+                str(name): {
+                    str(key): int(n) for key, n in buckets.items()
+                }
+                for name, buckets in data.get("histograms", {}).items()
+            },
+        )
+
 
 def format_snapshot(snapshot: MetricsSnapshot) -> str:
     """Human-readable multi-line rendering of a snapshot."""

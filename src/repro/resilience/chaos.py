@@ -1,0 +1,115 @@
+"""Chaos-injection hooks for the resilient campaign executor.
+
+The paper's mitigation story is only credible because the simulator can
+*inject* memory faults on demand; the harness resilience story needs the
+same discipline one layer up.  A :class:`ChaosPolicy` describes, fully
+deterministically, which task attempts the executor should perturb:
+
+* ``kill``   — terminate the worker process mid-task (``os._exit``),
+  which breaks the whole :class:`~concurrent.futures.ProcessPoolExecutor`
+  exactly like a segfaulting or OOM-killed worker would;
+* ``raise_in_task`` — raise a :class:`ChaosError` inside the task body
+  (a transient software failure);
+* ``delay``  — sleep before running the task body, long enough to blow
+  a per-task deadline.
+
+Rules are keyed by ``(task_key, attempt)`` with attempts counted from 1,
+so "kill the worker on run-103's first attempt, succeed on the retry"
+is one frozen, picklable value that ships to workers unchanged.  The
+chaos test-suite in ``tests/test_resilience_chaos.py`` builds on these
+hooks to prove that a perturbed campaign converges to a result
+bit-identical to an unperturbed one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+
+class ChaosError(RuntimeError):
+    """Deliberate failure raised inside a task by a chaos rule."""
+
+
+class WorkerKilled(ChaosError):
+    """Serial-mode stand-in for a killed worker process.
+
+    In pooled mode a ``kill`` rule takes the whole worker process down
+    with ``os._exit``; when the same task runs serially (degraded mode,
+    ``processes=None``) there is no separate process to kill, so the
+    rule raises this instead — the executor treats it like any other
+    failed attempt.
+    """
+
+
+def _as_rule_set(rules) -> frozenset:
+    """Normalise ``(key, attempt)`` pairs into a frozenset."""
+    return frozenset((str(key), int(attempt)) for key, attempt in rules)
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Deterministic perturbation schedule for an executor run.
+
+    Attributes
+    ----------
+    kill:
+        ``(task_key, attempt)`` pairs whose worker process dies mid-task.
+    raise_in_task:
+        ``(task_key, attempt)`` pairs that raise :class:`ChaosError`.
+    delay:
+        ``(task_key, attempt) -> seconds`` slept before the task body
+        runs (used to overrun per-task deadlines).
+    """
+
+    kill: frozenset = field(default_factory=frozenset)
+    raise_in_task: frozenset = field(default_factory=frozenset)
+    delay: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kill", _as_rule_set(self.kill))
+        object.__setattr__(
+            self, "raise_in_task", _as_rule_set(self.raise_in_task)
+        )
+        normalised = tuple(
+            sorted(
+                ((str(key), int(attempt)), float(seconds))
+                for (key, attempt), seconds in dict(self.delay).items()
+            )
+        )
+        object.__setattr__(self, "delay", normalised)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.kill or self.raise_in_task or self.delay)
+
+    def apply(self, key: str, attempt: int, in_worker_process: bool) -> None:
+        """Perturb the current attempt according to the schedule.
+
+        Called by the executor's task wrapper immediately before the
+        task body.  ``in_worker_process`` distinguishes a pool worker
+        (where ``kill`` may hard-exit) from serial in-process execution
+        (where it degrades to :class:`WorkerKilled`).
+        """
+        rule = (key, attempt)
+        for delay_rule, seconds in self.delay:
+            if delay_rule == rule:
+                time.sleep(seconds)
+                break
+        if rule in self.kill:
+            if in_worker_process:
+                os._exit(13)
+            raise WorkerKilled(
+                f"chaos kill rule hit serially: task {key} attempt {attempt}"
+            )
+        if rule in self.raise_in_task:
+            raise ChaosError(
+                f"chaos raise rule: task {key} attempt {attempt}"
+            )
+
+
+#: Shared no-op policy: the default when no chaos is configured.
+NO_CHAOS = ChaosPolicy()
+
+__all__ = ["ChaosError", "ChaosPolicy", "NO_CHAOS", "WorkerKilled"]

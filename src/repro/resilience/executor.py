@@ -1,0 +1,536 @@
+"""Fault-tolerant task executor for Monte-Carlo campaign fan-out.
+
+The simulated SoC survives memory faults through OCEAN's checkpoint and
+rollback; until this module, the harness *around* it did not — one dead
+worker, hung task or ``KeyboardInterrupt`` lost every completed run of
+a campaign.  :class:`ResilientExecutor` closes that gap with the same
+discipline, one layer up:
+
+* **Checkpoint**: every completed task's result is appended to an
+  NDJSON :class:`~repro.resilience.journal.CheckpointJournal`, so an
+  interrupted run resumes from its last completed task.  Because each
+  task is fully determined by its own seed and results merge in task
+  order, a resumed run is *bit-identical* to an uninterrupted one.
+* **Rollback (retry)**: worker death (``BrokenProcessPool``), per-task
+  deadline overruns and in-task exceptions requeue the task with
+  deterministic, jitter-free exponential backoff.  A task that keeps
+  failing is *quarantined* after ``1 + max_retries`` attempts instead
+  of aborting the campaign.
+* **Degradation**: a pool that keeps breaking is abandoned and the
+  remaining tasks run serially in-process — slower, but the campaign
+  completes.
+* **Chaos**: a :class:`~repro.resilience.chaos.ChaosPolicy` perturbs
+  chosen task attempts (kill / raise / delay), which is how the chaos
+  test-suite proves all of the above under injected harness faults.
+
+Telemetry flows through :mod:`repro.obs`: ``resilience.*`` counters
+(retries, requeues, checkpoints, quarantines, pool breaks, deadline
+overruns) and a ``resilience.run`` span with per-failure points.
+
+Tasks must be *picklable and deterministic*: a :class:`TaskSpec` is a
+stable string key plus the positional arguments handed to the
+module-level task function.  Results that should survive in a journal
+additionally need ``encode``/``decode`` hooks mapping them to and from
+JSON-safe values.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.obs import active_metrics, active_tracer
+from repro.resilience.chaos import NO_CHAOS, ChaosPolicy
+from repro.resilience.journal import CheckpointJournal
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One schedulable unit: a stable key plus picklable arguments."""
+
+    key: str
+    args: tuple
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValueError("task key must be non-empty")
+
+
+@dataclass
+class ExecutionReport:
+    """What a resilient run did and produced.
+
+    ``results`` holds decoded task results by key; merge them in
+    :attr:`order` (the submission order) for order-independent,
+    bit-identical aggregation regardless of completion order, retries
+    or resume.
+    """
+
+    order: list = field(default_factory=list)
+    results: dict = field(default_factory=dict)
+    quarantined: dict = field(default_factory=dict)  # key -> last error
+    resumed: int = 0
+    executed: int = 0
+    retries: int = 0
+    requeues: int = 0
+    checkpoints: int = 0
+    pool_breaks: int = 0
+    deadline_overruns: int = 0
+    degraded_to_serial: bool = False
+    journal_path: str | None = None
+
+    def result_list(self) -> list:
+        """Completed results in task-submission order."""
+        return [
+            self.results[key] for key in self.order if key in self.results
+        ]
+
+    @property
+    def complete(self) -> bool:
+        return not self.quarantined and len(self.results) == len(self.order)
+
+
+class _Attempt:
+    """One scheduled execution of a task (attempts count from 1)."""
+
+    __slots__ = ("task", "attempt")
+
+    def __init__(self, task: TaskSpec, attempt: int) -> None:
+        self.task = task
+        self.attempt = attempt
+
+
+def _execute_task(payload):
+    """Module-level task wrapper (picklable for the process pool).
+
+    Applies the chaos schedule, then runs the task function.  The same
+    wrapper serves serial in-process execution with
+    ``in_worker=False`` so chaos kill rules degrade to exceptions
+    instead of taking the harness down.
+    """
+    fn, key, attempt, args, chaos, in_worker = payload
+    chaos.apply(key, attempt, in_worker_process=in_worker)
+    return fn(*args)
+
+
+class ResilientExecutor:
+    """Checkpointed, retrying, chaos-testable task fan-out.
+
+    Parameters
+    ----------
+    fn:
+        Module-level task function, called as ``fn(*task.args)`` —
+        picklable so it ships to pool workers.
+    processes:
+        Pool width; ``None`` or ``<= 1`` executes serially in-process.
+    max_retries:
+        Retries granted per task after its first failed attempt; a task
+        failing ``1 + max_retries`` attempts is quarantined.
+    task_timeout:
+        Per-task deadline in seconds.  In pooled mode an overdue task
+        tears the (possibly hung) pool down and requeues; serially the
+        overrun is detected after the fact and the result discarded.
+    backoff_base_s / backoff_cap_s:
+        Deterministic exponential backoff before attempt ``n >= 2``:
+        ``min(cap, base * 2**(n-2))`` seconds.  Jitter-free, so a rerun
+        schedules identically.
+    max_pool_breaks:
+        Pool teardowns (worker death or deadline) tolerated before the
+        executor degrades to serial execution for the rest of the run.
+    chaos:
+        Optional :class:`ChaosPolicy` perturbing chosen attempts.
+    encode / decode:
+        Result ↔ JSON-safe value hooks for the journal (identity by
+        default; required whenever results are not already JSON-safe).
+    """
+
+    def __init__(
+        self,
+        fn,
+        *,
+        processes: int | None = None,
+        max_retries: int = 3,
+        task_timeout: float | None = None,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 1.0,
+        max_pool_breaks: int = 2,
+        chaos: ChaosPolicy | None = None,
+        encode=None,
+        decode=None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be positive, got {task_timeout}"
+            )
+        if backoff_base_s < 0 or backoff_cap_s < 0:
+            raise ValueError("backoff must be non-negative")
+        if max_pool_breaks < 0:
+            raise ValueError(
+                f"max_pool_breaks must be >= 0, got {max_pool_breaks}"
+            )
+        self.fn = fn
+        self.processes = processes
+        self.max_retries = max_retries
+        self.task_timeout = task_timeout
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.max_pool_breaks = max_pool_breaks
+        self.chaos = chaos if chaos is not None else NO_CHAOS
+        self._encode = encode if encode is not None else (lambda value: value)
+        self._decode = decode if decode is not None else (lambda value: value)
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # Public driver
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        tasks,
+        *,
+        run_id: str,
+        fingerprint: str,
+        journal: str | None = None,
+    ) -> ExecutionReport:
+        """Execute ``tasks``, resuming from ``journal`` if it exists.
+
+        Raises
+        ------
+        JournalMismatchError
+            If ``journal`` exists but belongs to different parameters.
+        KeyboardInterrupt
+            Re-raised after the pool is shut down cleanly (pending
+            futures cancelled, workers joined) and the journal closed —
+            completed work stays checkpointed for a later ``--resume``.
+        """
+        tasks = list(tasks)
+        keys = [task.key for task in tasks]
+        if len(set(keys)) != len(keys):
+            raise ValueError("task keys must be unique within a run")
+        report = ExecutionReport(order=keys)
+        metrics = active_metrics()
+        tracer = active_tracer()
+
+        checkpoint = None
+        if journal is not None:
+            checkpoint = CheckpointJournal(journal, run_id, fingerprint)
+            report.journal_path = str(journal)
+            if checkpoint.resumed:
+                wanted = set(keys)
+                for key, encoded in checkpoint.state.completed.items():
+                    if key in wanted:
+                        report.results[key] = self._decode(encoded)
+                        report.resumed += 1
+                metrics.counter("resilience.resumed_tasks").inc(
+                    report.resumed
+                )
+        # Previously quarantined tasks get a fresh chance on resume: the
+        # fault that poisoned them may have been environmental.
+        pending = deque(
+            _Attempt(task, 1)
+            for task in tasks
+            if task.key not in report.results
+        )
+
+        with tracer.span(
+            "resilience.run",
+            run_id=run_id,
+            tasks=len(tasks),
+            resumed=report.resumed,
+            processes=self.processes or 1,
+            max_retries=self.max_retries,
+        ):
+            try:
+                self._drain(pending, report, checkpoint, metrics, tracer)
+            except KeyboardInterrupt:
+                # Clean shutdown is the contract: cancel what never
+                # started, join the workers (no orphans), keep the
+                # journal intact for --resume, then propagate.
+                self._shutdown_pool(cancel=True)
+                metrics.counter("resilience.interrupted_runs").inc()
+                tracer.point(
+                    "resilience.interrupted",
+                    run_id=run_id,
+                    completed=len(report.results),
+                    pending=len(pending),
+                )
+                raise
+            finally:
+                self._shutdown_pool(cancel=True)
+                if checkpoint is not None:
+                    checkpoint.close()
+
+        metrics.counter("resilience.runs").inc()
+        metrics.counter("resilience.tasks").inc(len(tasks))
+        return report
+
+    # ------------------------------------------------------------------
+    # Scheduling loop
+    # ------------------------------------------------------------------
+    def _drain(self, pending, report, checkpoint, metrics, tracer) -> None:
+        inflight: dict = {}  # future -> (_Attempt, deadline | None)
+        while pending or inflight:
+            pooled = (
+                self.processes is not None
+                and self.processes > 1
+                and not report.degraded_to_serial
+            )
+            if not pooled:
+                attempt = pending.popleft()
+                self._run_serial(
+                    attempt, pending, report, checkpoint, metrics, tracer
+                )
+                continue
+
+            if not self._submit_ready(pending, inflight, report):
+                # Submission itself found the pool broken.
+                self._on_pool_failure(
+                    inflight, pending, report, metrics, tracer,
+                    reason="worker-death",
+                )
+                continue
+
+            done = self._await_progress(inflight)
+            broken = False
+            for future in done:
+                attempt, _ = inflight.pop(future)
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    self._fail_attempt(
+                        attempt, "worker-death", pending, report,
+                        checkpoint, metrics, tracer,
+                    )
+                except Exception as exc:
+                    self._fail_attempt(
+                        attempt, type(exc).__name__, pending, report,
+                        checkpoint, metrics, tracer,
+                    )
+                else:
+                    self._complete(
+                        attempt, result, report, checkpoint, metrics
+                    )
+            if broken:
+                self._on_pool_failure(
+                    inflight, pending, report, metrics, tracer,
+                    reason="worker-death",
+                )
+                continue
+
+            overdue = self._overdue(inflight)
+            if overdue:
+                # A worker that blew its deadline may be hung; the only
+                # portable way to reclaim its slot is to abandon the
+                # pool.  Overdue tasks are charged a failed attempt,
+                # innocent in-flight neighbours are requeued for free.
+                for future in overdue:
+                    attempt, _ = inflight.pop(future)
+                    future.cancel()
+                    report.deadline_overruns += 1
+                    metrics.counter("resilience.deadline_overruns").inc()
+                    self._fail_attempt(
+                        attempt, "deadline-overrun", pending, report,
+                        checkpoint, metrics, tracer,
+                    )
+                self._on_pool_failure(
+                    inflight, pending, report, metrics, tracer,
+                    reason="deadline-overrun",
+                )
+
+    def _submit_ready(self, pending, inflight, report) -> bool:
+        """Fill the in-flight window; False if the pool broke on us."""
+        window = max(2 * (self.processes or 1), 2)
+        while pending and len(inflight) < window:
+            attempt = pending.popleft()
+            self._sleep_backoff(attempt)
+            try:
+                future = self._ensure_pool().submit(
+                    _execute_task, self._payload(attempt, in_worker=True)
+                )
+            except (BrokenProcessPool, RuntimeError):
+                pending.appendleft(attempt)
+                return False
+            deadline = (
+                time.monotonic() + self.task_timeout
+                if self.task_timeout is not None
+                else None
+            )
+            inflight[future] = (attempt, deadline)
+        return True
+
+    def _await_progress(self, inflight):
+        """Block until a future completes or the nearest deadline."""
+        if not inflight:
+            return []
+        timeout = None
+        if self.task_timeout is not None:
+            now = time.monotonic()
+            nearest = min(
+                deadline for _, deadline in inflight.values()
+                if deadline is not None
+            )
+            timeout = max(0.0, nearest - now)
+        done, _ = wait(
+            set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+        )
+        return done
+
+    def _overdue(self, inflight) -> list:
+        if self.task_timeout is None:
+            return []
+        now = time.monotonic()
+        return [
+            future
+            for future, (_, deadline) in inflight.items()
+            if deadline is not None and now >= deadline
+            and not future.done()
+        ]
+
+    # ------------------------------------------------------------------
+    # Attempt outcomes
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self, attempt, pending, report, checkpoint, metrics, tracer
+    ) -> None:
+        self._sleep_backoff(attempt)
+        start = time.monotonic()
+        try:
+            result = _execute_task(self._payload(attempt, in_worker=False))
+        except Exception as exc:
+            self._fail_attempt(
+                attempt, type(exc).__name__, pending, report, checkpoint,
+                metrics, tracer,
+            )
+            return
+        elapsed = time.monotonic() - start
+        if self.task_timeout is not None and elapsed > self.task_timeout:
+            # Serial deadlines are necessarily post-hoc; the overrun
+            # result is discarded so semantics match pooled execution.
+            report.deadline_overruns += 1
+            metrics.counter("resilience.deadline_overruns").inc()
+            self._fail_attempt(
+                attempt, "deadline-overrun", pending, report, checkpoint,
+                metrics, tracer,
+            )
+            return
+        self._complete(attempt, result, report, checkpoint, metrics)
+
+    def _complete(self, attempt, result, report, checkpoint, metrics) -> None:
+        report.results[attempt.task.key] = result
+        report.executed += 1
+        metrics.counter("resilience.tasks_completed").inc()
+        if checkpoint is not None:
+            checkpoint.record_task(
+                attempt.task.key, attempt.attempt, self._encode(result)
+            )
+            report.checkpoints += 1
+            metrics.counter("resilience.checkpoints").inc()
+
+    def _fail_attempt(
+        self, attempt, reason, pending, report, checkpoint, metrics, tracer
+    ) -> None:
+        """Charge a failed attempt: requeue with backoff or quarantine."""
+        metrics.counter("resilience.task_failures").inc()
+        tracer.point(
+            "resilience.attempt_failed",
+            key=attempt.task.key,
+            attempt=attempt.attempt,
+            reason=reason,
+        )
+        if attempt.attempt >= 1 + self.max_retries:
+            report.quarantined[attempt.task.key] = reason
+            metrics.counter("resilience.quarantined").inc()
+            tracer.point(
+                "resilience.quarantined",
+                key=attempt.task.key,
+                attempts=attempt.attempt,
+                reason=reason,
+            )
+            if checkpoint is not None:
+                checkpoint.record_quarantine(
+                    attempt.task.key, attempt.attempt, reason
+                )
+            return
+        report.retries += 1
+        metrics.counter("resilience.retries").inc()
+        pending.append(_Attempt(attempt.task, attempt.attempt + 1))
+
+    def _on_pool_failure(
+        self, inflight, pending, report, metrics, tracer, reason,
+    ) -> None:
+        """Tear the pool down, requeue survivors, maybe degrade."""
+        self._shutdown_pool(cancel=True, wait_workers=False)
+        report.pool_breaks += 1
+        metrics.counter("resilience.pool_breaks").inc()
+        tracer.point(
+            "resilience.pool_break",
+            reason=reason,
+            inflight=len(inflight),
+        )
+        # In-flight neighbours died with the pool through no fault of
+        # their own: requeue at the *same* attempt number so a bystander
+        # can never be quarantined by someone else's poison task.
+        for future, (attempt, _) in inflight.items():
+            future.cancel()
+            report.requeues += 1
+            metrics.counter("resilience.requeues").inc()
+            pending.append(attempt)
+        inflight.clear()
+        if (
+            report.pool_breaks > self.max_pool_breaks
+            and not report.degraded_to_serial
+        ):
+            report.degraded_to_serial = True
+            metrics.counter("resilience.serial_degradations").inc()
+            tracer.point(
+                "resilience.degraded_to_serial",
+                pool_breaks=report.pool_breaks,
+            )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _payload(self, attempt, in_worker: bool):
+        return (
+            self.fn,
+            attempt.task.key,
+            attempt.attempt,
+            attempt.task.args,
+            self.chaos,
+            in_worker,
+        )
+
+    def _sleep_backoff(self, attempt) -> None:
+        if attempt.attempt <= 1 or self.backoff_base_s == 0.0:
+            return
+        delay = min(
+            self.backoff_cap_s,
+            self.backoff_base_s * 2.0 ** (attempt.attempt - 2),
+        )
+        if delay > 0.0:
+            time.sleep(delay)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.processes)
+        return self._pool
+
+    def _shutdown_pool(self, cancel: bool, wait_workers: bool = True) -> None:
+        """Drop the pool.  ``wait_workers=False`` skips joining them —
+        used on deadline teardowns, where a hung worker must not be
+        allowed to block the requeue of everyone else's tasks."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait_workers, cancel_futures=cancel)
+            self._pool = None
+
+
+__all__ = ["ExecutionReport", "ResilientExecutor", "TaskSpec"]

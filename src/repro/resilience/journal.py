@@ -1,0 +1,189 @@
+"""NDJSON checkpoint journal for resumable campaign execution.
+
+OCEAN checkpoints a computation's chunks into a protected buffer so a
+detected memory fault costs one rollback instead of the whole run
+(paper Section V).  The journal applies the identical discipline to the
+Monte-Carlo harness: every completed task's result is appended as one
+JSON line, so an interrupted campaign resumes from its last completed
+task instead of restarting from zero.
+
+File layout (one JSON object per line, append-only):
+
+* ``{"kind": "header", "version": 1, "run_id": ..., "fingerprint": ...}``
+  — written once when the journal is created.  The fingerprint encodes
+  every parameter that determines task results (scheme, voltage, seeds,
+  runner options); resuming under a different fingerprint raises
+  :class:`JournalMismatchError` rather than silently merging results
+  from a different experiment.
+* ``{"kind": "task", "key": ..., "attempt": ..., "result": ...}``
+  — one per completed task, in completion order.  ``result`` is the
+  caller-encoded (JSON-safe) task payload.
+* ``{"kind": "quarantine", "key": ..., "attempts": ..., "error": ...}``
+  — a poison task retired after exhausting its retry budget.
+
+Torn tails are expected: a run killed mid-write leaves a truncated last
+line, which the reader drops (that task simply re-executes on resume).
+Because every task is fully determined by its own seed, a resumed run's
+merged output is bit-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+JOURNAL_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """A journal file could not be used."""
+
+
+class JournalMismatchError(JournalError):
+    """Resume attempted against a journal from different parameters."""
+
+    def __init__(self, path, expected: str, found: str) -> None:
+        super().__init__(
+            f"journal {path} belongs to a different run: expected "
+            f"fingerprint {expected!r}, found {found!r}"
+        )
+        self.path = path
+        self.expected = expected
+        self.found = found
+
+
+@dataclass
+class JournalState:
+    """Everything a resume recovers from an existing journal."""
+
+    run_id: str
+    fingerprint: str
+    completed: dict = field(default_factory=dict)  # key -> encoded result
+    quarantined: dict = field(default_factory=dict)  # key -> error text
+
+
+class CheckpointJournal:
+    """Append-only NDJSON journal with crash-tolerant resume.
+
+    Parameters
+    ----------
+    path:
+        Journal file.  If it already exists it is *resumed*: its header
+        fingerprint must match, and previously completed tasks are
+        exposed through :attr:`state` so the executor can skip them.
+    run_id / fingerprint:
+        Identity of the run; see the module docstring.
+    """
+
+    def __init__(self, path, run_id: str, fingerprint: str) -> None:
+        self.path = path
+        self.resumed = os.path.exists(path) and os.path.getsize(path) > 0
+        if self.resumed:
+            self.state = self._read_existing(path, fingerprint)
+        else:
+            self.state = JournalState(run_id=run_id, fingerprint=fingerprint)
+        self._file = open(path, "a", encoding="utf-8")
+        if not self.resumed:
+            self._append(
+                {
+                    "kind": "header",
+                    "version": JOURNAL_VERSION,
+                    "run_id": run_id,
+                    "fingerprint": fingerprint,
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # Reading (resume)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _read_existing(path, fingerprint: str) -> JournalState:
+        completed: dict = {}
+        quarantined: dict = {}
+        header = None
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn tail from a crash mid-append: everything up
+                    # to here is intact, the half-written task simply
+                    # re-executes.
+                    break
+                kind = record.get("kind")
+                if kind == "header":
+                    header = record
+                elif kind == "task":
+                    completed[record["key"]] = record["result"]
+                elif kind == "quarantine":
+                    quarantined[record["key"]] = record.get("error", "")
+        if header is None:
+            raise JournalError(
+                f"journal {path} has no header record; refusing to resume"
+            )
+        if header.get("fingerprint") != fingerprint:
+            raise JournalMismatchError(
+                path, fingerprint, header.get("fingerprint", "")
+            )
+        return JournalState(
+            run_id=header.get("run_id", ""),
+            fingerprint=fingerprint,
+            completed=completed,
+            quarantined=quarantined,
+        )
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        json.dump(record, self._file, separators=(",", ":"))
+        self._file.write("\n")
+        # Flush per record: a checkpoint that only exists in a userspace
+        # buffer survives a KeyboardInterrupt but not much else; this
+        # keeps the window to the torn-tail case small without paying an
+        # fsync per task.
+        self._file.flush()
+
+    def record_task(self, key: str, attempt: int, result) -> None:
+        """Checkpoint one completed task's encoded result."""
+        self.state.completed[key] = result
+        self._append(
+            {"kind": "task", "key": key, "attempt": attempt, "result": result}
+        )
+
+    def record_quarantine(self, key: str, attempts: int, error: str) -> None:
+        """Retire a poison task so a resume does not retry it forever."""
+        self.state.quarantined[key] = error
+        self._append(
+            {
+                "kind": "quarantine",
+                "key": key,
+                "attempts": attempts,
+                "error": error,
+            }
+        )
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+__all__ = [
+    "CheckpointJournal",
+    "JournalError",
+    "JournalMismatchError",
+    "JournalState",
+    "JOURNAL_VERSION",
+]

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.errors import validate_vdd
+
 
 @dataclass
 class BusStats:
@@ -106,8 +108,7 @@ class SharedBus:
         """Return switched energy of a burst in joules (C V^2 per word)."""
         if words <= 0:
             raise ValueError("words must be positive")
-        if vdd < 0.0:
-            raise ValueError("vdd must be non-negative")
+        vdd = validate_vdd(vdd, "SharedBus.transfer_energy")
         return words * self.wire_cap_f * vdd * vdd
 
     @property

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.access import AccessErrorModel
 from repro.core.bitops import pack_bits_u64, popcount, popcount_u64
+from repro.core.errors import validate_vdd
 from repro.obs import active_metrics, active_tracer
 
 
@@ -77,7 +78,12 @@ class VoltageFaultModel:
         self.set_vdd(vdd)
 
     def set_vdd(self, vdd: float) -> None:
-        """Move the supply; recomputes the cached per-bit probability."""
+        """Move the supply; recomputes the cached per-bit probability.
+
+        Raises :class:`~repro.core.errors.InvalidVoltageError` for a
+        negative, NaN, infinite or non-numeric supply.
+        """
+        vdd = validate_vdd(vdd, "VoltageFaultModel.set_vdd")
         self._p_bit = self.access_model.bit_error_probability(vdd)
         # Probability that an access disturbs at least one stored bit.
         if self._p_bit > 0.0:

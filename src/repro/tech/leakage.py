@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 
+from repro.core.errors import validate_vdd
 from repro.tech.device import DeviceParameters, thermal_voltage
 
 _LN10 = math.log(10.0)
@@ -35,8 +36,7 @@ def leakage_current_per_um(
     Evaluated at V_GS = 0, V_DS = ``vdd``; ``vth_shift`` models corner
     or mismatch offsets (a negative shift leaks more).
     """
-    if vdd < 0.0:
-        raise ValueError(f"vdd must be non-negative, got {vdd}")
+    vdd = validate_vdd(vdd, "subthreshold_leakage")
     ut = thermal_voltage(temperature_c)
     n = device.slope_factor()
     effective_vth = device.vth + vth_shift - 1e-3 * device.dibl_mv_per_v * vdd

@@ -146,3 +146,55 @@ class TestFitting:
                 np.array([1e-2, 1e-4, 1e-6]),
                 v_onset=0.65,
             )
+
+
+class TestInvalidVoltageError:
+    """The typed voltage-validation error shared across the stack."""
+
+    def test_subclasses_value_error(self):
+        from repro.core.errors import InvalidVoltageError
+
+        assert issubclass(InvalidVoltageError, ValueError)
+
+    @pytest.mark.parametrize("bad", [-0.2, float("nan"), float("inf"), "0.4v"])
+    def test_bit_error_probability_raises_typed(self, bad):
+        from repro.core.errors import InvalidVoltageError
+
+        with pytest.raises(InvalidVoltageError):
+            ACCESS_COMMERCIAL_40NM.bit_error_probability(bad)
+
+    def test_fault_model_set_vdd_raises_typed(self):
+        from repro.core.errors import InvalidVoltageError
+        from repro.soc.faults import VoltageFaultModel
+
+        faults = VoltageFaultModel(ACCESS_COMMERCIAL_40NM, 32, 0.6)
+        with pytest.raises(InvalidVoltageError):
+            faults.set_vdd(float("nan"))
+        with pytest.raises(InvalidVoltageError):
+            faults.set_vdd(-0.1)
+        # The engine still works after a rejected move.
+        faults.set_vdd(0.5)
+        assert faults.vdd == 0.5
+
+    def test_campaign_entry_raises_typed(self):
+        from repro.analysis.campaign import run_campaign
+        from repro.core.errors import InvalidVoltageError
+        from repro.mitigation import SecdedRunner
+
+        with pytest.raises(InvalidVoltageError):
+            run_campaign(
+                SecdedRunner,
+                workload=None,
+                golden=[],
+                access_model=ACCESS_COMMERCIAL_40NM,
+                vdd=-0.4,
+                runs=1,
+            )
+
+    def test_error_names_context_and_value(self):
+        from repro.core.errors import InvalidVoltageError, validate_vdd
+
+        with pytest.raises(InvalidVoltageError) as excinfo:
+            validate_vdd(float("-inf"), "unit-test")
+        assert excinfo.value.context == "unit-test"
+        assert "unit-test" in str(excinfo.value)

@@ -209,3 +209,100 @@ class TestCheckpointOptimizer:
         assert NoMitigationRunner.reliability.fail_threshold == 1
         assert SecdedRunner.reliability.fail_threshold == 3
         assert OceanRunner.reliability.fail_threshold == 5
+
+
+class TestOceanExitPaths:
+    """Pin OCEAN's unhappy exits — livelock, unrepairable instruction
+    storage, and an unrecoverable protected buffer.
+
+    All at 0.60 V (above the access onset, so no random faults): every
+    fault below is queued deterministically with ``force_next``, which
+    makes each exit path reachable on purpose instead of by seed
+    lottery.
+    """
+
+    def _prepared(self, program):
+        """Runner + built platform with the workload loaded, faults
+        not yet queued — mirrors the front half of SchemeRunner.run."""
+        workload = program.workload
+        runner = OceanRunner(ACCESS_CELL_BASED_40NM, seed=7)
+        platform = runner.build_platform(0.60)
+        runner.last_platform = platform
+        platform.load_program(list(workload.program_words))
+        platform.load_data(list(workload.data_words), workload.data_base)
+        return runner, platform, workload
+
+    def test_initial_checkpoint_livelock(self, program):
+        """A chunk that can never be read cleanly exhausts the retry
+        budget of the very first checkpoint."""
+        from repro.mitigation.ocean import MAX_ROLLBACKS_PER_SEGMENT
+
+        runner, platform, workload = self._prepared(program)
+        # Every attempt's first SP read trips the detect-only code.
+        for _ in range(MAX_ROLLBACKS_PER_SEGMENT):
+            platform.sp.faults.force_next(1)
+        completed, failure, rollbacks, overhead = runner.execute(
+            platform, workload
+        )
+        assert not completed
+        assert failure == "livelock"
+        assert rollbacks == 0  # never got past the initial checkpoint
+
+    def test_mid_run_livelock(self, program):
+        """A segment that re-faults after every rollback livelocks."""
+        from repro.mitigation.ocean import MAX_ROLLBACKS_PER_SEGMENT
+
+        runner, platform, workload = self._prepared(program)
+        chunk_words = len(workload.data_words)
+        faults = platform.sp.faults
+        # Initial checkpoint reads the chunk cleanly.
+        for _ in range(chunk_words):
+            faults.force_next(0)
+        # Then each cycle: the first CPU access to SP after (re)start
+        # trips detection, and the subsequent restore's chunk of SP
+        # writes stays clean — so every re-execution faults again.
+        for _ in range(MAX_ROLLBACKS_PER_SEGMENT + 1):
+            faults.force_next(1)
+            for _ in range(chunk_words):
+                faults.force_next(0)
+        completed, failure, rollbacks, overhead = runner.execute(
+            platform, workload
+        )
+        assert not completed
+        assert failure == "livelock"
+        assert rollbacks == MAX_ROLLBACKS_PER_SEGMENT + 1
+
+    def test_uncorrectable_instruction_memory(self, program):
+        """A double bit-flip in the IM beats SECDED; rollback cannot
+        repair instruction storage."""
+        runner, platform, workload = self._prepared(program)
+        platform.im.faults.force_next(0b11)
+        completed, failure, rollbacks, overhead = runner.execute(
+            platform, workload
+        )
+        assert not completed
+        assert failure == "uncorrectable:IM"
+        assert rollbacks == 0
+
+    def test_pm_uncorrectable_on_restore(self, program):
+        """A quintuple flip in the protected buffer beats the BCH t=4
+        code exactly when a rollback needs it — the scheme's designed
+        system-failure threshold."""
+        runner, platform, workload = self._prepared(program)
+        chunk_words = len(workload.data_words)
+        # SP: clean initial-checkpoint reads, then one detected fault
+        # on the first CPU access to force a rollback.
+        for _ in range(chunk_words):
+            platform.sp.faults.force_next(0)
+        platform.sp.faults.force_next(1)
+        # PM: clean checkpoint writes, then five simultaneous flips on
+        # the first restore read — beyond BCH t=4.
+        for _ in range(chunk_words):
+            platform.pm.faults.force_next(0)
+        platform.pm.faults.force_next(0b11111)
+        completed, failure, rollbacks, overhead = runner.execute(
+            platform, workload
+        )
+        assert not completed
+        assert failure == "pm-uncorrectable"
+        assert rollbacks == 1

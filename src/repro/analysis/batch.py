@@ -30,7 +30,7 @@ import numpy as np
 from repro.core.access import AccessErrorModel
 from repro.core.retention import RetentionModel
 from repro.memdev.array import MemoryArray
-from repro.obs import MetricsSnapshot, active_metrics, active_tracer, scoped_metrics
+from repro.obs import MetricsSnapshot, active_metrics, active_tracer, names, scoped_metrics
 from repro.resilience import ChaosPolicy, ResilientExecutor, TaskSpec
 
 
@@ -67,7 +67,7 @@ def _die_failure_counts(args) -> tuple:
         )
         vmin = np.sort(array.retention_vmin_map().ravel())
         counts = vmin.size - np.searchsorted(vmin, voltages, side="right")
-        registry.counter("batch.die.cells").inc(words * bits)
+        registry.counter(names.BATCH_DIE_CELLS).inc(words * bits)
     return counts, registry.snapshot()
 
 
@@ -106,7 +106,7 @@ class BatchCampaign:
         self, seed: int | None = None, processes: int | None = None
     ) -> None:
         if seed is None:
-            seed = int(np.random.SeedSequence().entropy) % (2**63)
+            seed = int(np.random.SeedSequence().entropy) % (2**63)  # repro: noqa[REP101] seed=None asks for a fresh master seed; it is recorded on self.seed for replay
         self.seed = int(seed)
         self.processes = processes
 
@@ -131,7 +131,7 @@ class BatchCampaign:
         errors = np.zeros(voltages.shape, dtype=np.int64)
         chunk = max(1, self.CHUNK_DOUBLES // bits)
         with active_tracer().span(
-            "batch.access_ber_grid",
+            names.SPAN_BATCH_ACCESS_BER_GRID,
             points=int(voltages.size),
             accesses=accesses,
             bits=bits,
@@ -150,11 +150,11 @@ class BatchCampaign:
                     )
                     done += rows
         metrics = active_metrics()
-        metrics.counter("batch.grid_points").inc(int(voltages.size))
-        metrics.counter("batch.grid_accesses").inc(
+        metrics.counter(names.BATCH_GRID_POINTS).inc(int(voltages.size))
+        metrics.counter(names.BATCH_GRID_ACCESSES).inc(
             int(voltages.size) * accesses
         )
-        metrics.counter("batch.grid_errors").inc(int(errors.sum()))
+        metrics.counter(names.BATCH_GRID_ERRORS).inc(int(errors.sum()))
         return AccessBerGrid(
             voltages=voltages, errors=errors, accesses=accesses, bits=bits
         )
@@ -254,7 +254,7 @@ class BatchCampaign:
         tracer = active_tracer()
         metrics = active_metrics()
         with tracer.span(
-            "batch.retention_failure_curve",
+            names.SPAN_BATCH_RETENTION_FAILURE_CURVE,
             dies=n_dies,
             words=words,
             bits=bits,
@@ -284,10 +284,10 @@ class BatchCampaign:
                 counts.append(die_counts)
                 metrics.merge(snapshot)
                 tracer.point(
-                    "batch.die_counts",
+                    names.POINT_BATCH_DIE_COUNTS,
                     die=die_index,
                     worst_point_failures=int(die_counts.max()),
                 )
-        metrics.counter("batch.dies").inc(n_dies)
+        metrics.counter(names.BATCH_DIES).inc(n_dies)
         total_bits = n_dies * words * bits
         return np.sum(counts, axis=0) / float(total_bits)

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from repro.core.access import AccessErrorModel
 from repro.core.errors import validate_vdd
 from repro.core.multibit import prob_at_least
-from repro.obs import MetricsSnapshot, active_metrics, active_tracer, scoped_metrics
+from repro.obs import MetricsSnapshot, active_metrics, active_tracer, names, scoped_metrics
 from repro.resilience import ChaosPolicy, ResilientExecutor, TaskSpec
 from repro.workloads.streaming import StreamingWorkload
 
@@ -221,7 +221,7 @@ def run_campaign(
     tracer = active_tracer()
     metrics = active_metrics()
     with tracer.span(
-        "campaign.run",
+        names.SPAN_CAMPAIGN_RUN,
         scheme=runner_cls.name,
         vdd=vdd,
         runs=runs,
@@ -266,7 +266,7 @@ def run_campaign(
                 )
             metrics.merge(snapshot)
             tracer.point(
-                "campaign.outcome",
+                names.POINT_CAMPAIGN_OUTCOME,
                 scheme=result.scheme,
                 vdd=result.vdd,
                 run=index,
@@ -277,23 +277,23 @@ def run_campaign(
                 classification=classification,
                 failure=failure,
             )
-        metrics.counter("campaign.runs").inc(result.runs)
-        metrics.counter("campaign.correct").inc(result.correct)
-        metrics.counter("campaign.silent_corruption").inc(
+        metrics.counter(names.CAMPAIGN_RUNS).inc(result.runs)
+        metrics.counter(names.CAMPAIGN_CORRECT).inc(result.correct)
+        metrics.counter(names.CAMPAIGN_SILENT_CORRUPTION).inc(
             result.silent_corruption
         )
-        metrics.counter("campaign.detected_failure").inc(
+        metrics.counter(names.CAMPAIGN_DETECTED_FAILURE).inc(
             result.detected_failure
         )
-        metrics.counter("campaign.injected_bits").inc(
+        metrics.counter(names.CAMPAIGN_INJECTED_BITS).inc(
             result.total_injected_bits
         )
-        metrics.counter("campaign.corrected_words").inc(
+        metrics.counter(names.CAMPAIGN_CORRECTED_WORDS).inc(
             result.total_corrected
         )
-        metrics.counter("campaign.rollbacks").inc(result.total_rollbacks)
+        metrics.counter(names.CAMPAIGN_ROLLBACKS).inc(result.total_rollbacks)
         if result.quarantined:
-            metrics.counter("campaign.quarantined_runs").inc(
+            metrics.counter(names.CAMPAIGN_QUARANTINED_RUNS).inc(
                 result.quarantined
             )
     return result

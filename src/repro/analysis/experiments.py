@@ -32,7 +32,7 @@ from repro.core.retention import (
     RetentionModel,
 )
 from repro.analysis.batch import BatchCampaign
-from repro.obs import active_tracer
+from repro.obs import active_tracer, names
 from repro.memdev.array import MemoryArray
 from repro.memdev.library import table1_instances
 from repro.mitigation import (
@@ -474,7 +474,7 @@ def _mitigation_study(
         )
         vdd = scheme_voltages[runner.name]
         with tracer.span(
-            "study.scheme_run",
+            names.SPAN_STUDY_SCHEME_RUN,
             scheme=runner.name,
             vdd=vdd,
             frequency=frequency,
@@ -488,7 +488,7 @@ def _mitigation_study(
         total = flat.pop("total")
         correct = outcome.output_matches(golden)
         tracer.point(
-            "study.scheme_outcome",
+            names.POINT_STUDY_SCHEME_OUTCOME,
             scheme=runner.name,
             vdd=vdd,
             correct=correct,

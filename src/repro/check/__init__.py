@@ -1,0 +1,32 @@
+"""``repro.check`` — domain-aware static analysis for this repo.
+
+An AST-based lint pass that machine-checks the invariants the previous
+PRs established by convention: seeded RNG streams (PR 1), a canonical
+telemetry name registry (PR 2), deterministic replay paths (PR 3), and
+cross-process-safe, failure-observing execution (PR 4).
+
+Run it as ``python -m repro check [paths]`` or via
+:func:`repro.check.engine.run_check`.
+"""
+
+from __future__ import annotations
+
+from repro.check.engine import (
+    CheckResult,
+    FileContext,
+    Finding,
+    Suppression,
+    load_source,
+    run_check,
+)
+from repro.check.rules import RULES
+
+__all__ = [
+    "CheckResult",
+    "FileContext",
+    "Finding",
+    "RULES",
+    "Suppression",
+    "load_source",
+    "run_check",
+]

@@ -1,0 +1,8 @@
+"""Allow ``python -m repro.check`` as a direct entry point."""
+
+from __future__ import annotations
+
+from repro.check.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

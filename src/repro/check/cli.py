@@ -1,0 +1,108 @@
+"""Command-line entry point for the invariant checker.
+
+Usage::
+
+    python -m repro check [paths ...] [--format text|json|github]
+                          [--select REP101,REP201] [--list-rules]
+                          [--list-suppressions]
+
+Paths default to ``src`` and ``tests``.  Exit status: 0 clean, 1 when
+findings are reported, 2 on usage errors (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.check.engine import run_check
+from repro.check.report import FORMATTERS, format_suppressions
+from repro.check.rules import RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description=(
+            "Domain-aware static analysis enforcing the repo's "
+            "determinism, voltage-safety, and concurrency invariants."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to check (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(FORMATTERS),
+        default="text",
+        help="finding output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--list-suppressions",
+        action="store_true",
+        help=(
+            "emit every justified '# repro: noqa' in the checked "
+            "paths as JSON and exit 0"
+        ),
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        lines.append(
+            f"{rule.id}  {rule.name} [{rule.severity}]\n"
+            f"        {rule.summary}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    select: frozenset[str] | None = None
+    if args.select is not None:
+        select = frozenset(
+            part.strip().upper()
+            for part in args.select.split(",")
+            if part.strip()
+        )
+        unknown = select - set(RULES)
+        if unknown:
+            parser.error(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}"
+            )
+
+    result = run_check(args.paths, select=select)
+
+    if args.list_suppressions:
+        print(format_suppressions(result))
+        return 0
+
+    print(FORMATTERS[args.format](result))
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,428 @@
+"""AST engine of ``repro check``: parsing, indexing, rule dispatch.
+
+The engine is deliberately dependency-free (stdlib ``ast`` only) and
+two-phase:
+
+1. **Collect** — every target file is parsed once into a
+   :class:`FileContext` (source, AST, import map, module-level names),
+   and the whole file set is folded into a :class:`Project` index:
+   functions that call ``validate_vdd`` directly (so rule ``REP201``
+   can resolve one level of delegation without false-positives on thin
+   wrappers) and functions handed to executors (rule ``REP502``'s
+   worker set).
+2. **Check** — each registered rule (see :mod:`repro.check.rules`)
+   walks each file it applies to and yields :class:`Finding` records.
+
+Suppressions use an auditable inline convention::
+
+    risky_call()  # repro: noqa[REP101] seeded upstream by the harness
+
+The rule id is mandatory (no blanket ``noqa``), and the justification
+text after the bracket is mandatory too — a bare suppression is itself
+reported as ``REP001``.  ``repro check --list-suppressions`` emits the
+full suppression inventory as JSON so tests can pin the count.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Iterator
+
+#: Directories never descended into during discovery.  ``fixtures`` is
+#: excluded because ``tests/fixtures/check/`` holds deliberately bad
+#: snippets the rule tests feed to the engine directly.
+EXCLUDED_DIR_NAMES = frozenset(
+    {"__pycache__", ".git", ".venv", "node_modules", "fixtures"}
+)
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<rules>[A-Za-z0-9_,\s-]+)\]\s*(?P<why>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline ``# repro: noqa[RULE]`` comment."""
+
+    path: str
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rules": list(self.rules),
+            "justification": self.justification,
+        }
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Flatten ``a.b.c`` attribute chains to ``"a.b.c"`` (else None)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class FileContext:
+    """One parsed target file plus the lookups every rule needs."""
+
+    def __init__(self, rel_path: str, source: str, tree: ast.Module) -> None:
+        self.rel_path = rel_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        #: ``import numpy as np`` → ``{"np": "numpy"}``
+        self.imports: dict[str, str] = {}
+        #: ``from numpy.random import default_rng as rng`` →
+        #: ``{"rng": "numpy.random.default_rng"}``
+        self.from_imports: dict[str, str] = {}
+        #: Names bound to *data* at module scope (assignment targets).
+        self.module_data_names: set[str] = set()
+        #: Module-level function definitions by name.
+        self.module_functions: dict[str, ast.FunctionDef] = {}
+        self.suppressions: list[Suppression] = []
+        self._index()
+        self._scan_suppressions()
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def _index(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                        if alias.asname
+                        else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports: out of scope
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.module_functions[node.name] = node  # type: ignore[assignment]
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.module_data_names.add(target.id)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    self.module_data_names.add(node.target.id)
+
+    def _scan_suppressions(self) -> None:
+        # Tokenize so that noqa syntax *mentioned* in docstrings (this
+        # repo documents its own convention) never counts as a real
+        # suppression — only genuine comment tokens do.
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(self.source).readline)
+            )
+        except tokenize.TokenError:
+            return
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if match is None:
+                continue
+            lineno = token.start[0]
+            rules = tuple(
+                part.strip()
+                for part in match.group("rules").split(",")
+                if part.strip()
+            )
+            justification = match.group("why").strip().lstrip("—-–: ").strip()
+            self.suppressions.append(
+                Suppression(
+                    path=self.rel_path,
+                    line=lineno,
+                    rules=rules,
+                    justification=justification,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def module(self) -> str:
+        """Dotted module path, anchored at the ``repro`` package when
+        present (``src/repro/soc/faults.py`` → ``repro.soc.faults``)."""
+        parts = list(PurePosixPath(self.rel_path).parts)
+        if parts and parts[-1].endswith(".py"):
+            parts[-1] = parts[-1][: -len(".py")]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        if "repro" in parts:
+            parts = parts[parts.index("repro"):]
+        return ".".join(parts)
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Resolve a call target through the file's import aliases.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` under ``import numpy as np``; a
+        bare name imported with ``from x import y`` resolves to
+        ``x.y``.  Unresolvable targets return the raw dotted text (or
+        None when the expression is not a name chain at all).
+        """
+        name = dotted_name(node)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        if head in self.from_imports:
+            base = self.from_imports[head]
+            return f"{base}.{rest}" if rest else base
+        if head in self.imports:
+            base = self.imports[head]
+            return f"{base}.{rest}" if rest else base
+        return name
+
+
+@dataclass
+class Project:
+    """Cross-file indexes shared by all rules."""
+
+    files: list[FileContext] = field(default_factory=list)
+    #: Bare names of functions whose body calls ``validate_vdd``
+    #: directly.  Rule REP201 accepts delegation to any of these —
+    #: intra-package resolution one level deep.
+    validating_functions: set[str] = field(default_factory=set)
+    #: Per-module names of functions handed to executors
+    #: (``ResilientExecutor(fn)`` / ``pool.submit(fn, ...)``): the
+    #: functions that run in worker processes.
+    worker_functions: dict[str, set[str]] = field(default_factory=dict)
+
+    def build_indexes(self) -> None:
+        self.validating_functions = {"validate_vdd"}
+        for file in self.files:
+            for node in ast.walk(file.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if _calls_validate_vdd(node):
+                        self.validating_functions.add(node.name)
+                elif isinstance(node, ast.Call):
+                    for fn_node in _submitted_callables(file, node):
+                        if isinstance(fn_node, ast.Name):
+                            self.worker_functions.setdefault(
+                                file.module, set()
+                            ).add(fn_node.id)
+
+
+def _calls_validate_vdd(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and name.split(".")[-1] == "validate_vdd":
+                return True
+    return False
+
+
+def _submitted_callables(
+    file: FileContext, call: ast.Call
+) -> Iterator[ast.expr]:
+    """Yield callables this call hands to an executor, if any."""
+    resolved = file.resolve(call.func) or ""
+    tail = resolved.split(".")[-1]
+    if tail == "ResilientExecutor" and call.args:
+        yield call.args[0]
+    elif (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == "submit"
+        and call.args
+    ):
+        yield call.args[0]
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+@dataclass
+class CheckResult:
+    """Everything one ``repro check`` invocation produced."""
+
+    findings: list[Finding]
+    suppressions: list[Suppression]
+    files_checked: int
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def discover(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into the sorted list of target files."""
+    targets: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            targets.append(path)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not EXCLUDED_DIR_NAMES.intersection(candidate.parts):
+                    targets.append(candidate)
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for path in targets:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def load_file(
+    path: Path, rel_path: str | None = None
+) -> FileContext | Finding:
+    """Parse one file; a syntax error becomes a ``REP000`` finding."""
+    rel = rel_path if rel_path is not None else path.as_posix()
+    source = path.read_text(encoding="utf-8")
+    return load_source(source, rel)
+
+
+def load_source(source: str, rel_path: str) -> FileContext | Finding:
+    """Parse source text under an assumed repo-relative path.
+
+    The path controls which rules apply (rules are scoped by module
+    prefix), which is how the fixture tests exercise path-scoped rules
+    on snippets that live elsewhere.
+    """
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as exc:
+        return Finding(
+            rule="REP000",
+            severity="error",
+            path=rel_path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"syntax error: {exc.msg}",
+        )
+    return FileContext(rel_path, source, tree)
+
+
+def check_files(
+    contexts: Iterable[FileContext],
+    select: Iterable[str] | None = None,
+    parse_failures: Iterable[Finding] = (),
+) -> CheckResult:
+    """Run every (selected) rule over pre-parsed files."""
+    from repro.check.rules import RULES
+
+    project = Project(files=list(contexts))
+    project.build_indexes()
+    wanted = set(select) if select is not None else None
+    findings: list[Finding] = list(parse_failures)
+    suppressions: list[Suppression] = []
+    for file in project.files:
+        suppressions.extend(file.suppressions)
+        for rule in RULES.values():
+            if wanted is not None and rule.id not in wanted:
+                continue
+            if not rule.applies_to(file):
+                continue
+            findings.extend(rule.check(file, project))
+    findings = _apply_suppressions(findings, suppressions)
+    findings.extend(_audit_suppressions(suppressions, wanted))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return CheckResult(
+        findings=findings,
+        suppressions=suppressions,
+        files_checked=len(project.files),
+    )
+
+
+def run_check(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+) -> CheckResult:
+    """Discover, parse and check ``paths``; the CLI entry point."""
+    contexts: list[FileContext] = []
+    parse_failures: list[Finding] = []
+    for path in discover(paths):
+        loaded = load_file(path)
+        if isinstance(loaded, Finding):
+            parse_failures.append(loaded)
+        else:
+            contexts.append(loaded)
+    return check_files(contexts, select=select, parse_failures=parse_failures)
+
+
+def _apply_suppressions(
+    findings: list[Finding], suppressions: list[Suppression]
+) -> list[Finding]:
+    suppressed: set[tuple[str, int, str]] = set()
+    for suppression in suppressions:
+        for rule in suppression.rules:
+            suppressed.add((suppression.path, suppression.line, rule))
+    return [
+        finding
+        for finding in findings
+        if (finding.path, finding.line, finding.rule) not in suppressed
+    ]
+
+
+def _audit_suppressions(
+    suppressions: list[Suppression], wanted: set[str] | None
+) -> list[Finding]:
+    """A suppression without a justification is itself a violation."""
+    if wanted is not None and "REP001" not in wanted:
+        return []
+    return [
+        Finding(
+            rule="REP001",
+            severity="error",
+            path=suppression.path,
+            line=suppression.line,
+            col=0,
+            message=(
+                "suppression needs a justification: write "
+                "'# repro: noqa["
+                + ",".join(suppression.rules)
+                + "] <why this is safe>'"
+            ),
+        )
+        for suppression in suppressions
+        if not suppression.justification
+    ]

@@ -1,0 +1,80 @@
+"""Render :class:`~repro.check.engine.CheckResult` for humans and CI.
+
+Three finding formats:
+
+* ``text`` — ``path:line:col: RULE message`` plus a summary line, for
+  terminals;
+* ``json`` — a single machine-readable document (findings,
+  suppressions, counts) for tooling;
+* ``github`` — ``::error``/``::warning`` workflow commands so findings
+  annotate the offending lines in pull-request diffs.
+
+Plus the suppression ledger (``--list-suppressions``): every justified
+``# repro: noqa[...]`` in the checked tree as JSON, so the count can be
+pinned in a test and only ever shrink.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.check.engine import CheckResult, Finding
+
+
+def _severity_word(finding: Finding) -> str:
+    return "warning" if finding.severity == "warning" else "error"
+
+
+def format_text(result: CheckResult) -> str:
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule} {f.message}"
+        for f in result.findings
+    ]
+    count = len(result.findings)
+    noun = "finding" if count == 1 else "findings"
+    lines.append(
+        f"repro check: {count} {noun} in {result.files_checked} files "
+        f"({len(result.suppressions)} suppressions)"
+    )
+    return "\n".join(lines)
+
+
+def format_json(result: CheckResult) -> str:
+    document: dict[str, Any] = {
+        "findings": [f.as_dict() for f in result.findings],
+        "suppressions": [s.as_dict() for s in result.suppressions],
+        "files_checked": result.files_checked,
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def format_github(result: CheckResult) -> str:
+    lines = []
+    for f in result.findings:
+        message = f.message.replace("%", "%25").replace("\n", "%0A")
+        lines.append(
+            f"::{_severity_word(f)} file={f.path},line={f.line},"
+            f"col={f.col},title={f.rule}::{message}"
+        )
+    if not lines:
+        lines.append(
+            f"repro check: clean ({result.files_checked} files)"
+        )
+    return "\n".join(lines)
+
+
+FORMATTERS = {
+    "text": format_text,
+    "json": format_json,
+    "github": format_github,
+}
+
+
+def format_suppressions(result: CheckResult) -> str:
+    document: dict[str, Any] = {
+        "count": len(result.suppressions),
+        "suppressions": [s.as_dict() for s in result.suppressions],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

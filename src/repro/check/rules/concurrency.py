@@ -1,0 +1,246 @@
+"""REP501/REP502 — cross-process safety of executor-submitted work.
+
+The campaign fan-out (PRs 1 and 4) ships task functions to
+``ProcessPoolExecutor`` workers.  Two invariants keep that sound:
+
+* **REP501** — anything submitted must be a *module-level* callable
+  with picklable arguments.  Lambdas, closures and bound methods
+  either fail to pickle at runtime (the lucky case) or pickle a stale
+  copy of enclosing state (the silent-corruption case).  The serial
+  degradation path (PR 4) makes the unlucky case worse: a closure that
+  "works" serially breaks only when the pool actually engages.
+* **REP502** — a worker-executed function must not mutate module-level
+  state.  Each pool worker mutates *its own copy* of the module, so
+  such writes are lost on the way back (and, under threads, race) —
+  results must travel via return values, like the metrics snapshots
+  the campaign workers carry back.
+
+Scope: ``repro.*`` source modules (tests drive executors with local
+helpers on the serial path deliberately).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.check.rules import Rule, _in_repro_src, register
+from repro.check.engine import _submitted_callables
+
+if TYPE_CHECKING:
+    from repro.check.engine import FileContext, Finding, Project
+
+#: Mutating container/attribute methods on module-level names.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+    }
+)
+
+
+def _enclosing_function_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined *inside* other functions (closures)."""
+    nested: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for child in ast.walk(node):
+                if child is node:
+                    continue
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    nested.add(child.name)
+    return nested
+
+
+@register
+class ExecutorPicklableRule(Rule):
+    id = "REP501"
+    name = "unpicklable-submission"
+    summary = (
+        "callables handed to ResilientExecutor/ProcessPoolExecutor "
+        "must be module-level functions (no lambdas/closures/bound "
+        "methods)"
+    )
+
+    def applies_to(self, file: FileContext) -> bool:
+        return _in_repro_src(file)
+
+    def check(
+        self, file: FileContext, project: Project
+    ) -> Iterator[Finding]:
+        nested = _enclosing_function_names(file.tree)
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for fn_node in _submitted_callables(file, node):
+                yield from self._check_callable(file, fn_node, nested)
+            yield from self._check_args(file, node)
+
+    def _check_callable(
+        self, file: FileContext, fn_node: ast.expr, nested: set[str]
+    ) -> Iterator[Finding]:
+        if isinstance(fn_node, ast.Lambda):
+            yield self.finding(
+                file,
+                fn_node.lineno,
+                fn_node.col_offset,
+                "lambda submitted to an executor cannot pickle to a "
+                "worker process; define a module-level function",
+            )
+            return
+        if isinstance(fn_node, ast.Call):
+            resolved = file.resolve(fn_node.func) or ""
+            if resolved.split(".")[-1] == "partial" and fn_node.args:
+                # functools.partial of a module-level callable pickles.
+                yield from self._check_callable(
+                    file, fn_node.args[0], nested
+                )
+            return
+        if isinstance(fn_node, ast.Attribute):
+            base = file.resolve(fn_node.value)
+            if base is not None and base in file.imports.values():
+                return  # module.function — picklable by reference
+            yield self.finding(
+                file,
+                fn_node.lineno,
+                fn_node.col_offset,
+                "bound method / instance attribute submitted to an "
+                "executor pickles the whole receiver (or fails); "
+                "submit a module-level function taking the data "
+                "explicitly",
+            )
+            return
+        if isinstance(fn_node, ast.Name) and fn_node.id in nested:
+            yield self.finding(
+                file,
+                fn_node.lineno,
+                fn_node.col_offset,
+                f"{fn_node.id!r} is defined inside another function; "
+                "closures cannot pickle to worker processes — hoist "
+                "it to module level",
+            )
+
+    def _check_args(
+        self, file: FileContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        """Light picklability screen of the submitted arguments."""
+        submitted = list(_submitted_callables(file, node))
+        if not submitted:
+            return
+        for arg in node.args[1:]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Lambda):
+                    yield self.finding(
+                        file,
+                        sub.lineno,
+                        sub.col_offset,
+                        "lambda in executor-submitted arguments cannot "
+                        "pickle to a worker process",
+                    )
+                elif isinstance(sub, ast.GeneratorExp):
+                    yield self.finding(
+                        file,
+                        sub.lineno,
+                        sub.col_offset,
+                        "generator in executor-submitted arguments "
+                        "cannot pickle; materialise it (list/tuple) "
+                        "first",
+                    )
+
+
+@register
+class WorkerStateMutationRule(Rule):
+    id = "REP502"
+    name = "worker-global-mutation"
+    summary = (
+        "worker-executed functions must not mutate module-level state; "
+        "results travel back as return values"
+    )
+
+    def applies_to(self, file: FileContext) -> bool:
+        return _in_repro_src(file)
+
+    def check(
+        self, file: FileContext, project: Project
+    ) -> Iterator[Finding]:
+        worker_names = project.worker_functions.get(file.module, set())
+        for name in sorted(worker_names):
+            fn = file.module_functions.get(name)
+            if fn is None:
+                continue
+            yield from self._check_worker(file, fn)
+
+    def _check_worker(
+        self, file: FileContext, fn: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        module_data = file.module_data_names
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                yield self.finding(
+                    file,
+                    node.lineno,
+                    node.col_offset,
+                    f"worker function {fn.name}() declares global "
+                    f"{', '.join(node.names)}; each pool worker "
+                    "mutates its own copy, so the write is lost — "
+                    "return the value instead",
+                )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                target = node.func.value
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in module_data
+                    and node.func.attr in _MUTATORS
+                ):
+                    yield self.finding(
+                        file,
+                        node.lineno,
+                        node.col_offset,
+                        f"worker function {fn.name}() mutates "
+                        f"module-level {target.id!r} via "
+                        f".{node.func.attr}(); worker-side writes "
+                        "never reach the parent process",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    base = target
+                    while isinstance(
+                        base, (ast.Subscript, ast.Attribute)
+                    ):
+                        base = base.value
+                    if (
+                        base is not target
+                        and isinstance(base, ast.Name)
+                        and base.id in module_data
+                    ):
+                        yield self.finding(
+                            file,
+                            node.lineno,
+                            node.col_offset,
+                            f"worker function {fn.name}() writes into "
+                            f"module-level {base.id!r}; worker-side "
+                            "writes never reach the parent process",
+                        )

@@ -1,0 +1,132 @@
+"""REP301 — no nondeterminism sources on the deterministic replay path.
+
+The fast-lane engine (PR 3) and the checkpoint/resume journal (PR 4)
+both promise *bit-exact replay*: the same seed produces the same
+counters, the same RNG stream, the same NDJSON trace — interrupted or
+not, pooled or serial.  That promise dies the moment replay-path code
+consults a wall clock, the OS entropy pool, or an unordered container's
+iteration order.
+
+Scope: modules on the replay path — ``repro.soc``, ``repro.ecc``,
+``repro.resilience``, ``repro.analysis.campaign``,
+``repro.analysis.batch``.
+
+Flagged there:
+
+* wall-clock reads (``time.time``, ``time.time_ns``,
+  ``datetime.now``/``utcnow``/``today``) — monotonic/perf counters are
+  fine (they schedule work, they never enter results);
+* OS entropy (``os.urandom``, ``uuid.uuid1``/``uuid4``,
+  ``secrets.*``);
+* iteration over a ``set``/``frozenset`` expression (``for x in
+  set(...)``) — hash-order-dependent; iterate ``sorted(...)`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.check.rules import Rule, register
+
+if TYPE_CHECKING:
+    from repro.check.engine import FileContext, Finding, Project
+
+REPLAY_MODULE_PREFIXES = ("repro.soc", "repro.ecc", "repro.resilience")
+REPLAY_MODULES = ("repro.analysis.campaign", "repro.analysis.batch")
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+_OS_ENTROPY = frozenset(
+    {
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbelow",
+        "secrets.choice",
+    }
+)
+
+
+def _is_set_expr(node: ast.expr, file: "FileContext") -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        resolved = file.resolve(node.func)
+        return resolved in {"set", "frozenset"}
+    return False
+
+
+@register
+class ReplayDeterminismRule(Rule):
+    id = "REP301"
+    name = "replay-nondeterminism"
+    summary = (
+        "replay-path modules (soc/, ecc/, resilience/, campaign, batch) "
+        "must not read wall clocks, OS entropy, or set iteration order"
+    )
+
+    def applies_to(self, file: FileContext) -> bool:
+        module = file.module
+        return module in REPLAY_MODULES or any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in REPLAY_MODULE_PREFIXES
+        )
+
+    def check(
+        self, file: FileContext, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Call):
+                resolved = file.resolve(node.func)
+                if resolved in _WALL_CLOCK:
+                    yield self.finding(
+                        file,
+                        node.lineno,
+                        node.col_offset,
+                        f"{resolved} reads the wall clock on the "
+                        "deterministic replay path; use "
+                        "time.monotonic/perf_counter for scheduling, "
+                        "and keep timestamps out of replayed results",
+                    )
+                elif resolved in _OS_ENTROPY:
+                    yield self.finding(
+                        file,
+                        node.lineno,
+                        node.col_offset,
+                        f"{resolved} draws OS entropy on the "
+                        "deterministic replay path; derive randomness "
+                        "from the run's seeded generator",
+                    )
+            elif isinstance(node, ast.For) and _is_set_expr(
+                node.iter, file
+            ):
+                yield self.finding(
+                    file,
+                    node.lineno,
+                    node.col_offset,
+                    "iterating a set on the replay path is "
+                    "hash-order-dependent; iterate sorted(...) instead",
+                )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    if _is_set_expr(generator.iter, file):
+                        yield self.finding(
+                            file,
+                            node.lineno,
+                            node.col_offset,
+                            "comprehension over a set on the replay "
+                            "path is hash-order-dependent; iterate "
+                            "sorted(...) instead",
+                        )

@@ -1,0 +1,105 @@
+"""REP701 — no swallowed exceptions in ``resilience/`` and ``soc/``.
+
+The resilience layer's whole contract (PR 4) is that failures are
+*observed*: counted, journaled, quarantined, retried.  A ``try: ...
+except Exception: pass`` anywhere in ``repro.resilience`` or
+``repro.soc`` converts a crash the executor is designed to survive
+into a silently-wrong result — the one failure mode the chaos suite
+cannot catch, because nothing fails.
+
+Flagged:
+
+* bare ``except:`` — always (it also eats ``KeyboardInterrupt``);
+* ``except Exception`` / ``except BaseException`` whose body neither
+  re-raises nor calls anything (no logging, no counter, no routing to
+  a handler) — a pure swallow.
+
+Handlers that route the exception somewhere — ``self._fail_attempt(
+task, exc)``, a metrics bump, a journal write — are fine: the point is
+that *someone* sees the failure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.check.rules import Rule, register
+
+if TYPE_CHECKING:
+    from repro.check.engine import FileContext, Finding, Project
+
+_MODULE_PREFIXES = ("repro.resilience", "repro.soc")
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _broad_names(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:
+        return False
+    candidates: list[ast.expr] = (
+        list(node.elts) if isinstance(node, ast.Tuple) else [node]
+    )
+    for candidate in candidates:
+        tail = None
+        if isinstance(candidate, ast.Name):
+            tail = candidate.id
+        elif isinstance(candidate, ast.Attribute):
+            tail = candidate.attr
+        if tail in _BROAD:
+            return True
+    return False
+
+
+def _body_routes(handler: ast.ExceptHandler) -> bool:
+    """True if the handler re-raises or calls *anything*."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            return True
+    return False
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    id = "REP701"
+    name = "swallowed-exception"
+    summary = (
+        "no bare except: or silently-swallowed Exception in "
+        "resilience/ and soc/ — failures must be observed"
+    )
+
+    def applies_to(self, file: FileContext) -> bool:
+        module = file.module
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in _MODULE_PREFIXES
+        )
+
+    def check(
+        self, file: FileContext, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    file,
+                    node.lineno,
+                    node.col_offset,
+                    "bare except: catches KeyboardInterrupt/SystemExit "
+                    "too; name the exception types",
+                )
+                continue
+            if _broad_names(node) and not _body_routes(node):
+                yield self.finding(
+                    file,
+                    node.lineno,
+                    node.col_offset,
+                    "except Exception with a body that neither "
+                    "re-raises nor routes the failure anywhere; the "
+                    "resilience contract requires failures to be "
+                    "counted, journaled, or re-raised",
+                )

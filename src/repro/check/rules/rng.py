@@ -1,0 +1,133 @@
+"""REP101 — no unseeded or implicitly-seeded RNG construction.
+
+Every headline number in this reproduction (the Eq. 4/5 failure
+curves, Table 2, the campaign rates) is a Monte-Carlo statistic whose
+reproducibility rests on seeded, per-run RNG streams.  A single
+``np.random.default_rng()`` (entropy-seeded) or a module-level
+``np.random.*`` / ``random.*`` call (hidden shared global state)
+silently de-seeds everything downstream of it.
+
+Flagged:
+
+* ``np.random.default_rng()`` / ``np.random.SeedSequence()`` /
+  ``random.Random()`` constructed with no seed (or an explicit
+  ``None`` seed);
+* ``random.seed()`` with no argument and any ``np.random.seed`` use
+  (legacy global-state seeding);
+* any call through the *module-level* generators — ``random.random()``,
+  ``np.random.normal(...)``, etc. — which consume shared global state
+  regardless of seeding.
+
+Test code is exempt (rule scope excludes ``tests/`` and
+``benchmarks/``); deliberate entropy-seeded defaults carry a justified
+``# repro: noqa[REP101]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.check.rules import Rule, _in_tests, register
+
+if TYPE_CHECKING:
+    from repro.check.engine import FileContext, Finding, Project
+
+#: Constructors whose first argument is an optional seed.
+_SEEDED_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "random.Random",
+    }
+)
+
+#: Module-level functions drawing from the hidden global stream.
+_GLOBAL_STREAM_FUNCTIONS = frozenset(
+    {
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.uniform",
+        "random.gauss",
+        "random.normalvariate",
+        "random.choice",
+        "random.choices",
+        "random.sample",
+        "random.shuffle",
+        "random.betavariate",
+        "random.expovariate",
+        "numpy.random.random",
+        "numpy.random.rand",
+        "numpy.random.randn",
+        "numpy.random.randint",
+        "numpy.random.random_sample",
+        "numpy.random.normal",
+        "numpy.random.uniform",
+        "numpy.random.choice",
+        "numpy.random.shuffle",
+        "numpy.random.permutation",
+        "numpy.random.standard_normal",
+        "numpy.random.seed",
+    }
+)
+
+
+def _is_none(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+@register
+class UnseededRngRule(Rule):
+    id = "REP101"
+    name = "unseeded-rng"
+    summary = (
+        "RNGs outside tests/ must be constructed from an explicit seed; "
+        "module-level random state is forbidden"
+    )
+
+    def applies_to(self, file: FileContext) -> bool:
+        return not _in_tests(file)
+
+    def check(
+        self, file: FileContext, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = file.resolve(node.func)
+            if resolved is None:
+                continue
+            if resolved in _GLOBAL_STREAM_FUNCTIONS:
+                yield self.finding(
+                    file,
+                    node.lineno,
+                    node.col_offset,
+                    f"{resolved} draws from hidden module-level RNG "
+                    "state; construct a seeded generator "
+                    "(np.random.default_rng(seed)) and thread it through",
+                )
+                continue
+            if resolved in _SEEDED_CONSTRUCTORS:
+                seedless = (not node.args and not node.keywords) or (
+                    len(node.args) == 1
+                    and not node.keywords
+                    and _is_none(node.args[0])
+                )
+                if seedless:
+                    yield self.finding(
+                        file,
+                        node.lineno,
+                        node.col_offset,
+                        f"{resolved}() without a seed is entropy-seeded "
+                        "and unreproducible; pass an explicit seed (or "
+                        "suppress with a justified noqa if entropy is "
+                        "the point)",
+                    )
+            if resolved == "random.seed" and not node.args:
+                yield self.finding(
+                    file,
+                    node.lineno,
+                    node.col_offset,
+                    "random.seed() with no argument re-seeds from the OS",
+                )

@@ -1,0 +1,88 @@
+"""REP601 — NDJSON goes through the sanctioned serializers.
+
+The trace sink (PR 2) and the checkpoint journal (PR 4) both write
+newline-delimited JSON, and both had to solve the same problems once:
+numpy scalar coercion (``_json_default``), compact separators, flush
+discipline, and crash-safe append semantics.  An ad-hoc
+``f.write(json.dumps(rec) + "\\n")`` elsewhere silently re-introduces
+the bugs those modules already fixed — a single numpy ``float32`` in a
+record is enough to crash a six-hour campaign at its final flush.
+
+Heuristics flagged outside the allowlisted serializer modules:
+
+* ``json.dump(obj, fh)`` — the file-handle form (streaming records);
+* ``json.dumps(..., separators=...)`` — the compact-NDJSON idiom.
+
+Pretty-printed one-shot ``json.dumps(..., indent=2)`` (CLI output,
+manifests handed to the user) stays legal everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.check.rules import Rule, _in_repro_src, register
+
+if TYPE_CHECKING:
+    from repro.check.engine import FileContext, Finding, Project
+
+#: Modules that own NDJSON serialization for the repo.
+SERIALIZER_MODULES = frozenset(
+    {
+        "repro.obs.trace",
+        "repro.obs.manifest",
+        "repro.resilience.journal",
+        "repro.check.report",
+    }
+)
+
+
+@register
+class NdjsonSerializerRule(Rule):
+    id = "REP601"
+    name = "adhoc-ndjson"
+    summary = (
+        "NDJSON writing must route through the shared trace/journal "
+        "serializers, not ad-hoc json.dumps"
+    )
+
+    def applies_to(self, file: FileContext) -> bool:
+        return (
+            _in_repro_src(file)
+            and file.module not in SERIALIZER_MODULES
+        )
+
+    def check(
+        self, file: FileContext, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = file.resolve(node.func)
+            if resolved not in {"json.dump", "json.dumps"}:
+                continue
+            has_separators = any(
+                kw.arg == "separators" for kw in node.keywords
+            )
+            if resolved == "json.dump" and len(node.args) >= 2:
+                yield self.finding(
+                    file,
+                    node.lineno,
+                    node.col_offset,
+                    "streaming json.dump to a file handle outside the "
+                    "sanctioned serializer modules; route records "
+                    "through repro.obs.trace / repro.resilience.journal "
+                    "so numpy coercion and flush discipline stay in "
+                    "one place",
+                )
+            elif has_separators:
+                yield self.finding(
+                    file,
+                    node.lineno,
+                    node.col_offset,
+                    "compact json.dumps(separators=...) is the NDJSON "
+                    "idiom; use the shared serializers in "
+                    "repro.obs.trace / repro.resilience.journal instead "
+                    "of re-implementing record framing",
+                )

@@ -1,0 +1,163 @@
+"""REP201 — public ``vdd`` entry points must validate the voltage.
+
+PR 4 introduced :func:`repro.core.errors.validate_vdd` as the single
+gate for supply voltages: NaN, negative, infinite or non-numeric
+``vdd`` values must be rejected with a typed
+:class:`~repro.core.errors.InvalidVoltageError` *at the entry point*,
+not forty frames later as a cryptic numpy warning baked into a figure.
+This rule makes that convention machine-checked: every public function
+or method with a ``vdd``/``v_dd`` parameter must either
+
+* call ``validate_vdd`` on it, or
+* pass it to a callee that validates directly (delegation is resolved
+  **one level deep** across the whole checked file set, so thin
+  wrappers like ``read_energy`` → ``_check_vdd`` don't false-positive).
+
+Skipped: private helpers (leading underscore — their public callers
+validate), protocol/ABC stubs (empty or ``NotImplementedError``
+bodies), and test code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.check.rules import Rule, _in_repro_src, register
+
+if TYPE_CHECKING:
+    from repro.check.engine import FileContext, Finding, Project
+
+_VDD_PARAM_NAMES = frozenset({"vdd", "v_dd"})
+
+
+def _vdd_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    params = [
+        arg.arg
+        for arg in (
+            fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs
+        )
+        if arg.arg in _VDD_PARAM_NAMES
+    ]
+    return params
+
+
+def _is_stub(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Protocol/ABC stub bodies: docstring / pass / ... / raise NIE."""
+    body = list(fn.body)
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ):
+        body = body[1:]  # docstring
+    if not body:
+        return True
+    if len(body) != 1:
+        return False
+    only = body[0]
+    if isinstance(only, ast.Pass):
+        return True
+    if isinstance(only, ast.Expr) and isinstance(only.value, ast.Constant):
+        return only.value.value is Ellipsis
+    if isinstance(only, ast.Raise) and only.exc is not None:
+        exc = only.exc
+        name = exc.func if isinstance(exc, ast.Call) else exc
+        text = ast.dump(name) if name is not None else ""
+        return "NotImplementedError" in text
+    return False
+
+
+def _has_abstract_decorator(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> bool:
+    for decorator in fn.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else (
+            decorator
+        )
+        text = ast.dump(target)
+        if "abstractmethod" in text or "overload" in text:
+            return True
+    return False
+
+
+def _passes_param(call: ast.Call, param: str) -> bool:
+    for arg in call.args:
+        if isinstance(arg, ast.Name) and arg.id == param:
+            return True
+        if isinstance(arg, ast.Starred):
+            return True  # *args forwarding: give the benefit of doubt
+    for keyword in call.keywords:
+        value = keyword.value
+        if isinstance(value, ast.Name) and value.id == param:
+            return True
+        if keyword.arg is None:
+            return True  # **kwargs forwarding
+    return False
+
+
+@register
+class VddValidationRule(Rule):
+    id = "REP201"
+    name = "unvalidated-vdd"
+    summary = (
+        "public functions taking vdd must call "
+        "core.errors.validate_vdd or delegate to a callee that does"
+    )
+
+    def applies_to(self, file: FileContext) -> bool:
+        # repro.core.errors *is* the gate; repro.check only inspects it.
+        return (
+            _in_repro_src(file)
+            and not file.module.startswith("repro.check")
+            and file.module != "repro.core.errors"
+        )
+
+    def check(
+        self, file: FileContext, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(file.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if node.name.startswith("_"):
+                continue
+            params = _vdd_params(node)
+            if not params:
+                continue
+            if _is_stub(node) or _has_abstract_decorator(node):
+                continue
+            for param in params:
+                if not self._validated(node, param, project):
+                    yield self.finding(
+                        file,
+                        node.lineno,
+                        node.col_offset,
+                        f"public function {node.name}() takes {param!r} "
+                        "but neither calls validate_vdd nor passes it "
+                        "to a validating callee; an unchecked NaN or "
+                        "negative supply corrupts every model "
+                        "downstream",
+                    )
+
+    @staticmethod
+    def _validated(
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        param: str,
+        project: Project,
+    ) -> bool:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            target = node.func
+            tail: str | None = None
+            if isinstance(target, ast.Attribute):
+                tail = target.attr
+            elif isinstance(target, ast.Name):
+                tail = target.id
+            if tail is None:
+                continue
+            if tail in project.validating_functions and _passes_param(
+                node, param
+            ):
+                return True
+        return False

@@ -48,6 +48,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.report import full_report
 from repro.analysis.tables import format_table
+from repro.obs import names
 from repro.obs.manifest import _json_default
 
 
@@ -382,7 +383,7 @@ def run(argv: list[str] | None = None) -> str:
         obs.enable_tracing(args.trace)
     try:
         with obs.active_tracer().span(
-            "cli.exhibit", exhibit=args.exhibit, fft=args.fft
+            names.SPAN_CLI_EXHIBIT, exhibit=args.exhibit, fft=args.fft
         ):
             if args.exhibit == "campaign":
                 result = _campaign_result(args)
@@ -420,4 +421,11 @@ def run(argv: list[str] | None = None) -> str:
 
 
 def main(argv: list[str] | None = None) -> None:
-    print(run(argv))
+    import sys
+
+    actual = list(sys.argv[1:]) if argv is None else list(argv)
+    if actual and actual[0] == "check":
+        from repro.check.cli import main as check_main
+
+        raise SystemExit(check_main(actual[1:]))
+    print(run(actual))

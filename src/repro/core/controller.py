@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.core.errors import validate_vdd
+
 #: An error monitor maps the applied supply voltage to the number of
 #: corrected errors observed during one monitoring window.
 ErrorMonitor = Callable[[float], int]
@@ -62,7 +64,7 @@ class ControllerTrace:
     actions: list[str] = field(default_factory=list)
 
     def append(self, vdd: float, errors: int, action: str) -> None:
-        self.voltages.append(vdd)
+        self.voltages.append(validate_vdd(vdd, "ControllerTrace.append"))
         self.errors.append(errors)
         self.actions.append(action)
 

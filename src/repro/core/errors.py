@@ -13,6 +13,7 @@ callers keep working.
 from __future__ import annotations
 
 import math
+from typing import Any
 
 
 class InvalidVoltageError(ValueError):
@@ -23,7 +24,7 @@ class InvalidVoltageError(ValueError):
     says *which* layer refused the voltage.
     """
 
-    def __init__(self, vdd, context: str = "vdd") -> None:
+    def __init__(self, vdd: Any, context: str = "vdd") -> None:
         super().__init__(
             f"{context}: supply voltage must be finite and "
             f"non-negative, got {vdd!r}"
@@ -32,7 +33,7 @@ class InvalidVoltageError(ValueError):
         self.context = context
 
 
-def validate_vdd(vdd, context: str = "vdd") -> float:
+def validate_vdd(vdd: Any, context: str = "vdd") -> float:
     """Return ``vdd`` as a float, or raise :class:`InvalidVoltageError`.
 
     The single gate every voltage-taking entry point funnels through:

@@ -71,6 +71,7 @@ class NoiseMarginModel:
     # ------------------------------------------------------------------
     def mean_margin(self, vdd: float) -> float:
         """Return the mean noise margin in volts at supply ``vdd``."""
+        vdd = validate_vdd(vdd, "NoiseMarginModel.mean_margin")
         return self.c0 * vdd + self.c1
 
     def margin_of_cell(self, vdd: float, x: float) -> float:

@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.core.errors import validate_vdd
 from repro.core.multibit import prob_at_least
 from repro.core.retention import RetentionModel
 
@@ -93,6 +94,7 @@ class StandbyModel:
 
     def word_loss_probability(self, vdd: float) -> float:
         """Probability a word exceeds the ECC correction capability."""
+        vdd = validate_vdd(vdd, "StandbyModel.word_loss_probability")
         return prob_at_least(
             self.word_bits,
             self.correctable_bits + 1,

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.obs import active_metrics
+from repro.obs import active_metrics, names
 
 
 class DecodeStatus(enum.Enum):
@@ -191,10 +191,12 @@ class Codec(abc.ABC):
         clean = int(np.count_nonzero(status == STATUS_CLEAN))
         corrected = int(np.count_nonzero(status == STATUS_CORRECTED))
         detected = int(np.count_nonzero(status == STATUS_DETECTED))
-        metrics.counter(f"ecc.{name}.decoded_words").inc(status.size)
-        metrics.counter(f"ecc.{name}.clean").inc(clean)
-        metrics.counter(f"ecc.{name}.corrected").inc(corrected)
-        metrics.counter(f"ecc.{name}.detected").inc(detected)
+        metrics.counter(names.ecc_metric(name, "decoded_words")).inc(
+            status.size
+        )
+        metrics.counter(names.ecc_metric(name, "clean")).inc(clean)
+        metrics.counter(names.ecc_metric(name, "corrected")).inc(corrected)
+        metrics.counter(names.ecc_metric(name, "detected")).inc(detected)
 
     # ------------------------------------------------------------------
     # Shared validation helpers

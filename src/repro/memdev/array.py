@@ -27,7 +27,7 @@ from repro.core.errors import validate_vdd
 from repro.core.access import AccessErrorModel
 from repro.core.bitops import pack_bits_u64, popcount_u64
 from repro.core.retention import RetentionModel
-from repro.obs import active_metrics, active_tracer
+from repro.obs import active_metrics, active_tracer, names
 
 
 class AccessKind(enum.Enum):
@@ -88,7 +88,7 @@ class MemoryArray:
         self.bits = bits
         self.retention_model = retention_model
         self.access_model = access_model
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[REP101] each unseeded array is a fresh die; reproducible studies pass a seeded rng explicitly
         self.gradient_v = gradient_v
 
         random_part = retention_model.sample_cell_voltages(
@@ -138,8 +138,8 @@ class MemoryArray:
         """Count failing bits at one standby voltage (one shmoo point)."""
         failures = int(self.retention_failures(vdd).sum())
         metrics = active_metrics()
-        metrics.counter("memdev.retention_tests").inc()
-        metrics.counter("memdev.retention_failing_bits").inc(failures)
+        metrics.counter(names.MEMDEV_RETENTION_TESTS).inc()
+        metrics.counter(names.MEMDEV_RETENTION_FAILING_BITS).inc(failures)
         return RetentionTestResult(
             vdd=vdd, failing_bits=failures, total_bits=self.total_bits
         )
@@ -205,8 +205,8 @@ class MemoryArray:
             done += rows
         # Batch-granular telemetry: one registry touch per shmoo point.
         metrics = active_metrics()
-        metrics.counter("memdev.ber_accesses").inc(accesses)
-        metrics.counter("memdev.ber_errors").inc(errors)
+        metrics.counter(names.MEMDEV_BER_ACCESSES).inc(accesses)
+        metrics.counter(names.MEMDEV_BER_ERRORS).inc(errors)
         return errors, accesses * self.bits
 
     def measure_access_ber_scalar(
@@ -277,10 +277,10 @@ class MemoryArray:
         flipped = int(popcount_u64(masks).sum())
         if flipped:
             active_metrics().counter(
-                "memdev.retention_flipped_bits"
+                names.MEMDEV_RETENTION_FLIPPED_BITS
             ).inc(flipped)
             active_tracer().point(
-                "memdev.retention_corruption", vdd=vdd, bits=flipped
+                names.POINT_MEMDEV_RETENTION_CORRUPTION, vdd=vdd, bits=flipped
             )
         return flipped
 

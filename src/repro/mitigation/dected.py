@@ -16,6 +16,7 @@ why the demand-driven OCEAN approach wins at equal protection.
 
 from __future__ import annotations
 
+from repro.core.errors import validate_vdd
 from repro.core.fit_solver import SchemeReliability
 from repro.ecc.bch import BchCodec
 from repro.soc.energy_model import MemoryComponentSpec
@@ -43,6 +44,7 @@ class DectedRunner(SchemeRunner):
     reliability = SCHEME_DECTED
 
     def build_platform(self, vdd: float) -> Platform:
+        vdd = validate_vdd(vdd, "DECTED.build_platform")
         codec = BchCodec(data_bits=32, t=2)
         assert codec.code_bits == SCHEME_DECTED.word_bits
         im = FaultyMemory(

@@ -14,6 +14,7 @@ any single bit error" semantics:
 
 from __future__ import annotations
 
+from repro.core.errors import validate_vdd
 from repro.core.fit_solver import SCHEME_NONE
 from repro.soc.energy_model import MemoryComponentSpec
 from repro.soc.faults import VoltageFaultModel
@@ -30,6 +31,7 @@ class NoMitigationRunner(SchemeRunner):
     reliability = SCHEME_NONE
 
     def build_platform(self, vdd: float) -> Platform:
+        vdd = validate_vdd(vdd, "none.build_platform")
         im = FaultyMemory(
             "IM",
             self.config.im_words,

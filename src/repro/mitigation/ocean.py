@@ -26,6 +26,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.core.errors import validate_vdd
 from repro.core.fit_solver import SCHEME_OCEAN
 from repro.ecc.bch import BchCodec
 from repro.ecc.hamming import SecdedCodec
@@ -185,6 +186,7 @@ class OceanRunner(SchemeRunner):
         self.dma = DmaEngine() if use_dma else None
 
     def build_platform(self, vdd: float) -> Platform:
+        vdd = validate_vdd(vdd, "OCEAN.build_platform")
         im_codec = SecdedCodec()
         sp_codec = DetectOnlyCodec(SecdedCodec())
         pm_codec = BchCodec(data_bits=32, t=4)

@@ -15,6 +15,7 @@ instead of 32 (structural, via the stored width) plus the codec energy
 
 from __future__ import annotations
 
+from repro.core.errors import validate_vdd
 from repro.core.fit_solver import SCHEME_SECDED
 from repro.ecc.hamming import SecdedCodec
 from repro.soc.energy_model import MemoryComponentSpec
@@ -37,6 +38,7 @@ class SecdedRunner(SchemeRunner):
     reliability = SCHEME_SECDED
 
     def build_platform(self, vdd: float) -> Platform:
+        vdd = validate_vdd(vdd, "SECDED.build_platform")
         codec = SecdedCodec()
         im = FaultyMemory(
             "IM",

@@ -25,9 +25,15 @@ import subprocess
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING, Any, Optional, Union
+
+if TYPE_CHECKING:
+    import os
+
+    from repro.obs.metrics import MetricsSnapshot
 
 
-def _json_default(value):
+def _json_default(value: Any) -> Any:
     """Coerce numpy scalars/arrays and paths for ``json.dumps``."""
     if hasattr(value, "item") and not hasattr(value, "__len__"):
         return value.item()
@@ -40,7 +46,9 @@ def _json_default(value):
     )
 
 
-def git_revision(cwd=None) -> str | None:
+def git_revision(
+    cwd: Optional[Union[str, "os.PathLike[str]"]] = None,
+) -> str | None:
     """Best-effort ``git rev-parse HEAD`` of the source tree."""
     try:
         probe = subprocess.run(
@@ -63,25 +71,25 @@ class RunManifest:
 
     kind: str
     name: str
-    seeds: dict = field(default_factory=dict)
-    parameters: dict = field(default_factory=dict)
-    results: dict = field(default_factory=dict)
+    seeds: dict[str, Any] = field(default_factory=dict)
+    parameters: dict[str, Any] = field(default_factory=dict)
+    results: dict[str, Any] = field(default_factory=dict)
     package_version: str = ""
     git_rev: str | None = None
     python_version: str = ""
     numpy_version: str = ""
     host_platform: str = ""
     created_at: str = ""
-    timings_s: dict = field(default_factory=dict)
-    metrics: dict = field(default_factory=dict)
+    timings_s: dict[str, float] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def capture(
         cls,
         kind: str,
         name: str,
-        seeds: dict | None = None,
-        parameters: dict | None = None,
+        seeds: dict[str, Any] | None = None,
+        parameters: dict[str, Any] | None = None,
     ) -> "RunManifest":
         """Start a manifest, stamping the environment now."""
         import datetime
@@ -111,14 +119,14 @@ class RunManifest:
     def add_timing(self, name: str, seconds: float) -> None:
         self.timings_s[name] = float(seconds)
 
-    def attach_metrics(self, snapshot) -> None:
+    def attach_metrics(self, snapshot: "MetricsSnapshot") -> None:
         """Record a :class:`repro.obs.metrics.MetricsSnapshot`."""
         self.metrics = snapshot.as_dict()
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "kind": self.kind,
             "name": self.name,
@@ -140,7 +148,7 @@ class RunManifest:
             self.to_dict(), indent=2, sort_keys=True, default=_json_default
         )
 
-    def provenance_dict(self) -> dict:
+    def provenance_dict(self) -> dict[str, Any]:
         """The deterministic subset: identical across same-seed runs."""
         return {
             "kind": self.kind,
@@ -161,7 +169,7 @@ class RunManifest:
             default=_json_default,
         )
 
-    def write(self, path) -> Path:
+    def write(self, path: Union[str, "os.PathLike[str]"]) -> Path:
         """Write the full manifest as JSON; returns the path."""
         path = Path(path)
         path.write_text(self.to_json() + "\n", encoding="utf-8")

@@ -34,6 +34,9 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, TypeVar
+
+_T = TypeVar("_T")
 
 
 # ----------------------------------------------------------------------
@@ -87,7 +90,7 @@ class Timer:
             self.max_s = max(self.max_s, seconds)
 
     @contextmanager
-    def time(self):
+    def time(self) -> Iterator["Timer"]:
         """Context manager timing its body with ``perf_counter``."""
         import time as _time
 
@@ -124,12 +127,12 @@ class Histogram:
 class MetricsSnapshot:
     """Frozen, picklable view of a registry's state."""
 
-    counters: dict = field(default_factory=dict)
-    gauges: dict = field(default_factory=dict)
-    timers: dict = field(default_factory=dict)
-    histograms: dict = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    timers: dict[str, dict[str, float]] = field(default_factory=dict)
+    histograms: dict[str, dict[str, int]] = field(default_factory=dict)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         """Plain nested-dict form, ready for ``json.dumps``."""
         return {
             "counters": dict(sorted(self.counters.items())),
@@ -145,7 +148,7 @@ class MetricsSnapshot:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "MetricsSnapshot":
+    def from_dict(cls, data: dict[str, Any]) -> "MetricsSnapshot":
         """Inverse of :meth:`as_dict` (modulo key ordering).
 
         Lets a snapshot round-trip through JSON — the resilience
@@ -181,7 +184,7 @@ class MetricsSnapshot:
 
 def format_snapshot(snapshot: MetricsSnapshot) -> str:
     """Human-readable multi-line rendering of a snapshot."""
-    lines = []
+    lines: list[str] = []
     for name, value in sorted(snapshot.counters.items()):
         lines.append(f"{name} = {value}")
     for name, value in sorted(snapshot.gauges.items()):
@@ -217,7 +220,12 @@ class MetricsRegistry:
     def enabled(self) -> bool:
         return True
 
-    def _get(self, table: dict, name: str, factory):
+    def _get(
+        self,
+        table: dict[str, _T],
+        name: str,
+        factory: Callable[[threading.Lock], _T],
+    ) -> _T:
         instrument = table.get(name)
         if instrument is None:
             with self._lock:
@@ -310,10 +318,10 @@ class _NullGauge:
 class _NullContext:
     __slots__ = ()
 
-    def __enter__(self):
+    def __enter__(self) -> "_NullContext":
         return self
 
-    def __exit__(self, *exc):
+    def __exit__(self, *exc: object) -> bool:
         return False
 
 
@@ -325,13 +333,13 @@ class _NullTimer:
     def observe(self, seconds: float) -> None:
         pass
 
-    def time(self):
+    def time(self) -> "_NullContext":
         return _NULL_CONTEXT
 
 
 class _NullHistogram:
     __slots__ = ()
-    buckets: dict = {}
+    buckets: dict[str, int] = {}
 
     def add(self, key: str, n: int = 1) -> None:
         pass
@@ -347,7 +355,7 @@ _NULL_HISTOGRAM = _NullHistogram()
 class NullMetrics:
     """Do-nothing registry; every instrument is a shared singleton."""
 
-    enabled = False
+    enabled: bool = False
 
     def counter(self, name: str) -> _NullCounter:
         return _NULL_COUNTER
@@ -402,7 +410,9 @@ def disable_metrics() -> None:
 
 
 @contextmanager
-def scoped_metrics(registry: MetricsRegistry | None = None):
+def scoped_metrics(
+    registry: MetricsRegistry | None = None,
+) -> Iterator[MetricsRegistry]:
     """Swap ``registry`` in as the active one for the block.
 
     Process-pool workers wrap their unit of work in this so the

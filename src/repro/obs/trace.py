@@ -21,8 +21,18 @@ an attribute call, not an object.
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
+from typing import Any, Callable, Protocol, Union
+
+
+class TraceSink(Protocol):
+    """Anything that accepts trace records: ``emit(dict)``/``close()``."""
+
+    def emit(self, record: dict[str, Any]) -> None: ...
+
+    def close(self) -> None: ...
 
 
 # ----------------------------------------------------------------------
@@ -32,9 +42,9 @@ class InMemorySink:
     """Collects event dicts in a list (tests, programmatic readers)."""
 
     def __init__(self) -> None:
-        self.events: list[dict] = []
+        self.events: list[dict[str, Any]] = []
 
-    def emit(self, record: dict) -> None:
+    def emit(self, record: dict[str, Any]) -> None:
         self.events.append(record)
 
     def close(self) -> None:
@@ -44,11 +54,11 @@ class InMemorySink:
 class NdjsonFileSink:
     """Appends one JSON line per record to a file."""
 
-    def __init__(self, path) -> None:
+    def __init__(self, path: Union[str, "os.PathLike[str]"]) -> None:
         self.path = path
         self._file = open(path, "a", encoding="utf-8")
 
-    def emit(self, record: dict) -> None:
+    def emit(self, record: dict[str, Any]) -> None:
         json.dump(record, self._file, separators=(",", ":"))
         self._file.write("\n")
 
@@ -61,7 +71,7 @@ class NdjsonFileSink:
 class StderrSink:
     """Writes NDJSON lines to stderr (ad-hoc debugging)."""
 
-    def emit(self, record: dict) -> None:
+    def emit(self, record: dict[str, Any]) -> None:
         json.dump(record, sys.stderr, separators=(",", ":"))
         sys.stderr.write("\n")
 
@@ -77,7 +87,9 @@ class _Span:
 
     __slots__ = ("_tracer", "name", "span_id", "parent_id", "_start")
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+    def __init__(
+        self, tracer: "Tracer", name: str, attrs: dict[str, Any]
+    ) -> None:
         self._tracer = tracer
         self.name = name
         self.span_id = tracer._next_id()
@@ -98,10 +110,10 @@ class _Span:
         self._tracer._push(self.span_id)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
         self._tracer._pop()
         end = self._tracer.clock()
-        record = {
+        record: dict[str, Any] = {
             "kind": "span_end",
             "name": self.name,
             "span": self.span_id,
@@ -129,7 +141,12 @@ class Tracer:
         Timestamp source (seconds); injectable for tests.
     """
 
-    def __init__(self, sink, sample: float = 1.0, clock=time.perf_counter):
+    def __init__(
+        self,
+        sink: TraceSink,
+        sample: float = 1.0,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
         if not 0.0 <= sample <= 1.0:
             raise ValueError(f"sample must be in [0, 1], got {sample}")
         self.sink = sink
@@ -139,7 +156,7 @@ class Tracer:
         self._id = 0
         self._stack: list[int] = []
 
-    enabled = True
+    enabled: bool = True
 
     # -- internals ------------------------------------------------------
     def _next_id(self) -> int:
@@ -155,15 +172,15 @@ class Tracer:
     def _pop(self) -> None:
         self._stack.pop()
 
-    def _emit(self, record: dict) -> None:
+    def _emit(self, record: dict[str, Any]) -> None:
         self.sink.emit(record)
 
     # -- public API -----------------------------------------------------
-    def span(self, name: str, **attrs) -> _Span:
+    def span(self, name: str, **attrs: Any) -> _Span:
         """Open a timed, nestable region (use as a context manager)."""
         return _Span(self, name, attrs)
 
-    def point(self, name: str, **attrs) -> None:
+    def point(self, name: str, **attrs: Any) -> None:
         """Emit one unsampled structured record."""
         self._emit(
             {
@@ -175,7 +192,7 @@ class Tracer:
             }
         )
 
-    def event(self, name: str, **attrs) -> None:
+    def event(self, name: str, **attrs: Any) -> None:
         """Emit one *sampled* record (hot-path safe)."""
         if self._period == 0:
             return
@@ -201,14 +218,14 @@ class Tracer:
 # ----------------------------------------------------------------------
 class _NullSpan:
     __slots__ = ()
-    name = None
-    span_id = None
-    parent_id = None
+    name: None = None
+    span_id: None = None
+    parent_id: None = None
 
-    def __enter__(self):
+    def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc):
+    def __exit__(self, *exc: object) -> bool:
         return False
 
 
@@ -218,15 +235,15 @@ _NULL_SPAN = _NullSpan()
 class NullTracer:
     """Do-nothing tracer; ``span`` returns one shared context."""
 
-    enabled = False
+    enabled: bool = False
 
-    def span(self, name: str, **attrs) -> _NullSpan:
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
 
-    def point(self, name: str, **attrs) -> None:
+    def point(self, name: str, **attrs: Any) -> None:
         pass
 
-    def event(self, name: str, **attrs) -> None:
+    def event(self, name: str, **attrs: Any) -> None:
         pass
 
     def close(self) -> None:
@@ -247,7 +264,9 @@ def active_tracer() -> Tracer | NullTracer:
 
 
 def enable_tracing(
-    sink_or_path, sample: float = 1.0, clock=time.perf_counter
+    sink_or_path: Union[TraceSink, str, "os.PathLike[str]"],
+    sample: float = 1.0,
+    clock: Callable[[], float] = time.perf_counter,
 ) -> Tracer:
     """Install (and return) a live tracer.
 
@@ -255,10 +274,10 @@ def enable_tracing(
     which case an :class:`NdjsonFileSink` is opened on it.
     """
     global _active
-    sink = (
-        sink_or_path
-        if hasattr(sink_or_path, "emit")
-        else NdjsonFileSink(sink_or_path)
+    sink: TraceSink = (
+        NdjsonFileSink(sink_or_path)
+        if isinstance(sink_or_path, (str, os.PathLike))
+        else sink_or_path
     )
     _active = Tracer(sink, sample=sample, clock=clock)
     return _active

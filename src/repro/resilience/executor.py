@@ -46,7 +46,7 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
-from repro.obs import active_metrics, active_tracer
+from repro.obs import active_metrics, active_tracer, names
 from repro.resilience.chaos import NO_CHAOS, ChaosPolicy
 from repro.resilience.journal import CheckpointJournal
 
@@ -229,7 +229,7 @@ class ResilientExecutor:
                     if key in wanted:
                         report.results[key] = self._decode(encoded)
                         report.resumed += 1
-                metrics.counter("resilience.resumed_tasks").inc(
+                metrics.counter(names.RESILIENCE_RESUMED_TASKS).inc(
                     report.resumed
                 )
         # Previously quarantined tasks get a fresh chance on resume: the
@@ -241,7 +241,7 @@ class ResilientExecutor:
         )
 
         with tracer.span(
-            "resilience.run",
+            names.SPAN_RESILIENCE_RUN,
             run_id=run_id,
             tasks=len(tasks),
             resumed=report.resumed,
@@ -255,9 +255,9 @@ class ResilientExecutor:
                 # started, join the workers (no orphans), keep the
                 # journal intact for --resume, then propagate.
                 self._shutdown_pool(cancel=True)
-                metrics.counter("resilience.interrupted_runs").inc()
+                metrics.counter(names.RESILIENCE_INTERRUPTED_RUNS).inc()
                 tracer.point(
-                    "resilience.interrupted",
+                    names.POINT_RESILIENCE_INTERRUPTED,
                     run_id=run_id,
                     completed=len(report.results),
                     pending=len(pending),
@@ -268,8 +268,8 @@ class ResilientExecutor:
                 if checkpoint is not None:
                     checkpoint.close()
 
-        metrics.counter("resilience.runs").inc()
-        metrics.counter("resilience.tasks").inc(len(tasks))
+        metrics.counter(names.RESILIENCE_RUNS).inc()
+        metrics.counter(names.RESILIENCE_TASKS).inc(len(tasks))
         return report
 
     # ------------------------------------------------------------------
@@ -336,7 +336,7 @@ class ResilientExecutor:
                     attempt, _ = inflight.pop(future)
                     future.cancel()
                     report.deadline_overruns += 1
-                    metrics.counter("resilience.deadline_overruns").inc()
+                    metrics.counter(names.RESILIENCE_DEADLINE_OVERRUNS).inc()
                     self._fail_attempt(
                         attempt, "deadline-overrun", pending, report,
                         checkpoint, metrics, tracer,
@@ -416,7 +416,7 @@ class ResilientExecutor:
             # Serial deadlines are necessarily post-hoc; the overrun
             # result is discarded so semantics match pooled execution.
             report.deadline_overruns += 1
-            metrics.counter("resilience.deadline_overruns").inc()
+            metrics.counter(names.RESILIENCE_DEADLINE_OVERRUNS).inc()
             self._fail_attempt(
                 attempt, "deadline-overrun", pending, report, checkpoint,
                 metrics, tracer,
@@ -427,30 +427,30 @@ class ResilientExecutor:
     def _complete(self, attempt, result, report, checkpoint, metrics) -> None:
         report.results[attempt.task.key] = result
         report.executed += 1
-        metrics.counter("resilience.tasks_completed").inc()
+        metrics.counter(names.RESILIENCE_TASKS_COMPLETED).inc()
         if checkpoint is not None:
             checkpoint.record_task(
                 attempt.task.key, attempt.attempt, self._encode(result)
             )
             report.checkpoints += 1
-            metrics.counter("resilience.checkpoints").inc()
+            metrics.counter(names.RESILIENCE_CHECKPOINTS).inc()
 
     def _fail_attempt(
         self, attempt, reason, pending, report, checkpoint, metrics, tracer
     ) -> None:
         """Charge a failed attempt: requeue with backoff or quarantine."""
-        metrics.counter("resilience.task_failures").inc()
+        metrics.counter(names.RESILIENCE_TASK_FAILURES).inc()
         tracer.point(
-            "resilience.attempt_failed",
+            names.POINT_RESILIENCE_ATTEMPT_FAILED,
             key=attempt.task.key,
             attempt=attempt.attempt,
             reason=reason,
         )
         if attempt.attempt >= 1 + self.max_retries:
             report.quarantined[attempt.task.key] = reason
-            metrics.counter("resilience.quarantined").inc()
+            metrics.counter(names.RESILIENCE_QUARANTINED).inc()
             tracer.point(
-                "resilience.quarantined",
+                names.POINT_RESILIENCE_QUARANTINED,
                 key=attempt.task.key,
                 attempts=attempt.attempt,
                 reason=reason,
@@ -461,7 +461,7 @@ class ResilientExecutor:
                 )
             return
         report.retries += 1
-        metrics.counter("resilience.retries").inc()
+        metrics.counter(names.RESILIENCE_RETRIES).inc()
         pending.append(_Attempt(attempt.task, attempt.attempt + 1))
 
     def _on_pool_failure(
@@ -470,9 +470,9 @@ class ResilientExecutor:
         """Tear the pool down, requeue survivors, maybe degrade."""
         self._shutdown_pool(cancel=True, wait_workers=False)
         report.pool_breaks += 1
-        metrics.counter("resilience.pool_breaks").inc()
+        metrics.counter(names.RESILIENCE_POOL_BREAKS).inc()
         tracer.point(
-            "resilience.pool_break",
+            names.POINT_RESILIENCE_POOL_BREAK,
             reason=reason,
             inflight=len(inflight),
         )
@@ -482,7 +482,7 @@ class ResilientExecutor:
         for future, (attempt, _) in inflight.items():
             future.cancel()
             report.requeues += 1
-            metrics.counter("resilience.requeues").inc()
+            metrics.counter(names.RESILIENCE_REQUEUES).inc()
             pending.append(attempt)
         inflight.clear()
         if (
@@ -490,9 +490,9 @@ class ResilientExecutor:
             and not report.degraded_to_serial
         ):
             report.degraded_to_serial = True
-            metrics.counter("resilience.serial_degradations").inc()
+            metrics.counter(names.RESILIENCE_SERIAL_DEGRADATIONS).inc()
             tracer.point(
-                "resilience.degraded_to_serial",
+                names.POINT_RESILIENCE_DEGRADED_TO_SERIAL,
                 pool_breaks=report.pool_breaks,
             )
 

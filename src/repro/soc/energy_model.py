@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.errors import validate_vdd
 from repro.memdev.cell import CELL_BASED_AOI, COMMERCIAL_6T
 from repro.memdev.energy import MemoryEnergyModel, MemoryGeometry
 from repro.tech.leakage import leakage_power as device_leakage_power
@@ -179,12 +180,14 @@ class PlatformEnergyModel:
     # ------------------------------------------------------------------
     def core_energy_per_cycle(self, vdd: float) -> float:
         """Core switching energy per clock cycle in joules."""
+        vdd = validate_vdd(vdd, "PlatformEnergyModel.core_energy_per_cycle")
         return self.core_switched_cap_f * vdd * vdd
 
     def memory_access_energy(
         self, name: str, vdd: float, is_write: bool
     ) -> float:
         """Energy of one access to component ``name`` including codec."""
+        vdd = validate_vdd(vdd, "PlatformEnergyModel.memory_access_energy")
         spec = self.specs[name]
         model = self.models[name]
         base = (

@@ -27,7 +27,7 @@ import numpy as np
 from repro.core.access import AccessErrorModel
 from repro.core.bitops import pack_bits_u64, popcount, popcount_u64
 from repro.core.errors import validate_vdd
-from repro.obs import active_metrics, active_tracer
+from repro.obs import active_metrics, active_tracer, names
 
 
 class VoltageFaultModel:
@@ -70,7 +70,7 @@ class VoltageFaultModel:
             raise ValueError(f"width must be at most 64, got {width}")
         self.access_model = access_model
         self.width = width
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[REP101] documented default: independent fault models must never share a stream; campaigns always pass seeded rngs
         self._forced: deque[int] = deque()
         self._mask_block: deque[int] = deque()
         self.injected_bits = 0
@@ -137,10 +137,10 @@ class VoltageFaultModel:
             self.injected_events += 1
             self.injected_bits += bits
             metrics = active_metrics()
-            metrics.counter("faults.injected_events").inc()
-            metrics.counter("faults.injected_bits").inc(bits)
+            metrics.counter(names.FAULTS_INJECTED_EVENTS).inc()
+            metrics.counter(names.FAULTS_INJECTED_BITS).inc(bits)
             active_tracer().event(
-                "fault.inject",
+                names.EVENT_FAULT_INJECT,
                 width=self.width,
                 vdd=self.vdd,
                 bits=bits,
@@ -236,12 +236,12 @@ class VoltageFaultModel:
             self.injected_bits += bits
             # One registry touch per batch call, not per access.
             metrics = active_metrics()
-            metrics.counter("faults.injected_events").inc(
+            metrics.counter(names.FAULTS_INJECTED_EVENTS).inc(
                 len(faulty_indices)
             )
-            metrics.counter("faults.injected_bits").inc(bits)
+            metrics.counter(names.FAULTS_INJECTED_BITS).inc(bits)
             active_tracer().event(
-                "fault.inject_batch",
+                names.EVENT_FAULT_INJECT_BATCH,
                 width=self.width,
                 vdd=self.vdd,
                 accesses=accesses,

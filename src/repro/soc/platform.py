@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.obs import active_metrics, active_tracer
+from repro.obs import active_metrics, active_tracer, names
 from repro.soc.cpu import Cpu, CpuState, ExecutionLimitExceeded, StopReason
 from repro.soc.isa import IllegalInstruction
 from repro.soc.memory import FaultyMemory, MemoryAccessFault
@@ -176,9 +176,9 @@ class Platform:
         except DetectedError as exc:
             # Recoverable under a rollback controller; still worth a
             # trace record — rollback storms start here.
-            active_metrics().counter("platform.detected_errors").inc()
+            active_metrics().counter(names.PLATFORM_DETECTED_ERRORS).inc()
             active_tracer().point(
-                "platform.detected_error",
+                names.POINT_PLATFORM_DETECTED_ERROR,
                 module=exc.module,
                 address=exc.address,
             )
@@ -206,12 +206,12 @@ class Platform:
 
     @staticmethod
     def _record_failure(kind: str) -> None:
-        active_metrics().histogram("platform.failures").add(kind)
-        active_tracer().point("platform.failure", kind=kind)
+        active_metrics().histogram(names.PLATFORM_FAILURES).add(kind)
+        active_tracer().point(names.POINT_PLATFORM_FAILURE, kind=kind)
 
     def snapshot_cpu(self) -> CpuState:
         """Copy the architectural state (OCEAN checkpoint support)."""
-        active_metrics().counter("platform.cpu_checkpoints").inc()
+        active_metrics().counter(names.PLATFORM_CPU_CHECKPOINTS).inc()
         state = self.cpu.state
         copied = CpuState(
             pc=state.pc,
@@ -227,9 +227,9 @@ class Platform:
         running (re-executed work costs real cycles)."""
         # Every rollback passes through here, whichever controller
         # drives it — the natural single point to count them.
-        active_metrics().counter("platform.cpu_restores").inc()
+        active_metrics().counter(names.PLATFORM_CPU_RESTORES).inc()
         active_tracer().point(
-            "platform.rollback",
+            names.POINT_PLATFORM_ROLLBACK,
             pc=snapshot.pc,
             cycles=self.cpu.state.cycles,
         )
@@ -267,15 +267,15 @@ class Platform:
                 corrected += self.pm_port.stats.corrected_words
                 detected += self.pm_port.stats.detected_words
         metrics = active_metrics()
-        metrics.counter("platform.runs").inc()
-        metrics.counter("platform.cycles").inc(self.cpu.state.cycles)
-        metrics.counter("platform.instructions").inc(
+        metrics.counter(names.PLATFORM_RUNS).inc()
+        metrics.counter(names.PLATFORM_CYCLES).inc(self.cpu.state.cycles)
+        metrics.counter(names.PLATFORM_INSTRUCTIONS).inc(
             self.cpu.state.instructions
         )
-        metrics.counter("platform.corrected_words").inc(corrected)
-        metrics.counter("platform.detected_words").inc(detected)
-        metrics.counter("platform.injected_bits").inc(sum(injected.values()))
-        metrics.counter("platform.rollbacks").inc(rollbacks)
+        metrics.counter(names.PLATFORM_CORRECTED_WORDS).inc(corrected)
+        metrics.counter(names.PLATFORM_DETECTED_WORDS).inc(detected)
+        metrics.counter(names.PLATFORM_INJECTED_BITS).inc(sum(injected.values()))
+        metrics.counter(names.PLATFORM_ROLLBACKS).inc(rollbacks)
         return SimulationResult(
             cycles=self.cpu.state.cycles,
             instructions=self.cpu.state.instructions,

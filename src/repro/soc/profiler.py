@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.obs import active_metrics
+from repro.obs import active_metrics, names
 from repro.soc.isa import IllegalInstruction, Opcode, decode
 
 
@@ -67,11 +67,11 @@ class Profile:
         """
         if metrics is None:
             metrics = active_metrics()
-        metrics.counter("profile.fetches").inc(self.fetches)
-        opcode_histogram = metrics.histogram("profile.opcode")
+        metrics.counter(names.PROFILE_FETCHES).inc(self.fetches)
+        opcode_histogram = metrics.histogram(names.PROFILE_OPCODE)
         for opcode, count in self.by_opcode.items():
             opcode_histogram.add(opcode.name, count)
-        pc_histogram = metrics.histogram("profile.pc")
+        pc_histogram = metrics.histogram(names.PROFILE_PC)
         for pc, count in self.by_pc.items():
             pc_histogram.add(f"{pc:#06x}", count)
 
@@ -102,9 +102,9 @@ class ProfilingPort:
         self._opcode_histogram = None
         self._pc_histogram = None
         if metrics is not None:
-            self._fetch_counter = metrics.counter("profile.fetches")
-            self._opcode_histogram = metrics.histogram("profile.opcode")
-            self._pc_histogram = metrics.histogram("profile.pc")
+            self._fetch_counter = metrics.counter(names.PROFILE_FETCHES)
+            self._opcode_histogram = metrics.histogram(names.PROFILE_OPCODE)
+            self._pc_histogram = metrics.histogram(names.PROFILE_PC)
 
     def read(self, address: int) -> int:
         word = self.inner.read(address)

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.errors import validate_vdd
 from repro.tech.device import drive_current
 from repro.tech.mismatch import sigma_vth
 from repro.tech.node import TechnologyNode
@@ -50,8 +51,9 @@ def inverter_delay(
     ``vth_shift`` adds a local threshold offset (in volts) to the
     switching device, which is how Monte-Carlo mismatch enters.
     """
-    if vdd <= 0.0:
-        raise ValueError(f"vdd must be positive, got {vdd}")
+    vdd = validate_vdd(vdd, context="inverter_delay")
+    if vdd == 0.0:
+        raise ValueError("vdd must be positive: a 0 V inverter never switches")
     load_ff = node.gate_cap_ff_per_um * _FO4_LOAD_FACTOR * _DRIVER_WIDTH_UM
     # NMOS and PMOS alternate in a logic chain; use the slower average.
     currents = []
@@ -100,7 +102,7 @@ def monte_carlo_inverter_delay(
     """
     if samples <= 1:
         raise ValueError(f"need at least 2 samples, got {samples}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[REP101] mismatch sweeps are exploratory; callers pass a seeded rng for reproducible figures
     sigma = sigma_vth(node.nmos.avt_mv_um, width_um, length_um)
     shifts = rng.normal(0.0, sigma, size=samples)
     delays = np.array(

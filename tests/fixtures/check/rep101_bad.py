@@ -1,0 +1,7 @@
+"""Bad: entropy-seeded generator outside tests."""
+import numpy as np
+
+
+def sample() -> float:
+    rng = np.random.default_rng()
+    return float(rng.random())

@@ -1,0 +1,7 @@
+"""Good: generator constructed from an explicit seed."""
+import numpy as np
+
+
+def sample(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    return float(rng.random())

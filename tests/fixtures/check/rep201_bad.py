@@ -1,0 +1,5 @@
+"""Bad: public vdd entry point with no validation anywhere."""
+
+
+def read_energy(vdd: float) -> float:
+    return 1e-15 * vdd * vdd

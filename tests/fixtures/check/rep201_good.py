@@ -1,0 +1,11 @@
+"""Good: direct validation, plus one level of delegation."""
+from repro.core.errors import validate_vdd
+
+
+def read_energy(vdd: float) -> float:
+    vdd = validate_vdd(vdd, "read_energy")
+    return 1e-15 * vdd * vdd
+
+
+def total_energy(vdd: float, accesses: int) -> float:
+    return accesses * read_energy(vdd)

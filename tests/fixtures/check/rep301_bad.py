@@ -1,0 +1,10 @@
+"""Bad: wall clock and set iteration on the replay path."""
+import time
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def visit(items: list) -> list:
+    return [x for x in set(items)]

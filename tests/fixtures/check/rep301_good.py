@@ -1,0 +1,10 @@
+"""Good: monotonic scheduling clock, ordered iteration."""
+import time
+
+
+def stamp() -> float:
+    return time.monotonic()
+
+
+def visit(items: list) -> list:
+    return sorted(set(items))

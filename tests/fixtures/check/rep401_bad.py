@@ -1,0 +1,6 @@
+"""Bad: obs counter name not present in the registry."""
+from repro.obs import active_metrics
+
+
+def publish() -> None:
+    active_metrics().counter("totally.unregistered.name").inc()

@@ -1,0 +1,8 @@
+"""Good: registry constant, registered literal, and a factory."""
+from repro.obs import active_metrics, names
+
+
+def publish(codec: str) -> None:
+    active_metrics().counter(names.FAULTS_INJECTED_BITS).inc()
+    active_metrics().counter("faults.injected_events").inc()
+    active_metrics().counter(names.ecc_metric(codec, "clean")).inc()

@@ -1,0 +1,6 @@
+"""Bad: a lambda handed to the resilient executor."""
+from repro.resilience import ResilientExecutor
+
+
+def launch() -> ResilientExecutor:
+    return ResilientExecutor(lambda task: task * 2)

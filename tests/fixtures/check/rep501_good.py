@@ -1,0 +1,10 @@
+"""Good: a module-level task function, picklable by reference."""
+from repro.resilience import ResilientExecutor
+
+
+def work(task: int) -> int:
+    return task * 2
+
+
+def launch() -> ResilientExecutor:
+    return ResilientExecutor(work)

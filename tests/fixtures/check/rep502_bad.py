@@ -1,0 +1,15 @@
+"""Bad: the submitted worker mutates module-level state."""
+from concurrent.futures import ProcessPoolExecutor
+
+RESULTS: list = []
+
+
+def work(task: int) -> int:
+    RESULTS.append(task)
+    return task
+
+
+def launch(tasks: list) -> list:
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(work, task) for task in tasks]
+    return [future.result() for future in futures]

@@ -1,0 +1,12 @@
+"""Good: the worker is pure; results travel back as return values."""
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(task: int) -> int:
+    return task * 2
+
+
+def launch(tasks: list) -> list:
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(work, task) for task in tasks]
+    return [future.result() for future in futures]

@@ -1,0 +1,7 @@
+"""Bad: hand-rolled NDJSON framing outside the serializer modules."""
+import json
+
+
+def write_records(records: list, fh) -> None:
+    for record in records:
+        fh.write(json.dumps(record, separators=(",", ":")) + "\n")

@@ -1,0 +1,6 @@
+"""Good: pretty one-shot dumps stay legal everywhere."""
+import json
+
+
+def render(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True)

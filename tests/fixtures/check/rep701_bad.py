@@ -1,0 +1,11 @@
+"""Bad: a silent swallow in resilience code."""
+
+
+def run_all(tasks: list) -> list:
+    done = []
+    for task in tasks:
+        try:
+            done.append(task())
+        except Exception:
+            pass
+    return done

@@ -1,0 +1,11 @@
+"""Good: every failure is routed to an observer."""
+
+
+def run_all(tasks: list, on_error) -> list:
+    done = []
+    for task in tasks:
+        try:
+            done.append(task())
+        except Exception as exc:
+            on_error(exc)
+    return done

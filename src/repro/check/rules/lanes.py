@@ -1,0 +1,97 @@
+"""REP102 — lane RNG isolation in the lockstep SIMD engine.
+
+The bit-exactness contract of :mod:`repro.soc.simd` says every lane of
+a lockstep block is bit-identical — including RNG stream positions —
+to an independent scalar run.  That only holds if the engine consumes
+*exactly* the per-lane fault models' generators and nothing else: a
+Generator constructed inside the engine (seeded or not) is a stream
+that scalar runs do not have, and anything drawn from it either skews
+a lane's fault sequence or silently couples lanes that the campaign
+layer promises are independent.
+
+Flagged inside ``repro.soc.simd`` (and any future ``repro.soc.simd.*``
+submodule): **any** RNG construction — ``numpy.random.default_rng``,
+``numpy.random.Generator``, ``numpy.random.SeedSequence``,
+``random.Random`` — and ``SeedSequence.spawn``-style stream forking,
+regardless of seeding.  Unlike REP101 this is not about seeds; the
+lockstep engine simply has no business owning a stream.  Lane-facing
+randomness belongs to the platforms' fault models, which the block
+reads through ``clean_run_length``/``consume_clean``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.check.rules import Rule, register
+
+if TYPE_CHECKING:
+    from repro.check.engine import FileContext, Finding, Project
+
+#: Any of these constructed inside the lockstep engine breaks lane
+#: isolation, seeded or not.
+_RNG_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.SeedSequence",
+        "numpy.random.RandomState",
+        "random.Random",
+    }
+)
+
+#: Modules the rule covers: the lockstep engine itself and any future
+#: submodule split out of it.
+_LANE_MODULES = ("repro.soc.simd",)
+
+
+@register
+class LaneRngIsolationRule(Rule):
+    id = "REP102"
+    name = "lane-rng-isolation"
+    summary = (
+        "the lockstep SIMD engine must not construct RNGs (seeded or "
+        "not); lanes consume only their own fault models' streams"
+    )
+
+    def applies_to(self, file: FileContext) -> bool:
+        module = file.module
+        return any(
+            module == base or module.startswith(base + ".")
+            for base in _LANE_MODULES
+        )
+
+    def check(
+        self, file: FileContext, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = file.resolve(node.func)
+            if resolved in _RNG_CONSTRUCTORS:
+                yield self.finding(
+                    file,
+                    node.lineno,
+                    node.col_offset,
+                    f"{resolved} constructed inside the lockstep SIMD "
+                    "engine; a block-owned stream cannot stay "
+                    "bit-identical to scalar runs — consume the "
+                    "per-lane fault models' generators instead",
+                )
+                continue
+            # Stream forking (SeedSequence.spawn / Generator.spawn) on
+            # any object is equally lane-crossing inside the engine.
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "spawn"
+            ):
+                yield self.finding(
+                    file,
+                    node.lineno,
+                    node.col_offset,
+                    "RNG stream forking inside the lockstep SIMD "
+                    "engine crosses lane boundaries; derive streams "
+                    "in the campaign layer, one per lane, instead",
+                )

@@ -199,6 +199,7 @@ def _campaign_result(args):
         max_retries=args.max_retries,
         task_timeout=args.task_timeout,
         journal=args.resume,
+        lanes=args.lanes,
         macro_style="cell-based",
     )
 
@@ -347,6 +348,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="fan runs out over N worker processes (default serial)",
+    )
+    campaign.add_argument(
+        "--lanes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run seeds in lockstep SIMD blocks of N lanes (default 1 "
+        "= scalar engine); bit-identical classification either way",
     )
     campaign.add_argument(
         "--resume",

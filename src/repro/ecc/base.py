@@ -158,8 +158,16 @@ class Codec(abc.ABC):
             out[i] = self.encode(int(word))
         return out
 
-    def decode_batch(self, codewords: np.ndarray) -> BatchDecodeResult:
-        """Decode an array of codewords; bit-exact with :meth:`decode`."""
+    def decode_batch(
+        self, codewords: np.ndarray, record: bool = True
+    ) -> BatchDecodeResult:
+        """Decode an array of codewords; bit-exact with :meth:`decode`.
+
+        ``record=False`` suppresses the per-batch telemetry counters —
+        used by callers (the SIMD lane block's view fills) that mirror
+        a scalar path which publishes nothing, so both engines leave
+        identical metric trails.
+        """
         codewords = self._as_word_array(codewords, self.code_bits, "codeword")
         n = codewords.shape[0]
         data = np.empty(n, dtype=np.uint64)
@@ -170,7 +178,8 @@ class Codec(abc.ABC):
             data[i] = result.data
             status[i] = status_code(result.status)
             corrected[i] = result.corrected_bits
-        self.record_decode_outcomes(status)
+        if record:
+            self.record_decode_outcomes(status)
         return BatchDecodeResult(
             data=data, status=status, corrected_bits=corrected
         )

@@ -123,6 +123,7 @@ class BchCodec(Codec):
         if self.data_bits > 64 or self.code_bits > 64:
             self._enc_byte_luts = None
             self._rem_byte_luts = None
+            self._syn_byte_luts = None
             return
         n_data_bytes = (self.data_bits + 7) // 8
         data_mask = (1 << self.data_bits) - 1
@@ -144,6 +145,39 @@ class BchCodec(Codec):
             ],
             dtype=np.uint64,
         )
+        # Packed-syndrome tables: syndrome computation is GF(2)-linear
+        # in the received bits and each of the 2t syndromes fits in m
+        # bits, so all of them pack into one uint64 lane (when
+        # 2*t*m <= 64) and the whole syndrome vector of a word is the
+        # XOR of per-byte table entries.  All-zero packed syndromes is
+        # exactly the CLEAN condition, and the dirty words arrive at
+        # Berlekamp-Massey with their syndromes already computed.
+        self._syn_byte_luts = None
+        if 2 * self.t * self.field.m <= 64:
+            m = self.field.m
+            syn_luts = np.zeros((n_code_bytes, 256), dtype=np.uint64)
+            for k in range(n_code_bytes):
+                for v in range(256):
+                    part = (v << (8 * k)) & code_mask
+                    packed = 0
+                    for j, syndrome in enumerate(self._syndromes(part)):
+                        packed |= syndrome << (j * m)
+                    syn_luts[k, v] = packed
+            self._syn_byte_luts = syn_luts
+            size = self.field.order - 1
+            self._exp_np = np.array(self.field.exp, dtype=np.uint64)
+            self._log_np = np.array(self.field.log, dtype=np.int64)
+            # Chien exponent rows: locator(alpha^{-p}) sums
+            # coef_k * alpha^{-p*k}; row k holds (-p*k) mod (2^m - 1)
+            # for every position p, so one doubled-exp gather per
+            # locator coefficient evaluates all positions at once.
+            self._chien_neg = np.array(
+                [
+                    [(-position * k) % size for position in range(self.n_full)]
+                    for k in range(self.t + 2)
+                ],
+                dtype=np.int64,
+            )
 
     def _encode_raw(self, data: int) -> int:
         """Systematic encode without the range check (LUT construction)."""
@@ -170,17 +204,53 @@ class BchCodec(Codec):
             out ^= self._enc_byte_luts[k][byte]
         return out
 
-    def decode_batch(self, codewords: np.ndarray) -> BatchDecodeResult:
-        """Vectorized clean screen + scalar decode of the dirty words.
+    def decode_batch(
+        self, codewords: np.ndarray, record: bool = True
+    ) -> BatchDecodeResult:
+        """Vectorized clean screen + batched decode of the dirty words.
 
         At moderate supply voltages almost every stored word is error
-        free; those are identified with a handful of gathers (remainder
-        of the received polynomial modulo the generator) and returned
+        free; those are identified with a handful of gathers (the
+        packed syndrome vector of the received polynomial) and returned
         CLEAN without touching the Berlekamp-Massey decoder at all.
+        The dirty words then share one numpy Chien search: syndromes
+        come pre-unpacked from the screen, Berlekamp-Massey stays a
+        (short) scalar recurrence per word, and locator evaluation over
+        all 2^m - 1 positions — the former hot loop — is a gather and
+        XOR per locator coefficient across the whole dirty set.  The
+        decision sequence replicates :meth:`decode` exactly.
         """
         if self._rem_byte_luts is None:
-            return super().decode_batch(codewords)
+            return super().decode_batch(codewords, record=record)
         codewords = self._as_word_array(codewords, self.code_bits, "codeword")
+        if self._syn_byte_luts is None:
+            return self._decode_batch_scalar_dirty(codewords, record)
+        u64 = np.uint64
+        packed = self._syn_byte_luts[0][
+            (codewords & u64(0xFF)).astype(np.intp)
+        ]
+        for k in range(1, self._syn_byte_luts.shape[0]):
+            byte = ((codewords >> u64(8 * k)) & u64(0xFF)).astype(np.intp)
+            packed ^= self._syn_byte_luts[k][byte]
+        data = codewords >> u64(self.n_check)
+        status = np.full(codewords.shape, STATUS_CLEAN, dtype=np.uint8)
+        corrected = np.zeros(codewords.shape, dtype=np.int64)
+        dirty = np.nonzero(packed)[0]
+        if dirty.size:
+            self._decode_dirty(
+                codewords, packed, dirty, data, status, corrected
+            )
+        if record:
+            self.record_decode_outcomes(status)
+        return BatchDecodeResult(
+            data=data, status=status, corrected_bits=corrected
+        )
+
+    def _decode_batch_scalar_dirty(
+        self, codewords: np.ndarray, record: bool
+    ) -> BatchDecodeResult:
+        """Remainder screen + scalar dirty decode (syndromes too wide
+        to pack into a uint64 lane)."""
         u64 = np.uint64
         remainder = self._rem_byte_luts[0][
             (codewords & u64(0xFF)).astype(np.intp)
@@ -197,10 +267,81 @@ class BchCodec(Codec):
             data[i] = result.data
             status[i] = status_code(result.status)
             corrected[i] = result.corrected_bits
-        self.record_decode_outcomes(status)
+        if record:
+            self.record_decode_outcomes(status)
         return BatchDecodeResult(
             data=data, status=status, corrected_bits=corrected
         )
+
+    def _decode_dirty(
+        self,
+        codewords: np.ndarray,
+        packed: np.ndarray,
+        dirty: np.ndarray,
+        data: np.ndarray,
+        status: np.ndarray,
+        corrected: np.ndarray,
+    ) -> None:
+        """Decode the dirty subset in place, Chien-searching as a batch."""
+        m = self.field.m
+        syn_mask = (1 << m) - 1
+        detected = status_code(DecodeStatus.DETECTED)
+        corrected_code = status_code(DecodeStatus.CORRECTED)
+        # Berlekamp-Massey per dirty word (short scalar recurrence on
+        # already-computed syndromes); collect the survivors for the
+        # batched Chien search.
+        candidates = []  # (batch index, codeword, locator, degree)
+        for i in dirty:
+            word_syndromes = [
+                (int(packed[i]) >> (j * m)) & syn_mask
+                for j in range(2 * self.t)
+            ]
+            locator, degree = self._berlekamp_massey(word_syndromes)
+            if degree > self.t or degree != len(locator) - 1:
+                status[i] = detected
+                continue
+            candidates.append((int(i), int(codewords[i]), locator, degree))
+        if not candidates:
+            return
+        # Chien search, all candidates at once: evaluate each locator
+        # at alpha^{-p} for every position p with one doubled-exp
+        # gather per coefficient order (locator[0] is always 1).
+        n_cand = len(candidates)
+        max_len = max(len(cand[2]) for cand in candidates)
+        coeffs = np.zeros((max_len, n_cand), dtype=np.int64)
+        for c, (_, _, locator, _) in enumerate(candidates):
+            coeffs[: len(locator), c] = locator
+        acc = np.ones((n_cand, self.n_full), dtype=np.uint64)
+        for k in range(1, max_len):
+            coef = coeffs[k]
+            nonzero = coef != 0
+            if not nonzero.any():
+                continue
+            logs = np.where(nonzero, self._log_np[coef], 0)
+            term = self._exp_np[logs[:, None] + self._chien_neg[k][None, :]]
+            acc ^= np.where(nonzero[:, None], term, np.uint64(0))
+        # Scalar postlude per candidate: the same decision sequence as
+        # decode(), with the corrected word re-verified through the
+        # packed-syndrome tables.
+        for c, (i, codeword, _, degree) in enumerate(candidates):
+            positions = np.nonzero(acc[c] == 0)[0]
+            if positions.size != degree or bool(
+                (positions >= self.code_bits).any()
+            ):
+                status[i] = detected
+                continue
+            fixed = codeword
+            for position in positions:
+                fixed ^= 1 << int(position)
+            verify = 0
+            for k in range(self._syn_byte_luts.shape[0]):
+                verify ^= int(self._syn_byte_luts[k][(fixed >> (8 * k)) & 0xFF])
+            if verify:
+                status[i] = detected
+                continue
+            data[i] = fixed >> self.n_check
+            status[i] = corrected_code
+            corrected[i] = int(positions.size)
 
     def decode(self, codeword: int) -> DecodeResult:
         """Syndrome / Berlekamp-Massey / Chien decode."""

@@ -57,7 +57,20 @@ class SecdedCodec(Codec):
     data_bits = 32
     code_bits = 39
 
+    #: Class-level memo of the derived tables.  They are pure functions
+    #: of the class constants, so every instance shares one (read-only)
+    #: set — campaigns and lane blocks construct hundreds of codecs and
+    #: the table build dominated their setup cost before this memo.
+    _table_cache: dict[type, dict[str, np.ndarray]] = {}
+
     def __init__(self) -> None:
+        tables = self._table_cache.get(type(self))
+        if tables is None:
+            tables = self._build_tables()
+            self._table_cache[type(self)] = tables
+        self.__dict__.update(tables)
+
+    def _build_tables(self) -> dict[str, np.ndarray]:
         # Generator columns: encode() is linear over GF(2), so the
         # codeword of any data word is the XOR of the columns of its
         # set bits.
@@ -133,6 +146,11 @@ class SecdedCodec(Codec):
                     self._corrected_lut[index] = 1
                 # Remaining cases (even parity with non-zero syndrome,
                 # or a syndrome pointing past position 38) stay DETECTED.
+        return {
+            name: value
+            for name, value in self.__dict__.items()
+            if name.startswith("_")
+        }
 
     # ------------------------------------------------------------------
     # Scalar path
@@ -224,7 +242,9 @@ class SecdedCodec(Codec):
             out ^= self._enc_byte_luts[k][byte]
         return out
 
-    def decode_batch(self, codewords: np.ndarray) -> BatchDecodeResult:
+    def decode_batch(
+        self, codewords: np.ndarray, record: bool = True
+    ) -> BatchDecodeResult:
         """Vectorized decode via byte-sliced parity checks + syndrome LUT."""
         codewords = self._as_word_array(codewords, self.code_bits, "codeword")
         bytes_ = [
@@ -238,7 +258,8 @@ class SecdedCodec(Codec):
         corrected_words = codewords ^ self._flip_lut[index]
         data = self._extract_batch(corrected_words)
         status = self._status_lut[index]
-        self.record_decode_outcomes(status)
+        if record:
+            self.record_decode_outcomes(status)
         return BatchDecodeResult(
             data=data,
             status=status,

@@ -61,6 +61,12 @@ BATCH_GRID_POINTS = "batch.grid_points"
 BATCH_GRID_ACCESSES = "batch.grid_accesses"
 BATCH_GRID_ERRORS = "batch.grid_errors"
 
+SIMD_BLOCKS = "simd.blocks"
+SIMD_LANES = "simd.lanes"
+SIMD_SERVICES = "simd.services"
+SIMD_VECTOR_INSTRUCTIONS = "simd.vector_instructions"
+SIMD_SLOW_STEPS = "simd.slow_steps"
+
 CAMPAIGN_RUNS = "campaign.runs"
 CAMPAIGN_CORRECT = "campaign.correct"
 CAMPAIGN_SILENT_CORRUPTION = "campaign.silent_corruption"

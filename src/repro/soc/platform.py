@@ -111,6 +111,7 @@ class Platform:
         self.pm_port = pm_port
         self.fast_lane = fast_lane
         self._fast_engine = None
+        self._engine_run = None
         self.cpu = Cpu(
             fetch=self._fetch, load=self._load, store=self._store
         )
@@ -190,8 +191,11 @@ class Platform:
         The fast-lane engine is built lazily and kept across runs (its
         predecoded views survive YIELD boundaries); it is rebuilt if
         the port wiring changed, and skipped entirely when the ports
-        are not fast-lane capable.
+        are not fast-lane capable.  An externally bound engine (the
+        lockstep SIMD lane block) takes precedence over both.
         """
+        if self._engine_run is not None:
+            return self._engine_run
         if not self.fast_lane:
             return self.cpu.run
         engine = self._fast_engine
@@ -203,6 +207,17 @@ class Platform:
         if engine is None:
             return self.cpu.run
         return engine.run
+
+    def bind_engine(self, run) -> None:
+        """Route execution through an external engine.
+
+        ``run`` has the :meth:`Cpu.run` signature
+        (``max_instructions -> StopReason``).  The SIMD lane block
+        binds each member platform here so ``run_until_stop`` — and
+        with it every controller built on top — transparently executes
+        through the lockstep interpreter.  Pass ``None`` to unbind.
+        """
+        self._engine_run = run
 
     @staticmethod
     def _record_failure(kind: str) -> None:

@@ -10,6 +10,8 @@ initial data and to inspect results.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.ecc.base import Codec, DecodeStatus
 from repro.ecc.wrapper import CodecMemoryWrapper, UncorrectableError, WrapperStats
 from repro.soc.memory import FaultyMemory
@@ -95,9 +97,10 @@ class CodecPort:
 
     def load(self, words: list[int], base: int = 0) -> None:
         """Fault-free bulk load: encode and poke behind the counters."""
-        self.memory.load(
-            [self.codec.encode(word) for word in words], base
+        encoded = self.codec.encode_batch(
+            np.asarray(words, dtype=np.uint64)
         )
+        self.memory.load([int(word) for word in encoded], base)
 
     def peek(self, address: int) -> int:
         """Fault-free best-effort decode (result inspection)."""

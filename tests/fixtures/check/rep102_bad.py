@@ -1,0 +1,28 @@
+"""Bad: the lockstep engine constructs RNG streams of its own.
+
+Every one of these would desynchronise lanes from their scalar
+oracles — even the seeded ones, because scalar runs never draw from
+these streams at all.
+"""
+
+import random
+
+import numpy as np
+
+
+class LaneBlock:
+    def __init__(self, platforms, seed=1234):
+        # Seeded, but still a block-owned stream: REP102.
+        self._rng = np.random.default_rng(seed)
+        self._legacy = np.random.RandomState(seed)
+        self._py = random.Random(seed)
+
+    def _shuffle_lanes(self, order):
+        self._rng.shuffle(order)
+        return order
+
+    def _fork_streams(self, n):
+        # Forking per-lane streams inside the engine couples lanes the
+        # campaign layer promised were independent.
+        root = np.random.SeedSequence(42)
+        return root.spawn(n)

@@ -1,0 +1,27 @@
+"""Good: the lockstep engine owns no randomness.
+
+All stream interaction goes through the per-lane fault models —
+budget reads (``clean_run_length``) and bulk settlement
+(``consume_clean``) — so each lane's generator advances exactly as
+its scalar oracle would.
+"""
+
+_UNBOUNDED = 1 << 62
+
+
+class LaneBlock:
+    def __init__(self, platforms):
+        self._faults = [p.im.faults for p in platforms]
+        self._left = [-1] * len(platforms)
+
+    def _draw_budget(self, lane):
+        faults = self._faults[lane]
+        if faults is None:
+            return _UNBOUNDED
+        # The lane's own stream, read exactly when a fetch follows.
+        return faults.clean_run_length()
+
+    def _settle(self, lane, consumed):
+        faults = self._faults[lane]
+        if faults is not None and consumed:
+            faults.consume_clean(consumed)

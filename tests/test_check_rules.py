@@ -39,6 +39,7 @@ MAX_SUPPRESSIONS = 4
 #: rule id -> synthetic repo path its fixtures are checked under.
 FIXTURE_PATHS = {
     "REP101": "src/repro/analysis/example.py",
+    "REP102": "src/repro/soc/simd.py",
     "REP201": "src/repro/memdev/example.py",
     "REP301": "src/repro/soc/example.py",
     "REP401": "src/repro/soc/example.py",

@@ -35,6 +35,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import obs  # noqa: E402
+from repro.obs import names  # noqa: E402
+from repro.obs.perfhistory import append_history  # noqa: E402
 from repro.analysis.batch import BatchCampaign  # noqa: E402
 from repro.core.access import ACCESS_CELL_BASED_40NM  # noqa: E402
 from repro.ecc import (  # noqa: E402
@@ -296,6 +298,66 @@ def bench_platform(fft_points: int, seed: int = 7):
     return {"fft_points": fft_points, "seed": seed, "schemes": sections}
 
 
+def bench_profile(fft_points: int, seed: int = 7, repeats: int = 3):
+    """Engine-profiler cost and neutrality on the platform workload.
+
+    Runs the SECDED fast-lane FFT with profiling disabled and enabled
+    (fresh runners, identical seeds) and checks the two outcomes stay
+    bit-exact — identical :class:`SimulationResult`, program output and
+    RNG stream positions — while reporting the enabled-profiler wall
+    overhead.  The disabled path is by construction the unmodified
+    engine loop (the profiled twin is only entered when a live profiler
+    is installed), so its cost is already covered by the platform
+    section's own timings.
+    """
+    program = build_fft_program(fft_points)
+    golden = program.expected_output(list(program.data_words[:fft_points]))
+    vdd = 0.44
+
+    def run_once():
+        runner = SecdedRunner(
+            ACCESS_CELL_BASED_40NM_TYPICAL, seed=seed, fast_lane=True
+        )
+        outcome = runner.run(program.workload, vdd, 25e6)
+        return outcome, _platform_rng_states(runner)
+
+    registry = obs.MetricsRegistry()
+
+    def run_profiled():
+        with obs.scoped_metrics(registry), obs.scoped_profiling():
+            return run_once()
+
+    t_off = best_of(lambda: run_once(), repeats=repeats)
+    off_outcome, off_rng = run_once()
+    t_on = best_of(lambda: run_profiled(), repeats=repeats)
+    on_outcome, on_rng = run_profiled()
+    snapshot = registry.snapshot()
+
+    bit_exact = bool(
+        off_outcome.sim == on_outcome.sim
+        and off_outcome.completed == on_outcome.completed
+        and off_outcome.failure == on_outcome.failure
+        and off_outcome.output == on_outcome.output
+        and off_rng == on_rng
+    )
+    return {
+        "fft_points": fft_points,
+        "seed": seed,
+        "unprofiled_s": t_off,
+        "profiled_s": t_on,
+        "overhead_pct": (t_on - t_off) / t_off * 100.0,
+        "bit_exact": bit_exact,
+        "output_correct": on_outcome.output_matches(golden),
+        "fast_instructions": snapshot.counters.get(
+            names.PROFILE_FAST_INSTRUCTIONS, 0
+        ),
+        "slow_instructions": snapshot.counters.get(
+            names.PROFILE_SLOW_INSTRUCTIONS, 0
+        ),
+        "bursts": snapshot.counters.get(names.PROFILE_BURSTS, 0),
+    }
+
+
 def bench_simd(
     fft_points: int,
     lane_counts: tuple[int, ...] = (1, 16, 64, 256),
@@ -487,6 +549,16 @@ def main() -> int:
         "manifest; off by default to keep timings comparable",
     )
     parser.add_argument(
+        "--history", type=Path,
+        default=REPO_ROOT / "BENCH_history.ndjson",
+        help="append-only NDJSON perf-history ledger (one entry per "
+        "run; read by `repro perf-compare`)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="skip appending this run to the perf-history ledger",
+    )
+    parser.add_argument(
         "--resume", type=Path, default=None, metavar="JOURNAL",
         help="checkpoint the resilience section's campaigns to this "
         "NDJSON journal (resumes it if it already exists)",
@@ -584,6 +656,8 @@ def main() -> int:
         results["fig5_campaign"] = bench_fig5_campaign(fig5_n)
     with registry.timer("bench.platform").time():
         results["platform"] = bench_platform(platform_fft)
+    with registry.timer("bench.profile").time():
+        results["profile"] = bench_profile(platform_fft)
     with registry.timer("bench.simd").time():
         results["simd"] = bench_simd(
             simd_fft, lane_counts=simd_lane_counts
@@ -637,11 +711,19 @@ def main() -> int:
         "resilience_resume_skipped_work": (
             results["resilience"]["resumed_tasks"] >= 1
         ),
+        "profile_bit_exact": results["profile"]["bit_exact"],
+        "profile_output_correct": results["profile"]["output_correct"],
+        "profile_instruments_populated": (
+            results["profile"]["fast_instructions"] > 0
+            and results["profile"]["bursts"] > 0
+        ),
     }
     results["checks"] = checks
     results["all_checks_passed"] = all(checks.values())
 
     args.output.write_text(json.dumps(results, indent=2) + "\n")
+    if not args.no_history:
+        append_history(args.history, results)
 
     if args.telemetry:
         obs.disable_metrics()
@@ -673,6 +755,8 @@ def main() -> int:
 
     print(f"wrote {args.output}")
     print(f"wrote {manifest_path}")
+    if not args.no_history:
+        print(f"appended perf-history entry to {args.history}")
     for section in ("secded", "bch"):
         r = results[section]
         print(
@@ -704,6 +788,13 @@ def main() -> int:
             f"MIPS, bit_exact={s['bit_exact']}, "
             f"rng_identical={s['rng_stream_identical']})"
         )
+    p = results["profile"]
+    print(
+        f"{'profiler':>16}: enabled overhead {p['overhead_pct']:+5.1f}% "
+        f"(bit_exact={p['bit_exact']}, "
+        f"{p['fast_instructions']} fast / {p['slow_instructions']} slow "
+        f"insns profiled)"
+    )
     for c in simd_configs:
         print(
             f"{'simd N=' + str(c['lanes']):>16}: "

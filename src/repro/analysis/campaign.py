@@ -269,6 +269,8 @@ def run_campaign(
     journal: str | None = None,
     chaos: ChaosPolicy | None = None,
     lanes: int = 1,
+    progress=None,
+    heartbeat: str | None = None,
     **runner_kwargs,
 ) -> CampaignResult:
     """Run ``runs`` independent seeded executions and classify them.
@@ -294,6 +296,13 @@ def run_campaign(
     resumes from it if it already exists — the resumed
     :class:`CampaignResult` is bit-identical to an uninterrupted one.
     ``chaos`` injects harness faults for testing.
+
+    ``progress`` attaches a live observer with the
+    :class:`~repro.obs.report.CampaignProgress` hook surface; passing
+    ``heartbeat`` (a path) without one constructs a
+    :class:`~repro.obs.report.CampaignProgress` writing flushed NDJSON
+    heartbeat records there, so external watchers (and the
+    resume-after-kill chaos tests) can tail done/total/ETA live.
     """
     vdd = validate_vdd(vdd, "run_campaign")
     if runs <= 0:
@@ -350,6 +359,12 @@ def run_campaign(
             encode=_encode_outcome,
             decode=_decode_outcome,
         )
+    owns_progress = False
+    if progress is None and heartbeat is not None:
+        from repro.obs.report import CampaignProgress
+
+        progress = CampaignProgress(heartbeat=heartbeat)
+        owns_progress = True
     tracer = active_tracer()
     metrics = active_metrics()
     with tracer.span(
@@ -361,14 +376,22 @@ def run_campaign(
         seed_base=seed_base,
         lanes=lanes,
     ):
-        report = executor.run(
-            tasks,
-            run_id=f"campaign-{runner_cls.name}-vdd{vdd:.3f}",
-            fingerprint=_campaign_fingerprint(
-                runner_cls.name, vdd, frequency, runner_kwargs, lanes=lanes
-            ),
-            journal=journal,
-        )
+        try:
+            report = executor.run(
+                tasks,
+                run_id=f"campaign-{runner_cls.name}-vdd{vdd:.3f}",
+                fingerprint=_campaign_fingerprint(
+                    runner_cls.name, vdd, frequency, runner_kwargs,
+                    lanes=lanes,
+                ),
+                journal=journal,
+                progress=progress,
+            )
+        finally:
+            # A heartbeat sink this call opened is this call's to close
+            # — even on KeyboardInterrupt, so the tail stays readable.
+            if owns_progress:
+                progress.close()
         result = CampaignResult(scheme=runner_cls.name, vdd=vdd)
         result.resilience = report
         # Per-run outcome stream, in global seed order.  Scalar tasks

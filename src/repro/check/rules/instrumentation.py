@@ -1,0 +1,112 @@
+"""REP402 — engine code must use the no-op-default instrument pattern.
+
+The execution engines (``repro.soc``) are the hot path of every
+campaign and the subject of the bit-exactness proofs, so their
+instrumentation contract is strict: observability is *ambient*.
+Engine code reads the currently-installed instruments through the
+no-op-default accessors — ``active_metrics()``, ``active_tracer()``,
+``active_profiler()`` — and never constructs or installs instruments
+itself.  Constructing a ``MetricsRegistry`` (or ``Tracer`` /
+``EngineProfiler``) inside an engine module hard-wires a cost the
+zero-when-disabled contract forbids; calling an
+``enable_*``/``disable_*``/``scoped_*`` installer from engine code
+hijacks the harness-owned global, silently rerouting (or dropping)
+every other layer's telemetry mid-run.
+
+Flagged in ``repro.soc`` modules:
+
+* construction of instrument/installer classes from ``repro.obs``
+  (``MetricsRegistry``, ``Tracer``, ``EngineProfiler``,
+  ``NullEngineProfiler``, sink classes);
+* calls to the global installers (``enable_metrics``,
+  ``enable_tracing``, ``enable_profiling``, their ``disable_*`` and
+  ``scoped_*`` forms).
+
+The fix is always the same: take the ambient instrument with
+``active_*()`` at the top of the rare path, check ``.enabled`` once,
+and let the harness (CLI, benchmark, test) own installation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.check.rules import Rule, _in_repro_src, register
+
+if TYPE_CHECKING:
+    from repro.check.engine import FileContext, Finding, Project
+
+_OBS_PREFIX = "repro.obs"
+
+#: Final path segments that construct an instrument object.
+_CONSTRUCTORS = frozenset(
+    {
+        "MetricsRegistry",
+        "Tracer",
+        "NullTracer",
+        "EngineProfiler",
+        "NullEngineProfiler",
+        "NdjsonFileSink",
+        "InMemorySink",
+        "StderrSink",
+    }
+)
+
+#: Final path segments that install/replace the ambient instruments.
+_INSTALLERS = frozenset(
+    {
+        "enable_metrics",
+        "disable_metrics",
+        "scoped_metrics",
+        "enable_tracing",
+        "disable_tracing",
+        "enable_profiling",
+        "disable_profiling",
+        "scoped_profiling",
+    }
+)
+
+
+@register
+class EngineInstrumentationRule(Rule):
+    id = "REP402"
+    name = "engine-owned-instrument"
+    summary = (
+        "repro.soc code must route instrumentation through the "
+        "no-op-default active_*() accessors, never construct or "
+        "install instruments itself"
+    )
+
+    def applies_to(self, file: FileContext) -> bool:
+        return _in_repro_src(file) and file.module.startswith("repro.soc")
+
+    def check(
+        self, file: FileContext, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = file.resolve(node.func)
+            if resolved is None or not resolved.startswith(_OBS_PREFIX):
+                continue
+            leaf = resolved.split(".")[-1]
+            if leaf in _CONSTRUCTORS:
+                yield self.finding(
+                    file,
+                    node.lineno,
+                    node.col_offset,
+                    f"engine code constructs {leaf} directly; read the "
+                    "ambient instrument via active_metrics()/"
+                    "active_tracer()/active_profiler() instead (no-op "
+                    "by default, installed by the harness)",
+                )
+            elif leaf in _INSTALLERS:
+                yield self.finding(
+                    file,
+                    node.lineno,
+                    node.col_offset,
+                    f"engine code calls {leaf}(), hijacking the "
+                    "harness-owned ambient instruments; only the CLI/"
+                    "benchmark/test harness may install or remove them",
+                )

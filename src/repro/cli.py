@@ -19,6 +19,17 @@ Observability flags (any exhibit):
   each campaign, one record per outcome) to ``FILE``.
 * ``--metrics`` — collect the run's metric counters and append them to
   the output (under a ``metrics`` key in JSON mode).
+* ``--profile`` — enable the deterministic engine profiler
+  (:mod:`repro.obs.profile`) and append its rendered report (opcode
+  mix, fast/slow-path residency, SIMD lane histograms) to the output
+  (under a ``profile`` key in JSON mode).  Bit-exactness-neutral: the
+  exhibit's numbers are identical with or without it.
+
+``perf-compare`` (a subcommand, not an exhibit) diffs the newest
+``BENCH_history.ndjson`` entry against recent history — see
+:mod:`repro.obs.perfhistory`::
+
+    python -m repro perf-compare --max-regression 25%
 
 The ``campaign`` exhibit runs a resilient Monte-Carlo failure-rate
 campaign (see ``repro.resilience``) with checkpoint/resume::
@@ -29,7 +40,10 @@ campaign (see ``repro.resilience``) with checkpoint/resume::
 
 ``--resume FILE`` checkpoints every completed run to ``FILE`` and, when
 the file already exists, resumes from it — the merged result is
-bit-identical to an uninterrupted run at the same seed.
+bit-identical to an uninterrupted run at the same seed.  ``--progress``
+draws a live done/total + ETA line on stderr while the campaign runs;
+``--heartbeat FILE`` appends the same state as flushed NDJSON records
+an external watcher can tail.
 """
 
 from __future__ import annotations
@@ -187,21 +201,49 @@ def _campaign_result(args):
     runner_cls = schemes[args.scheme]
     program = build_fft_program(args.fft)
     golden = program.expected_output(list(program.data_words[: args.fft]))
-    return run_campaign(
-        runner_cls,
-        workload=program.workload,
-        golden=golden,
-        access_model=ACCESS_CELL_BASED_40NM_TYPICAL,
-        vdd=args.vdd,
-        runs=args.runs,
-        seed_base=args.seed,
-        processes=args.processes,
-        max_retries=args.max_retries,
-        task_timeout=args.task_timeout,
-        journal=args.resume,
-        lanes=args.lanes,
-        macro_style="cell-based",
-    )
+    progress = _campaign_progress(args)
+    try:
+        return run_campaign(
+            runner_cls,
+            workload=program.workload,
+            golden=golden,
+            access_model=ACCESS_CELL_BASED_40NM_TYPICAL,
+            vdd=args.vdd,
+            runs=args.runs,
+            seed_base=args.seed,
+            processes=args.processes,
+            max_retries=args.max_retries,
+            task_timeout=args.task_timeout,
+            journal=args.resume,
+            lanes=args.lanes,
+            progress=progress,
+            macro_style="cell-based",
+        )
+    finally:
+        if progress is not None:
+            progress.close()
+            if args.progress:
+                import sys
+
+                sys.stderr.write("\n")
+
+
+def _campaign_progress(args):
+    """Build the live-progress observer ``--progress``/``--heartbeat``
+    ask for (None when neither flag is set)."""
+    if not args.progress and args.heartbeat is None:
+        return None
+    from repro.obs.report import CampaignProgress
+
+    on_update = None
+    if args.progress:
+        import sys
+
+        def on_update(progress) -> None:
+            sys.stderr.write("\r" + progress.render())
+            sys.stderr.flush()
+
+    return CampaignProgress(heartbeat=args.heartbeat, on_update=on_update)
 
 
 def _campaign_payload(result) -> dict:
@@ -315,6 +357,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collect metric counters and append them to the output",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable the deterministic engine profiler and append its "
+        "report (opcode mix, fast/slow-path residency, SIMD lane "
+        "histograms); bit-exactness-neutral",
+    )
     campaign = parser.add_argument_group(
         "campaign options (exhibit: campaign)"
     )
@@ -365,6 +414,19 @@ def build_parser() -> argparse.ArgumentParser:
         "file already exists, resume from it (bit-identical result)",
     )
     campaign.add_argument(
+        "--progress",
+        action="store_true",
+        help="draw a live done/total + ETA line on stderr while the "
+        "campaign runs",
+    )
+    campaign.add_argument(
+        "--heartbeat",
+        metavar="FILE",
+        default=None,
+        help="append flushed NDJSON progress records (done/total/ETA) "
+        "to FILE for external watchers",
+    )
+    campaign.add_argument(
         "--max-retries",
         type=int,
         default=3,
@@ -381,13 +443,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _finish_json(payload: dict, args, registry) -> str:
+    if args.metrics:
+        payload["metrics"] = registry.snapshot().as_dict()
+    if args.profile:
+        payload["profile"] = obs.render_profile(registry.snapshot())
+    return json.dumps(payload, indent=2, default=_json_default)
+
+
+def _finish_text(text: str, args, registry) -> str:
+    if args.metrics:
+        text += "\n\n== metrics ==\n" + obs.format_snapshot(
+            registry.snapshot()
+        )
+    if args.profile:
+        text += "\n\n" + obs.render_profile(registry.snapshot())
+    return text
+
+
 def run(argv: list[str] | None = None) -> str:
     """Parse arguments and return the rendered exhibit text."""
     args = build_parser().parse_args(argv)
     if args.fft < 4 or args.fft & (args.fft - 1):
         raise SystemExit("--fft must be a power of two >= 4")
 
-    registry = obs.enable_metrics() if args.metrics else None
+    # The profiler publishes through the metrics registry, so --profile
+    # implies a live registry even without --metrics.
+    registry = (
+        obs.enable_metrics()
+        if (args.metrics or args.profile)
+        else None
+    )
+    if args.profile:
+        obs.enable_profiling()
     if args.trace:
         obs.enable_tracing(args.trace)
     try:
@@ -397,35 +485,23 @@ def run(argv: list[str] | None = None) -> str:
             if args.exhibit == "campaign":
                 result = _campaign_result(args)
                 if args.json:
-                    payload = _campaign_payload(result)
-                    if registry is not None:
-                        payload["metrics"] = registry.snapshot().as_dict()
-                    return json.dumps(
-                        payload, indent=2, default=_json_default
+                    return _finish_json(
+                        _campaign_payload(result), args, registry
                     )
-                text = _render_campaign(result)
-                if registry is not None:
-                    text += "\n\n== metrics ==\n" + obs.format_snapshot(
-                        registry.snapshot()
-                    )
-                return text
+                return _finish_text(_render_campaign(result), args, registry)
             if args.json:
-                payload = _json_payload(args.exhibit, args.fft)
-                if registry is not None:
-                    payload["metrics"] = registry.snapshot().as_dict()
-                return json.dumps(
-                    payload, indent=2, default=_json_default
+                return _finish_json(
+                    _json_payload(args.exhibit, args.fft), args, registry
                 )
-            text = _text_payload(args.exhibit, args.fft)
-            if registry is not None:
-                text += "\n\n== metrics ==\n" + obs.format_snapshot(
-                    registry.snapshot()
-                )
-            return text
+            return _finish_text(
+                _text_payload(args.exhibit, args.fft), args, registry
+            )
     finally:
         if args.trace:
             obs.disable_tracing()
-        if args.metrics:
+        if args.profile:
+            obs.disable_profiling()
+        if registry is not None:
             obs.disable_metrics()
 
 
@@ -437,4 +513,8 @@ def main(argv: list[str] | None = None) -> None:
         from repro.check.cli import main as check_main
 
         raise SystemExit(check_main(actual[1:]))
+    if actual and actual[0] == "perf-compare":
+        from repro.obs.perfhistory import main as perf_compare_main
+
+        raise SystemExit(perf_compare_main(actual[1:]))
     print(run(actual))

@@ -1,6 +1,6 @@
 """repro.obs — dependency-free telemetry for campaigns and kernels.
 
-Three pillars:
+Five pillars:
 
 * :mod:`repro.obs.metrics` — a named-instrument registry (counters,
   gauges, timers, categorical histograms) with a free no-op default
@@ -12,6 +12,16 @@ Three pillars:
 * :mod:`repro.obs.manifest` — :class:`RunManifest` provenance records
   (seeds, git revision, versions, parameters, timings, metrics)
   written alongside campaign and benchmark outputs.
+* :mod:`repro.obs.profile` — the deterministic, sampling-free engine
+  profiler: opcode mix, fast/slow-path cycle residency, write-back and
+  settlement costs, SIMD lane-occupancy/divergence histograms, all
+  published through the metrics registry under pinned ``profile.*``
+  names.
+* :mod:`repro.obs.report` — span-tree aggregation of NDJSON traces,
+  profiler snapshot rendering, live campaign progress (done/total,
+  ETA, heartbeat NDJSON) and journal-based worker liveness; plus
+  :mod:`repro.obs.perfhistory`, the append-only perf-history ledger
+  behind ``repro perf-compare``.
 
 Typical session::
 
@@ -39,6 +49,24 @@ from repro.obs.metrics import (
     enable_metrics,
     format_snapshot,
     scoped_metrics,
+)
+from repro.obs.profile import (
+    EngineProfiler,
+    NULL_PROFILER,
+    NullEngineProfiler,
+    active_profiler,
+    disable_profiling,
+    enable_profiling,
+    scoped_profiling,
+)
+from repro.obs.report import (
+    CampaignProgress,
+    JournalLiveness,
+    aggregate_spans,
+    aggregate_trace_file,
+    format_cost_tree,
+    read_ndjson,
+    render_profile,
 )
 from repro.obs.trace import (
     InMemorySink,
@@ -73,4 +101,18 @@ __all__ = [
     "disable_tracing",
     "RunManifest",
     "git_revision",
+    "EngineProfiler",
+    "NullEngineProfiler",
+    "NULL_PROFILER",
+    "active_profiler",
+    "enable_profiling",
+    "disable_profiling",
+    "scoped_profiling",
+    "CampaignProgress",
+    "JournalLiveness",
+    "aggregate_spans",
+    "aggregate_trace_file",
+    "format_cost_tree",
+    "read_ndjson",
+    "render_profile",
 ]

@@ -30,6 +30,22 @@ MEMDEV_BER_ERRORS = "memdev.ber_errors"
 
 PROFILE_FETCHES = "profile.fetches"
 
+# Engine profiler (repro.obs.profile) — fast-path here means burst or
+# vector-committed execution; slow-path is the faithful reference
+# interpreter (``Cpu.step``/``Cpu.run``), which is also what the scalar
+# engine runs 100% of the time.
+PROFILE_FAST_INSTRUCTIONS = "profile.fast_path.instructions"
+PROFILE_FAST_CYCLES = "profile.fast_path.cycles"
+PROFILE_SLOW_INSTRUCTIONS = "profile.slow_path.instructions"
+PROFILE_SLOW_CYCLES = "profile.slow_path.cycles"
+PROFILE_BURSTS = "profile.fastlane.bursts"
+PROFILE_SETTLEMENTS = "profile.settlements"
+PROFILE_SETTLED_READS = "profile.settlement.reads"
+PROFILE_SETTLED_WRITES = "profile.settlement.writes"
+PROFILE_WRITEBACK_WORDS = "profile.writeback.words"
+PROFILE_WRITEBACK_BATCHES = "profile.writeback.batches"
+PROFILE_SIMD_ROUNDS = "profile.simd.rounds"
+
 PLATFORM_RUNS = "platform.runs"
 PLATFORM_CYCLES = "platform.cycles"
 PLATFORM_INSTRUCTIONS = "platform.instructions"
@@ -81,6 +97,12 @@ CAMPAIGN_QUARANTINED_RUNS = "campaign.quarantined_runs"
 # ----------------------------------------------------------------------
 PROFILE_OPCODE = "profile.opcode"
 PROFILE_PC = "profile.pc"
+PROFILE_ENGINE = "profile.engine"
+PROFILE_BURST_LENGTH = "profile.fastlane.burst_length"
+PROFILE_LANE_OCCUPANCY = "profile.simd.lane_occupancy"
+PROFILE_MASK_DENSITY = "profile.simd.mask_density"
+PROFILE_DIVERGENCE = "profile.simd.divergence"
+PROFILE_RECONVERGENCE_DEPTH = "profile.simd.reconvergence_depth"
 PLATFORM_FAILURES = "platform.failures"
 
 # ----------------------------------------------------------------------

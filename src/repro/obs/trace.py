@@ -28,9 +28,17 @@ from typing import Any, Callable, Protocol, Union
 
 
 class TraceSink(Protocol):
-    """Anything that accepts trace records: ``emit(dict)``/``close()``."""
+    """Anything that accepts trace records.
+
+    ``flush()`` pushes buffered records to durable storage without
+    closing — called on abnormal exits (KeyboardInterrupt, pool worker
+    death) so a torn trace file keeps every record emitted before the
+    cut, exactly like the resilience journal's torn-tail contract.
+    """
 
     def emit(self, record: dict[str, Any]) -> None: ...
+
+    def flush(self) -> None: ...
 
     def close(self) -> None: ...
 
@@ -47,20 +55,39 @@ class InMemorySink:
     def emit(self, record: dict[str, Any]) -> None:
         self.events.append(record)
 
+    def flush(self) -> None:
+        pass
+
     def close(self) -> None:
         pass
 
 
 class NdjsonFileSink:
-    """Appends one JSON line per record to a file."""
+    """Appends one JSON line per record to a file.
 
-    def __init__(self, path: Union[str, "os.PathLike[str]"]) -> None:
+    With ``flush_each=True`` every record is flushed as it is written
+    (heartbeat files that external watchers tail); otherwise records
+    ride the stdio buffer until :meth:`flush`/:meth:`close`.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, "os.PathLike[str]"],
+        flush_each: bool = False,
+    ) -> None:
         self.path = path
+        self._flush_each = flush_each
         self._file = open(path, "a", encoding="utf-8")
 
     def emit(self, record: dict[str, Any]) -> None:
         json.dump(record, self._file, separators=(",", ":"))
         self._file.write("\n")
+        if self._flush_each:
+            self._file.flush()
+
+    def flush(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
 
     def close(self) -> None:
         if not self._file.closed:
@@ -74,6 +101,9 @@ class StderrSink:
     def emit(self, record: dict[str, Any]) -> None:
         json.dump(record, sys.stderr, separators=(",", ":"))
         sys.stderr.write("\n")
+
+    def flush(self) -> None:
+        sys.stderr.flush()
 
     def close(self) -> None:
         pass
@@ -209,6 +239,15 @@ class Tracer:
             }
         )
 
+    def flush(self) -> None:
+        """Push buffered records durable without closing the sink.
+
+        Tolerates legacy sinks that predate ``TraceSink.flush``.
+        """
+        flush = getattr(self.sink, "flush", None)
+        if flush is not None:
+            flush()
+
     def close(self) -> None:
         self.sink.close()
 
@@ -244,6 +283,9 @@ class NullTracer:
         pass
 
     def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def flush(self) -> None:
         pass
 
     def close(self) -> None:

@@ -199,8 +199,15 @@ class ResilientExecutor:
         run_id: str,
         fingerprint: str,
         journal: str | None = None,
+        progress=None,
     ) -> ExecutionReport:
         """Execute ``tasks``, resuming from ``journal`` if it exists.
+
+        ``progress`` is an optional live-progress observer with the
+        :class:`repro.obs.report.CampaignProgress` hook surface
+        (``on_start`` / ``on_task`` / ``on_quarantine``); it sees every
+        completed or quarantined task as it lands, with measured task
+        durations feeding its ETA.
 
         Raises
         ------
@@ -239,6 +246,12 @@ class ResilientExecutor:
             for task in tasks
             if task.key not in report.results
         )
+        if progress is not None:
+            progress.on_start(
+                total=len(tasks),
+                resumed=report.resumed,
+                workers=self.processes or 1,
+            )
 
         with tracer.span(
             names.SPAN_RESILIENCE_RUN,
@@ -249,7 +262,9 @@ class ResilientExecutor:
             max_retries=self.max_retries,
         ):
             try:
-                self._drain(pending, report, checkpoint, metrics, tracer)
+                self._drain(
+                    pending, report, checkpoint, metrics, tracer, progress
+                )
             except KeyboardInterrupt:
                 # Clean shutdown is the contract: cancel what never
                 # started, join the workers (no orphans), keep the
@@ -262,6 +277,9 @@ class ResilientExecutor:
                     completed=len(report.results),
                     pending=len(pending),
                 )
+                # The trace file must keep every record emitted before
+                # the cut — same torn-tail contract as the journal.
+                tracer.flush()
                 raise
             finally:
                 self._shutdown_pool(cancel=True)
@@ -275,8 +293,11 @@ class ResilientExecutor:
     # ------------------------------------------------------------------
     # Scheduling loop
     # ------------------------------------------------------------------
-    def _drain(self, pending, report, checkpoint, metrics, tracer) -> None:
-        inflight: dict = {}  # future -> (_Attempt, deadline | None)
+    def _drain(
+        self, pending, report, checkpoint, metrics, tracer, progress=None
+    ) -> None:
+        # future -> (_Attempt, deadline | None, submit time)
+        inflight: dict = {}
         while pending or inflight:
             pooled = (
                 self.processes is not None
@@ -286,7 +307,8 @@ class ResilientExecutor:
             if not pooled:
                 attempt = pending.popleft()
                 self._run_serial(
-                    attempt, pending, report, checkpoint, metrics, tracer
+                    attempt, pending, report, checkpoint, metrics, tracer,
+                    progress,
                 )
                 continue
 
@@ -301,23 +323,24 @@ class ResilientExecutor:
             done = self._await_progress(inflight)
             broken = False
             for future in done:
-                attempt, _ = inflight.pop(future)
+                attempt, _, started = inflight.pop(future)
                 try:
                     result = future.result()
                 except BrokenProcessPool:
                     broken = True
                     self._fail_attempt(
                         attempt, "worker-death", pending, report,
-                        checkpoint, metrics, tracer,
+                        checkpoint, metrics, tracer, progress,
                     )
                 except Exception as exc:
                     self._fail_attempt(
                         attempt, type(exc).__name__, pending, report,
-                        checkpoint, metrics, tracer,
+                        checkpoint, metrics, tracer, progress,
                     )
                 else:
                     self._complete(
-                        attempt, result, report, checkpoint, metrics
+                        attempt, result, report, checkpoint, metrics,
+                        progress, time.monotonic() - started,
                     )
             if broken:
                 self._on_pool_failure(
@@ -333,13 +356,13 @@ class ResilientExecutor:
                 # pool.  Overdue tasks are charged a failed attempt,
                 # innocent in-flight neighbours are requeued for free.
                 for future in overdue:
-                    attempt, _ = inflight.pop(future)
+                    attempt, _, _ = inflight.pop(future)
                     future.cancel()
                     report.deadline_overruns += 1
                     metrics.counter(names.RESILIENCE_DEADLINE_OVERRUNS).inc()
                     self._fail_attempt(
                         attempt, "deadline-overrun", pending, report,
-                        checkpoint, metrics, tracer,
+                        checkpoint, metrics, tracer, progress,
                     )
                 self._on_pool_failure(
                     inflight, pending, report, metrics, tracer,
@@ -364,7 +387,7 @@ class ResilientExecutor:
                 if self.task_timeout is not None
                 else None
             )
-            inflight[future] = (attempt, deadline)
+            inflight[future] = (attempt, deadline, time.monotonic())
         return True
 
     def _await_progress(self, inflight):
@@ -375,7 +398,7 @@ class ResilientExecutor:
         if self.task_timeout is not None:
             now = time.monotonic()
             nearest = min(
-                deadline for _, deadline in inflight.values()
+                deadline for _, deadline, _ in inflight.values()
                 if deadline is not None
             )
             timeout = max(0.0, nearest - now)
@@ -390,7 +413,7 @@ class ResilientExecutor:
         now = time.monotonic()
         return [
             future
-            for future, (_, deadline) in inflight.items()
+            for future, (_, deadline, _) in inflight.items()
             if deadline is not None and now >= deadline
             and not future.done()
         ]
@@ -399,7 +422,8 @@ class ResilientExecutor:
     # Attempt outcomes
     # ------------------------------------------------------------------
     def _run_serial(
-        self, attempt, pending, report, checkpoint, metrics, tracer
+        self, attempt, pending, report, checkpoint, metrics, tracer,
+        progress=None,
     ) -> None:
         self._sleep_backoff(attempt)
         start = time.monotonic()
@@ -408,7 +432,7 @@ class ResilientExecutor:
         except Exception as exc:
             self._fail_attempt(
                 attempt, type(exc).__name__, pending, report, checkpoint,
-                metrics, tracer,
+                metrics, tracer, progress,
             )
             return
         elapsed = time.monotonic() - start
@@ -419,12 +443,17 @@ class ResilientExecutor:
             metrics.counter(names.RESILIENCE_DEADLINE_OVERRUNS).inc()
             self._fail_attempt(
                 attempt, "deadline-overrun", pending, report, checkpoint,
-                metrics, tracer,
+                metrics, tracer, progress,
             )
             return
-        self._complete(attempt, result, report, checkpoint, metrics)
+        self._complete(
+            attempt, result, report, checkpoint, metrics, progress, elapsed
+        )
 
-    def _complete(self, attempt, result, report, checkpoint, metrics) -> None:
+    def _complete(
+        self, attempt, result, report, checkpoint, metrics,
+        progress=None, seconds=None,
+    ) -> None:
         report.results[attempt.task.key] = result
         report.executed += 1
         metrics.counter(names.RESILIENCE_TASKS_COMPLETED).inc()
@@ -434,9 +463,12 @@ class ResilientExecutor:
             )
             report.checkpoints += 1
             metrics.counter(names.RESILIENCE_CHECKPOINTS).inc()
+        if progress is not None:
+            progress.on_task(attempt.task.key, seconds)
 
     def _fail_attempt(
-        self, attempt, reason, pending, report, checkpoint, metrics, tracer
+        self, attempt, reason, pending, report, checkpoint, metrics, tracer,
+        progress=None,
     ) -> None:
         """Charge a failed attempt: requeue with backoff or quarantine."""
         metrics.counter(names.RESILIENCE_TASK_FAILURES).inc()
@@ -459,6 +491,8 @@ class ResilientExecutor:
                 checkpoint.record_quarantine(
                     attempt.task.key, attempt.attempt, reason
                 )
+            if progress is not None:
+                progress.on_quarantine(attempt.task.key)
             return
         report.retries += 1
         metrics.counter(names.RESILIENCE_RETRIES).inc()
@@ -479,12 +513,15 @@ class ResilientExecutor:
         # In-flight neighbours died with the pool through no fault of
         # their own: requeue at the *same* attempt number so a bystander
         # can never be quarantined by someone else's poison task.
-        for future, (attempt, _) in inflight.items():
+        for future, (attempt, _, _) in inflight.items():
             future.cancel()
             report.requeues += 1
             metrics.counter(names.RESILIENCE_REQUEUES).inc()
             pending.append(attempt)
         inflight.clear()
+        # Worker death is an abnormal exit for the trace stream too:
+        # make everything emitted so far durable before carrying on.
+        tracer.flush()
         if (
             report.pool_breaks > self.max_pool_breaks
             and not report.degraded_to_serial

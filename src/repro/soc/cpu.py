@@ -28,12 +28,16 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs.profile import active_profiler
 from repro.soc.isa import (
     BASE_CYCLES,
     NUM_REGISTERS,
     Opcode,
     decode_fields,
 )
+
+#: Opcode-int -> mnemonic, for profiler opcode-mix tallies.
+OPCODE_NAMES = {int(op): op.name for op in Opcode}
 
 _MASK32 = 0xFFFFFFFF
 _SIGN_BIT = 0x80000000
@@ -448,6 +452,9 @@ class Cpu:
         if max_instructions <= 0:
             raise ValueError("max_instructions must be positive")
         executed_limit = self.state.instructions + max_instructions
+        profiler = active_profiler()
+        if profiler.enabled:
+            return self._run_profiled(executed_limit, max_instructions, profiler)
         while True:
             reason = self.step()
             if reason is not None:
@@ -456,4 +463,45 @@ class Cpu:
                 raise ExecutionLimitExceeded(
                     f"exceeded {max_instructions} instructions at "
                     f"pc={self.state.pc}"
+                )
+
+    def _run_profiled(
+        self, executed_limit: int, max_instructions: int, profiler
+    ) -> StopReason:
+        """The :meth:`run` loop plus an opcode tally in a local dict.
+
+        Bit-identical to the plain loop: the tally only observes the
+        opcode int already decoded for dispatch.  Published via
+        try/finally so partial tallies survive raised faults.
+        """
+        state = self.state
+        start_instructions = state.instructions
+        start_cycles = state.cycles
+        ops: dict = {}
+        try:
+            while True:
+                word = self.fetch(state.pc)
+                entry = _PREDECODE_CACHE.get(word)
+                if entry is None:
+                    entry = predecode(word)
+                state.instructions += 1
+                state.cycles += entry[5]
+                op = entry[6]
+                ops[op] = ops.get(op, 0) + 1
+                reason = entry[0](self, state, entry)
+                if reason is not None:
+                    return reason
+                if state.instructions >= executed_limit:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {max_instructions} instructions at "
+                        f"pc={state.pc}"
+                    )
+        finally:
+            profiler.record_slow_path(
+                state.instructions - start_instructions,
+                state.cycles - start_cycles,
+            )
+            if ops:
+                profiler.record_opcodes(
+                    {OPCODE_NAMES[op]: n for op, n in ops.items()}
                 )

@@ -50,7 +50,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ecc.base import DecodeStatus
+from repro.obs.profile import active_profiler
 from repro.soc.cpu import (
+    OPCODE_NAMES,
     Cpu,
     ExecutionLimitExceeded,
     StopReason,
@@ -149,6 +151,11 @@ class FastLaneEngine:
             raise ValueError("max_instructions must be positive")
         state = self._cpu.state
         executed_limit = state.instructions + max_instructions
+        profiler = active_profiler()
+        if profiler.enabled:
+            return self._run_profiled(
+                state, executed_limit, max_instructions, profiler
+            )
         while True:
             stop = self._burst(executed_limit, max_instructions)
             if stop is not None:
@@ -156,6 +163,38 @@ class FastLaneEngine:
             # The burst could not (or could no longer) make progress:
             # one faithful reference step handles the blocking access.
             reason = self._cpu.step()
+            if reason is not None:
+                return reason
+            if state.instructions >= executed_limit:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_instructions} instructions at "
+                    f"pc={state.pc}"
+                )
+
+    def _run_profiled(self, state, executed_limit, max_instructions, profiler):
+        """:meth:`run` with per-burst and slow-step residency tallies.
+
+        Identical control flow; the profiled burst twin tallies opcodes
+        in a local dict and the slow step is bracketed by
+        instruction/cycle deltas.  ``Cpu.step`` (not ``Cpu.run``) is
+        used for slow steps exactly as in the plain loop, so the
+        slow-path residency is recorded here, not double-counted.
+        """
+        while True:
+            stop = self._burst_profiled(
+                executed_limit, max_instructions, profiler
+            )
+            if stop is not None:
+                return stop
+            before_instructions = state.instructions
+            before_cycles = state.cycles
+            try:
+                reason = self._cpu.step()
+            finally:
+                profiler.record_slow_path(
+                    state.instructions - before_instructions,
+                    state.cycles - before_cycles,
+                )
             if reason is not None:
                 return reason
             if state.instructions >= executed_limit:
@@ -301,6 +340,146 @@ class FastLaneEngine:
             )
         return None
 
+    def _burst_profiled(self, executed_limit, max_instructions, profiler):
+        """Twin of :meth:`_burst` that tallies the committed opcode mix.
+
+        Kept as a separate copy (rather than a flag in the hot loop) so
+        the unprofiled burst stays branch-for-branch unmodified — the
+        zero-cost-when-disabled contract.  Architectural effects,
+        accounting and RNG consumption are identical; the only addition
+        is a local dict bump per committed instruction, published after
+        settlement (and before any raise) together with the burst's
+        length/cycle record.
+        """
+        im, sp = self._im, self._sp
+        if im.version != self._im_version:
+            self._im_entries = [None] * im.words
+            self._im_version = im.version
+        if sp.version != self._sp_version:
+            self._sp_values = [None] * sp.words
+            self._dirty.clear()
+            self._sp_version = sp.version
+        state = self._cpu.state
+        regs = state.registers
+        im_entries = self._im_entries
+        sp_values = self._sp_values
+        im_words = im.words
+        sp_words = sp.words
+        im_faults = im.faults
+        sp_faults = sp.faults
+        sp_samples_writes = sp_faults is not None and sp.fault_on_write
+        dirty = self._dirty
+        unbounded = 1 << 62
+
+        pc = state.pc
+        if not 0 <= pc < im_words:
+            return None
+        if im_faults is not None:
+            im_left = im_faults.clean_run_length()
+        else:
+            im_left = unbounded
+        sp_left = None
+        insns_left = executed_limit - state.instructions
+        executed = 0
+        cycles = 0
+        sp_reads = 0
+        sp_writes = 0
+        stop = None
+        ops: dict = {}
+
+        while True:
+            entry = im_entries[pc]
+            if entry is None:
+                entry = self._im_fill(pc)
+            if entry is _BLOCKED or im_left < 1:
+                break
+            mem_kind = entry[7]
+            if mem_kind == 0:
+                op = entry[6]
+                if op >= 62:  # HALT (0x3E) / YIELD (0x3F)
+                    im_left -= 1
+                    executed += 1
+                    cycles += entry[5]
+                    ops[op] = ops.get(op, 0) + 1
+                    pc += 1
+                    stop = (
+                        StopReason.HALT if op == 62 else StopReason.YIELD
+                    )
+                    break
+                im_left -= 1
+                executed += 1
+                cycles += entry[5]
+                ops[op] = ops.get(op, 0) + 1
+                state.pc = pc
+                entry[0](None, state, entry)
+                pc = state.pc
+            elif mem_kind == 1:  # LW
+                address = (regs[entry[2]] + entry[4]) & _MASK32
+                if address >= sp_words:
+                    break
+                value = sp_values[address]
+                if value is None:
+                    value = self._sp_fill(address)
+                if value < 0:
+                    break
+                if sp_left is None:
+                    if sp_faults is not None:
+                        sp_left = sp_faults.clean_run_length()
+                    else:
+                        sp_left = unbounded
+                if sp_left < 1:
+                    break
+                sp_left -= 1
+                sp_reads += 1
+                im_left -= 1
+                executed += 1
+                cycles += entry[5]
+                ops[32] = ops.get(32, 0) + 1  # LW
+                a = entry[1]
+                if a:
+                    regs[a] = value
+                pc += 1
+            else:  # SW
+                address = (regs[entry[2]] + entry[4]) & _MASK32
+                if address >= sp_words:
+                    break
+                if sp_samples_writes:
+                    if sp_left is None:
+                        sp_left = sp_faults.clean_run_length()
+                    if sp_left < 1:
+                        break
+                    sp_left -= 1
+                sp_writes += 1
+                im_left -= 1
+                executed += 1
+                cycles += entry[5]
+                ops[33] = ops.get(33, 0) + 1  # SW
+                sp_values[address] = regs[entry[1]]
+                dirty.add(address)
+                pc += 1
+            if executed >= insns_left:
+                break
+            if not 0 <= pc < im_words:
+                break
+
+        state.pc = pc
+        state.instructions += executed
+        state.cycles += cycles
+        self._settle(executed, sp_reads, sp_writes, sp_samples_writes)
+        profiler.record_burst(executed, cycles)
+        if ops:
+            profiler.record_opcodes(
+                {OPCODE_NAMES[op]: n for op, n in ops.items()}
+            )
+        if stop is not None:
+            return stop
+        if executed >= insns_left:
+            raise ExecutionLimitExceeded(
+                f"exceeded {max_instructions} instructions at "
+                f"pc={state.pc}"
+            )
+        return None
+
     # ------------------------------------------------------------------
     # View population
     # ------------------------------------------------------------------
@@ -353,6 +532,10 @@ class FastLaneEngine:
         if sp_writes:
             self._sp_port.account_clean_writes(sp_writes)
             self._flush_dirty()
+        if im_used or sp_reads or sp_writes:
+            profiler = active_profiler()
+            if profiler.enabled:
+                profiler.record_settlement(sp_reads, sp_writes)
 
     def _flush_dirty(self):
         """Encode and write back the burst's pending stores.
@@ -367,6 +550,12 @@ class FastLaneEngine:
         sp = self._sp
         values = self._sp_values
         codec = self._sp_codec
+        profiler = active_profiler()
+        if profiler.enabled:
+            profiler.record_writeback(
+                len(dirty),
+                codec is not None and len(dirty) >= _BATCH_FLUSH_THRESHOLD,
+            )
         if codec is None:
             for address in dirty:
                 sp.poke(address, values[address])

@@ -18,6 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.obs import active_metrics, active_tracer, names
+from repro.obs.profile import (
+    ENGINE_FAST_LANE,
+    ENGINE_SCALAR,
+    ENGINE_SIMD,
+    active_profiler,
+)
 from repro.soc.cpu import Cpu, CpuState, ExecutionLimitExceeded, StopReason
 from repro.soc.isa import IllegalInstruction
 from repro.soc.memory import FaultyMemory, MemoryAccessFault
@@ -161,8 +167,12 @@ class Platform:
         controller catches it; without one it bubbles up as the
         system-level failure it is.
         """
+        runner = self._runner()
+        profiler = active_profiler()
+        if profiler.enabled:
+            profiler.record_engine(self._engine_kind(runner))
         try:
-            return self._runner()(max_instructions)
+            return runner(max_instructions)
         except IllegalInstruction as exc:
             self._record_failure("illegal-instruction")
             raise SystemFailure("illegal-instruction", str(exc)) from exc
@@ -207,6 +217,15 @@ class Platform:
         if engine is None:
             return self.cpu.run
         return engine.run
+
+    def _engine_kind(self, runner) -> str:
+        """Profiler label for the entry point :meth:`_runner` picked."""
+        if self._engine_run is not None and runner is self._engine_run:
+            return ENGINE_SIMD
+        engine = self._fast_engine
+        if engine is not None and runner == engine.run:
+            return ENGINE_FAST_LANE
+        return ENGINE_SCALAR
 
     def bind_engine(self, run) -> None:
         """Route execution through an external engine.

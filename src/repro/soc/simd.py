@@ -54,7 +54,13 @@ import numpy as np
 
 from repro.ecc.base import DecodeStatus, STATUS_CLEAN
 from repro.obs import active_metrics, names
-from repro.soc.cpu import ExecutionLimitExceeded, StopReason, predecode
+from repro.obs.profile import active_profiler, pow2_bucket, ratio_bucket
+from repro.soc.cpu import (
+    OPCODE_NAMES,
+    ExecutionLimitExceeded,
+    StopReason,
+    predecode,
+)
 from repro.soc.isa import NUM_REGISTERS, IllegalInstruction
 from repro.soc.memory import MemoryAccessFault
 from repro.soc.platform import DetectedError
@@ -310,6 +316,18 @@ class LaneBlock:
                 self._sync_in(lane)
         vector_committed = 0
         slow_steps = 0
+        # Profiler telemetry accumulates in plain locals and publishes
+        # once per service; lane scheduling and RNG/counter effects are
+        # untouched whether profiling is on or off.
+        profiler = active_profiler()
+        profiling = profiler.enabled
+        prof_rounds = 0
+        prof_fast_cycles = 0
+        prof_occupancy: dict = {}
+        prof_density: dict = {}
+        prof_divergence: dict = {}
+        prof_depth: dict = {}
+        prof_ops: dict = {}
         # ``active`` (and its index-array mirror) is maintained in
         # ascending lane order across rounds and only re-filtered when
         # a round produced events — the scheduler's per-round work is
@@ -327,6 +345,22 @@ class LaneBlock:
             else:
                 sel = np.nonzero(pcs == pcmin)[0]
                 group = [active[i] for i in sel.tolist()]
+            if profiling:
+                prof_rounds += 1
+                occupancy = len(group)
+                key = pow2_bucket(occupancy)
+                prof_occupancy[key] = prof_occupancy.get(key, 0) + 1
+                key = ratio_bucket(occupancy, len(active))
+                prof_density[key] = prof_density.get(key, 0) + 1
+                if occupancy == len(active):
+                    distinct, depth = 1, 0
+                else:
+                    distinct = int(np.unique(pcs).size)
+                    depth = int(pcs.max()) - pcmin
+                key = pow2_bucket(distinct)
+                prof_divergence[key] = prof_divergence.get(key, 0) + 1
+                key = pow2_bucket(depth)
+                prof_depth[key] = prof_depth.get(key, 0) + 1
             slow: list = []
             by_entry: dict = {}
             if not 0 <= pcmin < self._im_words:
@@ -374,11 +408,24 @@ class LaneBlock:
                     batched = self._batch_run(pcmin, lanes, pcs)
                     if batched:
                         vector_committed += batched * len(lanes)
+                        if profiling:
+                            clean = self._clean_entries
+                            width = len(lanes)
+                            for address in range(pcmin, pcmin + batched):
+                                run_entry = clean[address]
+                                prof_fast_cycles += run_entry[5] * width
+                                key = OPCODE_NAMES[run_entry[6]]
+                                prof_ops[key] = prof_ops.get(key, 0) + width
                         by_entry = {}
             for entry, lanes in by_entry.values():
-                vector_committed += self._commit(entry, pcmin, lanes, slow)
+                committed = self._commit(entry, pcmin, lanes, slow)
+                vector_committed += committed
+                if profiling and committed:
+                    prof_fast_cycles += entry[5] * committed
+                    key = OPCODE_NAMES[entry[6]]
+                    prof_ops[key] = prof_ops.get(key, 0) + committed
             for lane in slow:
-                self._slow_step(lane)
+                self._slow_step(lane, profiler if profiling else None)
                 slow_steps += 1
             if self._events_dirty:
                 self._events_dirty = False
@@ -393,6 +440,18 @@ class LaneBlock:
                 vector_committed
             )
             metrics.counter(names.SIMD_SLOW_STEPS).inc(slow_steps)
+        if profiling:
+            profiler.record_simd_service(
+                prof_rounds,
+                vector_committed,
+                prof_occupancy,
+                prof_density,
+                prof_divergence,
+                prof_depth,
+                vector_cycles=prof_fast_cycles,
+            )
+            if prof_ops:
+                profiler.record_opcodes(prof_ops)
 
     # ------------------------------------------------------------------
     # Vectorized commit of one shared entry across a lane group
@@ -768,12 +827,28 @@ class LaneBlock:
     # ------------------------------------------------------------------
     # Per-lane faithful slow step
     # ------------------------------------------------------------------
-    def _slow_step(self, lane) -> None:
-        """Settle the lane and replay one instruction via ``Cpu.step``."""
+    def _slow_step(self, lane, profiler=None) -> None:
+        """Settle the lane and replay one instruction via ``Cpu.step``.
+
+        With a profiler, the step is bracketed by instruction/cycle
+        deltas for slow-path residency (``Cpu.step`` itself never
+        profiles, so nothing is double-counted); the delta is recorded
+        even when the step raises.
+        """
         self._settle(lane)
         platform = self._platforms[lane]
+        state = platform.cpu.state
+        before_instructions = state.instructions
+        before_cycles = state.cycles
         try:
-            reason = platform.cpu.step()
+            try:
+                reason = platform.cpu.step()
+            finally:
+                if profiler is not None:
+                    profiler.record_slow_path(
+                        state.instructions - before_instructions,
+                        state.cycles - before_cycles,
+                    )
         except _STEP_ERRORS as exc:
             self._events_dirty = True
             self._events[lane] = ("raise", exc)
@@ -848,6 +923,10 @@ class LaneBlock:
         if sp_writes:
             self._sp_ports[lane].account_clean_writes(sp_writes)
             self._flush_dirty(lane)
+        if im_used or sp_reads or sp_writes:
+            profiler = active_profiler()
+            if profiler.enabled:
+                profiler.record_settlement(sp_reads, sp_writes)
         self._settled_instructions[lane] = self._instructions[lane]
         self._sp_reads[lane] = 0
         self._sp_writes[lane] = 0
@@ -861,6 +940,13 @@ class LaneBlock:
         sp = self._sp_mems[lane]
         values = self._sp_view[lane, addresses]
         codec = self._sp_codec
+        profiler = active_profiler()
+        if profiler.enabled:
+            profiler.record_writeback(
+                int(addresses.size),
+                codec is not None
+                and int(addresses.size) >= _BATCH_FLUSH_THRESHOLD,
+            )
         if codec is None:
             for address, value in zip(
                 addresses.tolist(), values.tolist()

@@ -4,3 +4,7 @@ from repro.obs import active_metrics
 
 def publish() -> None:
     active_metrics().counter("totally.unregistered.name").inc()
+
+
+def publish_profile() -> None:
+    active_metrics().counter("profile.bogus_tally").inc()

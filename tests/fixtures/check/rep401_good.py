@@ -6,3 +6,8 @@ def publish(codec: str) -> None:
     active_metrics().counter(names.FAULTS_INJECTED_BITS).inc()
     active_metrics().counter("faults.injected_events").inc()
     active_metrics().counter(names.ecc_metric(codec, "clean")).inc()
+
+
+def publish_profile() -> None:
+    active_metrics().histogram(names.PROFILE_LANE_OCCUPANCY).add("4-7")
+    active_metrics().counter("profile.fast_path.instructions").inc()

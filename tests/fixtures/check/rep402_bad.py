@@ -1,0 +1,9 @@
+"""Bad: engine module constructs and installs its own instruments."""
+from repro.obs import MetricsRegistry, enable_metrics
+from repro.obs.profile import EngineProfiler, enable_profiling
+
+
+def run_profiled() -> None:
+    registry = MetricsRegistry()
+    enable_metrics(registry)
+    enable_profiling(EngineProfiler())

@@ -1,0 +1,10 @@
+"""Good: ambient instruments via the no-op-default accessors."""
+from repro.obs import active_metrics, names
+from repro.obs.profile import active_profiler
+
+
+def settle(reads: int, writes: int) -> None:
+    profiler = active_profiler()
+    if profiler.enabled:
+        profiler.record_settlement(reads, writes)
+    active_metrics().counter(names.PROFILE_SETTLEMENTS).inc()

@@ -43,6 +43,7 @@ FIXTURE_PATHS = {
     "REP201": "src/repro/memdev/example.py",
     "REP301": "src/repro/soc/example.py",
     "REP401": "src/repro/soc/example.py",
+    "REP402": "src/repro/soc/example.py",
     "REP501": "src/repro/analysis/example.py",
     "REP502": "src/repro/analysis/example.py",
     "REP601": "src/repro/analysis/example.py",

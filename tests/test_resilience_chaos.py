@@ -127,6 +127,57 @@ class TestCampaignChaos:
         assert counters["resilience.resumed_tasks"] == 2
         assert counters["resilience.checkpoints"] == 4
 
+    def test_heartbeat_survives_kill_and_resume(self, fft_fixture, tmp_path):
+        """The NDJSON heartbeat stays readable across a worker kill and
+        a journal resume: each campaign invocation emits a ``start``
+        record (with the resumed head start pre-counted) and per-task
+        records that drive the ETA, and a torn final line — the
+        abnormal-exit case — never hides the complete records."""
+        from repro.obs.report import read_ndjson
+
+        program, golden = fft_fixture
+        kwargs = _campaign_kwargs(program, golden)
+        baseline = run_campaign(SecdedRunner, **kwargs)
+        journal = str(tmp_path / "campaign.ndjson")
+        first_beat = tmp_path / "hb_first.ndjson"
+        resume_beat = tmp_path / "hb_resume.ndjson"
+
+        half = dict(kwargs, runs=2)
+        run_campaign(
+            SecdedRunner, journal=journal, heartbeat=str(first_beat),
+            **half,
+        )
+        first = read_ndjson(first_beat)
+        assert first[0]["kind"] == "start"
+        assert first[0]["total"] == 2
+        assert first[0]["done"] == 0
+        assert first[-1]["done"] == 2
+
+        # Resume under chaos: a killed worker must not corrupt either
+        # the journal or the heartbeat stream.
+        chaos = ChaosPolicy(kill=[("run-102", 1)])
+        resumed = run_campaign(
+            SecdedRunner, journal=journal, heartbeat=str(resume_beat),
+            processes=2, chaos=chaos, **kwargs,
+        )
+        _assert_identical(resumed, baseline)
+        assert resumed.resilience.resumed == 2
+
+        records = read_ndjson(resume_beat)
+        assert records[0]["kind"] == "start"
+        assert records[0]["total"] == 4
+        assert records[0]["done"] == 2  # resumed head start pre-counted
+        assert records[0]["resumed"] == 2
+        tasks = [r for r in records if r["kind"] == "task"]
+        assert [r["done"] for r in tasks] == [3, 4]
+        assert all(r["eta_s"] >= 0.0 for r in tasks)
+        assert records[-1]["done"] == 4
+
+        # Torn tail (SIGKILL mid-write): complete records still read.
+        with open(resume_beat, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "task", "done"')
+        assert read_ndjson(resume_beat) == records
+
     def test_poison_run_quarantined_not_fatal(self, fft_fixture):
         """A run that fails every attempt is excluded and counted, and
         the campaign still completes with the surviving runs."""

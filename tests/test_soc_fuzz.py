@@ -380,3 +380,46 @@ def test_fast_lane_is_bit_exact(scenario):
     # SimulationResult is derived from the fingerprint, but it is the
     # object every experiment consumes — pin it directly too.
     assert fast.result() == reference.result()
+
+
+@given(scenario=soc_scenarios())
+@settings(max_examples=25, deadline=None)
+def test_fast_lane_bit_exact_with_profiling(scenario):
+    """Profiling on must be bit-exactness-neutral on both engines.
+
+    Outcomes, architectural fingerprints (including fault statistics
+    and RNG bit-generator positions) must match the unprofiled runs
+    exactly, while the ``profile.*`` instruments actually populate.
+    """
+    from repro.obs import MetricsRegistry, names, scoped_metrics
+    from repro.obs.profile import scoped_profiling
+
+    (source, seed_regs, data), vdd, scheme, seed = scenario
+    reference = _build_soc(scheme, vdd, seed, fast_lane=False)
+    fast = _build_soc(scheme, vdd, seed, fast_lane=True)
+    ref_outcome = _run_soc(reference, source, seed_regs, data)
+    fast_outcome = _run_soc(fast, source, seed_regs, data)
+
+    prof_reference = _build_soc(scheme, vdd, seed, fast_lane=False)
+    prof_fast = _build_soc(scheme, vdd, seed, fast_lane=True)
+    registry = MetricsRegistry()
+    with scoped_metrics(registry), scoped_profiling():
+        prof_ref_outcome = _run_soc(
+            prof_reference, source, seed_regs, data
+        )
+        prof_fast_outcome = _run_soc(prof_fast, source, seed_regs, data)
+
+    assert prof_ref_outcome == ref_outcome
+    assert prof_fast_outcome == fast_outcome
+    assert _fingerprint(prof_reference) == _fingerprint(reference)
+    assert _fingerprint(prof_fast) == _fingerprint(fast)
+    assert prof_fast.result() == fast.result()
+
+    snapshot = registry.snapshot()
+    # The scalar reference is pure slow path, and its every
+    # instruction lands in the opcode mix.
+    assert snapshot.counters[names.PROFILE_SLOW_INSTRUCTIONS] > 0
+    assert sum(snapshot.histograms[names.PROFILE_OPCODE].values()) > 0
+    if prof_fast._fast_engine is not None:
+        assert snapshot.counters[names.PROFILE_BURSTS] > 0
+        assert names.PROFILE_BURST_LENGTH in snapshot.histograms

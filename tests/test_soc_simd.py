@@ -425,3 +425,48 @@ def test_rng_positions_equal_np_advancement():
     platform = _build_soc("secded", 0.45, 5, fast_lane=False)
     state = platform.sp.faults.rng.bit_generator.state
     assert isinstance(state, dict) and "state" in state
+
+
+@given(scenario=lane_scenarios())
+@settings(max_examples=25, deadline=None)
+def test_lane_block_bit_exact_with_profiling(scenario):
+    """Profiling on must be bit-exactness-neutral on the SIMD engine.
+
+    Lane outcomes, fingerprints and results must match an unprofiled
+    lockstep run exactly, while SIMD lane telemetry (service rounds,
+    occupancy/divergence histograms) actually populates.
+    """
+    from repro.obs import MetricsRegistry, names
+    from repro.obs import scoped_metrics as _scoped_metrics
+    from repro.obs.profile import scoped_profiling
+
+    (source, seed_regs, data), vdd, scheme, seeds = scenario
+    references = [
+        _build_soc(scheme, vdd, seed, fast_lane=False) for seed in seeds
+    ]
+    block = LaneBlock(references, program_words=assemble(source))
+    ref_outcomes = _run_lockstep(
+        references, block, source, seed_regs, data
+    )
+
+    platforms = [
+        _build_soc(scheme, vdd, seed, fast_lane=False) for seed in seeds
+    ]
+    registry = MetricsRegistry()
+    with _scoped_metrics(registry), scoped_profiling():
+        prof_block = LaneBlock(platforms, program_words=assemble(source))
+        outcomes = _run_lockstep(
+            platforms, prof_block, source, seed_regs, data
+        )
+
+    assert outcomes == ref_outcomes
+    for platform, reference in zip(platforms, references):
+        assert _fingerprint(platform) == _fingerprint(reference)
+        assert platform.result() == reference.result()
+
+    snapshot = registry.snapshot()
+    assert snapshot.counters[names.PROFILE_SIMD_ROUNDS] > 0
+    occupancy = snapshot.histograms[names.PROFILE_LANE_OCCUPANCY]
+    assert sum(occupancy.values()) > 0
+    assert names.PROFILE_MASK_DENSITY in snapshot.histograms
+    assert names.PROFILE_RECONVERGENCE_DEPTH in snapshot.histograms

@@ -181,6 +181,35 @@ def bench_faults(n_accesses: int, vdd: float = 0.42):
 
     t_scalar = best_of(scalar, repeats=3)
     t_batch = best_of(batch, repeats=3)
+
+    # Conditional-mask kernel: reusable scratch vs per-call allocation.
+    # Faulty accesses are rare at campaign voltages (the sampler's whole
+    # point), so the kernel is timed directly at a fixed block size
+    # rather than through sample_masks; the scratch path must consume
+    # the identical RNG stream and emit identical masks.
+    cond_block = 4096
+    m_scratch = VoltageFaultModel(
+        ACCESS_CELL_BASED_40NM, width=32, vdd=vdd,
+        rng=np.random.default_rng(11), reuse_buffers=True,
+    )
+    m_alloc = VoltageFaultModel(
+        ACCESS_CELL_BASED_40NM, width=32, vdd=vdd,
+        rng=np.random.default_rng(11),
+    )
+    masks_scratch = m_scratch._draw_conditional_masks(cond_block)
+    masks_alloc = m_alloc._draw_conditional_masks(cond_block)
+    scratch_exact = bool(
+        np.array_equal(masks_scratch, masks_alloc)
+        and m_scratch.rng.bit_generator.state
+        == m_alloc.rng.bit_generator.state
+    )
+    t_cond_scratch = best_of(
+        lambda: m_scratch._draw_conditional_masks(cond_block)
+    )
+    t_cond_alloc = best_of(
+        lambda: m_alloc._draw_conditional_masks(cond_block)
+    )
+
     return {
         "n_accesses": n_accesses,
         "vdd": vdd,
@@ -189,6 +218,11 @@ def bench_faults(n_accesses: int, vdd: float = 0.42):
         "batch_s": t_batch,
         "speedup": t_scalar / t_batch,
         "batch_maccesses_per_s": n_accesses / t_batch / 1e6,
+        "cond_block": cond_block,
+        "cond_scratch_bit_exact": scratch_exact,
+        "cond_scratch_s": t_cond_scratch,
+        "cond_noscratch_s": t_cond_alloc,
+        "cond_scratch_speedup": t_cond_alloc / t_cond_scratch,
     }
 
 
@@ -224,6 +258,124 @@ def bench_fig5_campaign(accesses_per_point: int):
         "scalar_s": t_scalar,
         "batch_s": t_batch,
         "speedup": t_scalar / t_batch,
+    }
+
+
+def bench_store(accesses_per_point: int, campaign_runs: int,
+                fft_points: int = 64):
+    """Content-addressed result store: warm re-query vs cold execution.
+
+    Runs the Figure-5 grid cold through a fresh store (execution plus
+    fingerprint puts), then re-queries it warm (every point served from
+    the store) — the headline ``warm_speedup``.  Bit-exactness is
+    checked at its hardest point: a *half-primed* store (even-index
+    points cached, odd-index points executed fresh) must assemble a
+    grid byte-identical to the storeless run.  A full platform campaign
+    point (SECDED FFT) is also timed cold vs warm.
+    """
+    from repro.store import ResultStore
+    from repro.store.keys import fig5_point_key
+
+    campaign = BatchCampaign(seed=5)
+    voltages = np.linspace(0.30, 0.50, 11)
+    baseline = campaign.access_ber_grid(
+        ACCESS_CELL_BASED_40NM, voltages, accesses_per_point
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        store = ResultStore(tmp_path / "bench_store.sqlite")
+        start = time.perf_counter()
+        cold = campaign.access_ber_grid(
+            ACCESS_CELL_BASED_40NM, voltages, accesses_per_point,
+            store=store,
+        )
+        cold_s = time.perf_counter() - start
+
+        hits_before = store.stats()["hits"]
+        start = time.perf_counter()
+        warm = campaign.access_ber_grid(
+            ACCESS_CELL_BASED_40NM, voltages, accesses_per_point,
+            store=store,
+        )
+        first_warm_s = time.perf_counter() - start
+        hit_ratio = (
+            (store.stats()["hits"] - hits_before) / float(voltages.size)
+        )
+        warm_s = min(
+            first_warm_s,
+            best_of(
+                lambda: campaign.access_ber_grid(
+                    ACCESS_CELL_BASED_40NM, voltages, accesses_per_point,
+                    store=store,
+                )
+            ),
+        )
+        warm_exact = bool(
+            np.array_equal(cold.errors, baseline.errors)
+            and np.array_equal(warm.errors, baseline.errors)
+        )
+
+        # Mixed cached+fresh assembly against a half-primed store.
+        half = ResultStore(tmp_path / "bench_store_half.sqlite")
+        for i, vdd in enumerate(voltages):
+            if i % 2 == 0:
+                key = fig5_point_key(
+                    ACCESS_CELL_BASED_40NM, float(vdd),
+                    accesses_per_point, 32, campaign.seed, i,
+                )
+                half.put(key, store.get(key))
+        mixed = campaign.access_ber_grid(
+            ACCESS_CELL_BASED_40NM, voltages, accesses_per_point,
+            store=half,
+        )
+        half_stats = half.stats()
+        cache_bit_exact = bool(
+            warm_exact and np.array_equal(mixed.errors, baseline.errors)
+        )
+
+        # One full platform campaign point, cold then warm.
+        program = build_fft_program(fft_points)
+        golden = program.expected_output(
+            list(program.data_words[:fft_points])
+        )
+        campaign_kwargs = dict(
+            workload=program.workload,
+            golden=golden,
+            access_model=ACCESS_CELL_BASED_40NM_TYPICAL,
+            vdd=0.44,
+            runs=campaign_runs,
+            seed_base=100,
+            macro_style="cell-based",
+            store=store,
+        )
+        start = time.perf_counter()
+        campaign_cold = run_campaign(SecdedRunner, **campaign_kwargs)
+        campaign_cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        campaign_warm = run_campaign(SecdedRunner, **campaign_kwargs)
+        campaign_warm_s = time.perf_counter() - start
+        campaign_warm_equal = bool(
+            campaign_warm == campaign_cold
+            and campaign_warm.resilience is None
+        )
+
+    return {
+        "grid_points": int(voltages.size),
+        "accesses_per_point": accesses_per_point,
+        "campaign_runs": campaign_runs,
+        "fft_points": fft_points,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_speedup": cold_s / warm_s,
+        "hit_ratio": hit_ratio,
+        "cache_bit_exact": cache_bit_exact,
+        "mixed_hits": half_stats["hits"],
+        "mixed_misses": half_stats["misses"],
+        "campaign_cold_s": campaign_cold_s,
+        "campaign_warm_s": campaign_warm_s,
+        "campaign_warm_speedup": campaign_cold_s / campaign_warm_s,
+        "campaign_warm_equal": campaign_warm_equal,
     }
 
 
@@ -654,6 +806,8 @@ def main() -> int:
         results["faults"] = bench_faults(fault_n)
     with registry.timer("bench.fig5_campaign").time():
         results["fig5_campaign"] = bench_fig5_campaign(fig5_n)
+    with registry.timer("bench.store").time():
+        results["store"] = bench_store(fig5_n, resilience_runs)
     with registry.timer("bench.platform").time():
         results["platform"] = bench_platform(platform_fft)
     with registry.timer("bench.profile").time():
@@ -677,7 +831,16 @@ def main() -> int:
         "bch_encode_bit_exact": results["bch"]["encode_bit_exact"],
         "bch_decode_bit_exact": results["bch"]["decode_bit_exact"],
         "fault_stats_ok": results["faults"]["stats_within_tolerance"],
+        "faults_scratch_bit_exact": (
+            results["faults"]["cond_scratch_bit_exact"]
+        ),
         "fig5_bit_exact": results["fig5_campaign"]["bit_exact"],
+        "store_warm_100x": results["store"]["warm_speedup"] >= 100.0,
+        "store_hit_ratio": results["store"]["hit_ratio"] == 1.0,
+        "store_cache_bit_exact": results["store"]["cache_bit_exact"],
+        "store_campaign_warm_equal": (
+            results["store"]["campaign_warm_equal"]
+        ),
         "secded_encode_20x": results["secded"]["encode_speedup"] >= 20.0,
         "secded_decode_20x": results["secded"]["decode_speedup"] >= 20.0,
         # Regression guard for the vectorized syndrome/Chien decode
@@ -740,7 +903,14 @@ def main() -> int:
             "bch_encode": results["bch"]["encode_speedup"],
             "bch_decode": results["bch"]["decode_speedup"],
             "faults": results["faults"]["speedup"],
+            "faults_cond_scratch": (
+                results["faults"]["cond_scratch_speedup"]
+            ),
             "fig5_campaign": results["fig5_campaign"]["speedup"],
+            "store_warm": results["store"]["warm_speedup"],
+            "store_campaign_warm": (
+                results["store"]["campaign_warm_speedup"]
+            ),
             "platform": {
                 name: s["speedup"] for name, s in schemes.items()
             },
@@ -770,8 +940,20 @@ def main() -> int:
         f"{'fault engine':>16}: batch {f['speedup']:6.1f}x "
         f"({f['batch_maccesses_per_s']:.0f} Maccess/s)"
     )
+    print(
+        f"{'cond masks':>16}: scratch "
+        f"{f['cond_scratch_speedup']:6.1f}x "
+        f"(bit_exact={f['cond_scratch_bit_exact']})"
+    )
     c = results["fig5_campaign"]
     print(f"{'fig5 campaign':>16}: batch {c['speedup']:6.1f}x")
+    st = results["store"]
+    print(
+        f"{'result store':>16}: warm {st['warm_speedup']:6.1f}x "
+        f"(hit ratio {st['hit_ratio']:.2f}, "
+        f"cache_bit_exact={st['cache_bit_exact']}), campaign warm "
+        f"{st['campaign_warm_speedup']:.1f}x"
+    )
     res = results["resilience"]
     print(
         f"{'resilience':>16}: chaos identical={res['chaos_bit_identical']} "

@@ -135,6 +135,7 @@ class BatchCampaign:
         vdd: float,
         frequency: float = 290e3,
         runs: int = 20,
+        store=None,
         **campaign_kwargs,
     ):
         """Monte-Carlo failure campaign under this driver's execution
@@ -144,7 +145,8 @@ class BatchCampaign:
         run ``i`` uses seed ``self.seed + i``, and ``lanes`` > 1 shards
         the seed axis into lockstep lane blocks before the ProcessPool
         fan-out.  The result is bit-identical for any (processes,
-        lanes) combination.
+        lanes) combination.  ``store`` content-addresses the campaign
+        (see :func:`~repro.analysis.campaign.run_campaign`).
         """
         from repro.analysis.campaign import run_campaign
 
@@ -159,6 +161,7 @@ class BatchCampaign:
             seed_base=self.seed,
             processes=self.processes,
             lanes=self.lanes,
+            store=store,
             **campaign_kwargs,
         )
 
@@ -168,17 +171,64 @@ class BatchCampaign:
     #: Row block of the Bernoulli matrices, in doubles.
     CHUNK_DOUBLES = 1 << 20
 
+    def _count_point_errors(
+        self,
+        access_model: AccessErrorModel,
+        vdd: float,
+        accesses: int,
+        bits: int,
+        index: int,
+    ) -> int:
+        """Error count of one grid point (chunked Bernoulli draws).
+
+        The child stream ``default_rng((seed, index))`` draws its
+        doubles in C order, so the count is independent of the chunk
+        split — which is why chunking is not part of the point's cache
+        key.
+        """
+        p_bit = access_model.bit_error_probability(vdd)
+        if p_bit == 0.0:
+            return 0
+        rng = self._point_rng(index)
+        chunk = max(1, self.CHUNK_DOUBLES // bits)
+        errors = 0
+        done = 0
+        while done < accesses:
+            rows = min(chunk, accesses - done)
+            errors += int(np.count_nonzero(rng.random((rows, bits)) < p_bit))
+            done += rows
+        return errors
+
     def access_ber_grid(
         self,
         access_model: AccessErrorModel,
         voltages: np.ndarray,
         accesses: int,
         bits: int = 32,
+        store=None,
     ) -> AccessBerGrid:
-        """Quasi-static RW shmoo over a whole voltage grid, vectorized."""
+        """Quasi-static RW shmoo over a whole voltage grid, vectorized.
+
+        With ``store`` (a :class:`~repro.store.ResultStore`) each grid
+        point is content-addressed by
+        :func:`repro.store.keys.fig5_point_key`; warm points are served
+        from the store, misses execute the chunked Bernoulli loop and
+        publish their count, and the assembled grid is bit-identical to
+        a cold run for any mix of cached and fresh points (the stored
+        value *is* the exact integer error count).
+        """
         voltages = np.asarray(voltages, dtype=float)
         errors = np.zeros(voltages.shape, dtype=np.int64)
-        chunk = max(1, self.CHUNK_DOUBLES // bits)
+        keys = None
+        if store is not None:
+            from repro.store.keys import fig5_point_key
+
+            keys = [
+                fig5_point_key(
+                    access_model, float(vdd), accesses, bits, self.seed, i
+                )
+                for i, vdd in enumerate(voltages)
+            ]
         with active_tracer().span(
             names.SPAN_BATCH_ACCESS_BER_GRID,
             points=int(voltages.size),
@@ -187,17 +237,20 @@ class BatchCampaign:
             seed=self.seed,
         ):
             for i, vdd in enumerate(voltages):
-                p_bit = access_model.bit_error_probability(float(vdd))
-                if p_bit == 0.0:
-                    continue
-                rng = self._point_rng(i)
-                done = 0
-                while done < accesses:
-                    rows = min(chunk, accesses - done)
-                    errors[i] += int(
-                        np.count_nonzero(rng.random((rows, bits)) < p_bit)
+                if keys is not None:
+                    payload, _cached = store.fetch_or_compute(
+                        keys[i],
+                        lambda i=i, vdd=vdd: {
+                            "errors": self._count_point_errors(
+                                access_model, float(vdd), accesses, bits, i
+                            )
+                        },
                     )
-                    done += rows
+                    errors[i] = int(payload["errors"])
+                else:
+                    errors[i] = self._count_point_errors(
+                        access_model, float(vdd), accesses, bits, i
+                    )
         metrics = active_metrics()
         metrics.counter(names.BATCH_GRID_POINTS).inc(int(voltages.size))
         metrics.counter(names.BATCH_GRID_ACCESSES).inc(
@@ -251,6 +304,7 @@ class BatchCampaign:
         task_timeout: float | None = None,
         journal: str | None = None,
         chaos: ChaosPolicy | None = None,
+        store=None,
     ) -> np.ndarray:
         """Cumulative retention-failure probability over ``voltages``.
 
@@ -265,25 +319,49 @@ class BatchCampaign:
         for bit-identical resume.  A die quarantined after exhausting
         its retries raises ``RuntimeError`` rather than silently
         skewing the population curve.
+
+        With ``store`` each die is content-addressed by
+        :func:`repro.store.keys.retention_die_key`; cached dies skip
+        the executor entirely (their journal-exact payload — counts
+        plus metrics snapshot — is decoded from the store), only miss
+        dies execute, and fresh dies are published back.  The assembled
+        curve and the merged metrics are bit-identical to a cold run
+        for any cached/fresh mix.
         """
         voltages = np.asarray(voltages, dtype=float)
         master = np.random.default_rng(self.seed)
         offsets = master.normal(0.0, die_sigma_v, size=n_dies)
-        tasks = [
-            TaskSpec(
-                key=f"die-{die_index}",
-                args=(
-                    (
-                        base_retention.shifted(float(offset)),
-                        access_model,
-                        words,
-                        bits,
-                        int(master.integers(2**63)),
-                        voltages,
-                    ),
-                ),
+        die_args = [
+            (
+                base_retention.shifted(float(offset)),
+                access_model,
+                words,
+                bits,
+                int(master.integers(2**63)),
+                voltages,
             )
-            for die_index, offset in enumerate(offsets)
+            for offset in offsets
+        ]
+        die_keys = None
+        cached: dict[int, tuple] = {}
+        if store is not None:
+            from repro.store.keys import retention_die_key
+
+            die_keys = [
+                retention_die_key(
+                    base_retention, access_model, words, bits, self.seed,
+                    n_dies, die_sigma_v, die_index, voltages,
+                )
+                for die_index in range(n_dies)
+            ]
+            for die_index, key in enumerate(die_keys):
+                payload = store.get(key)
+                if payload is not None:
+                    cached[die_index] = _decode_die(payload)
+        tasks = [
+            TaskSpec(key=f"die-{die_index}", args=(args,))
+            for die_index, args in enumerate(die_args)
+            if die_index not in cached
         ]
         executor = ResilientExecutor(
             _die_failure_counts,
@@ -311,25 +389,33 @@ class BatchCampaign:
             processes=self.processes or 1,
             seed=self.seed,
         ):
-            report = executor.run(
-                tasks,
-                run_id=f"retention-curve-{self.seed}",
-                fingerprint=fingerprint,
-                journal=journal,
-            )
-            if report.quarantined:
-                raise RuntimeError(
-                    "retention_failure_curve lost dies to quarantine: "
-                    + ", ".join(
-                        f"{key} ({reason})"
-                        for key, reason in sorted(
-                            report.quarantined.items()
+            report = None
+            if tasks:
+                report = executor.run(
+                    tasks,
+                    run_id=f"retention-curve-{self.seed}",
+                    fingerprint=fingerprint,
+                    journal=journal,
+                )
+                if report.quarantined:
+                    raise RuntimeError(
+                        "retention_failure_curve lost dies to quarantine: "
+                        + ", ".join(
+                            f"{key} ({reason})"
+                            for key, reason in sorted(
+                                report.quarantined.items()
+                            )
                         )
                     )
-                )
             counts = []
-            for die_index, task in enumerate(tasks):
-                die_counts, snapshot = report.results[task.key]
+            for die_index in range(n_dies):
+                if die_index in cached:
+                    die_counts, snapshot = cached[die_index]
+                else:
+                    outcome = report.results[f"die-{die_index}"]
+                    if die_keys is not None:
+                        store.put(die_keys[die_index], _encode_die(outcome))
+                    die_counts, snapshot = outcome
                 counts.append(die_counts)
                 metrics.merge(snapshot)
                 tracer.point(

@@ -271,6 +271,7 @@ def run_campaign(
     lanes: int = 1,
     progress=None,
     heartbeat: str | None = None,
+    store=None,
     **runner_kwargs,
 ) -> CampaignResult:
     """Run ``runs`` independent seeded executions and classify them.
@@ -303,12 +304,66 @@ def run_campaign(
     :class:`~repro.obs.report.CampaignProgress` writing flushed NDJSON
     heartbeat records there, so external watchers (and the
     resume-after-kill chaos tests) can tail done/total/ETA live.
+
+    ``store`` (a :class:`~repro.store.ResultStore`) content-addresses
+    the whole campaign by its provenance
+    (:func:`repro.store.keys.scheme_campaign_key`): a warm probe
+    returns the decoded :class:`CampaignResult` without touching an
+    engine (``resilience`` is ``None`` on a served result — that is
+    how callers tell warm from fresh), a miss computes cold, publishes,
+    and returns the fresh result.  Identical concurrent misses in one
+    process collapse onto a single computation (in-flight
+    deduplication).  Execution knobs (``processes``, retries,
+    timeouts, journal, chaos, progress) are not part of the key — the
+    engines are bit-exact across all of them.
     """
     vdd = validate_vdd(vdd, "run_campaign")
     if runs <= 0:
         raise ValueError("runs must be positive")
     if lanes < 1:
         raise ValueError("lanes must be positive")
+    if store is not None:
+        from repro.store.pipeline import (
+            campaign_point_key,
+            decode_campaign_result,
+            encode_campaign_result,
+            publish_cached_campaign_metrics,
+        )
+
+        key = campaign_point_key(
+            runner_cls, workload, golden, access_model,
+            vdd=vdd, frequency=frequency, runs=runs, seed_base=seed_base,
+            lanes=lanes, runner_kwargs=runner_kwargs,
+        )
+        fingerprint = key.fingerprint()
+        while True:
+            payload = store.get(key)
+            if payload is not None:
+                result = decode_campaign_result(payload)
+                publish_cached_campaign_metrics(result)
+                return result
+            owner, event = store.begin_compute(fingerprint)
+            if owner:
+                break
+            store.note_inflight_wait()
+            event.wait()
+        try:
+            result = run_campaign(
+                runner_cls, workload, golden, access_model, vdd,
+                frequency=frequency, runs=runs, seed_base=seed_base,
+                processes=processes, max_retries=max_retries,
+                task_timeout=task_timeout, journal=journal, chaos=chaos,
+                lanes=lanes, progress=progress, heartbeat=heartbeat,
+                store=None, **runner_kwargs,
+            )
+            if result.quarantined == 0:
+                # Quarantined campaigns are environment-shaped (retry
+                # budgets, worker death), not provenance-shaped; never
+                # serve one as the canonical answer for this key.
+                store.put(key, encode_campaign_result(result))
+        finally:
+            store.end_compute(fingerprint)
+        return result
     if lanes > 1:
         blocks = []
         start = 0

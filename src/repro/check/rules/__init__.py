@@ -94,6 +94,7 @@ from repro.check.rules import rng  # noqa: E402,F401
 from repro.check.rules import lanes  # noqa: E402,F401
 from repro.check.rules import voltage  # noqa: E402,F401
 from repro.check.rules import determinism  # noqa: E402,F401
+from repro.check.rules import storekeys  # noqa: E402,F401
 from repro.check.rules import obsnames  # noqa: E402,F401
 from repro.check.rules import instrumentation  # noqa: E402,F401
 from repro.check.rules import concurrency  # noqa: E402,F401

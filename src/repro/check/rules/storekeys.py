@@ -1,0 +1,97 @@
+"""REP103 — result-store keys derive from provenance, nothing else.
+
+The content-addressed result store (PR 8) promises that a campaign
+point's fingerprint is a pure function of its *provenance* — codec,
+fault model, voltage, seeds, lane count.  Warm hits are then exactly
+the runs a cold machine would execute, on any host, in any process, at
+any time.  The promise dies the moment key-path code consults a wall
+clock, the OS entropy pool, or host/process identity: the same
+campaign point would fingerprint differently per run, silently turning
+every lookup into a miss (or worse, colliding distinct points).
+
+Scope: ``repro.store`` and its submodules — the only place fingerprints
+are minted.
+
+Flagged there:
+
+* wall-clock reads (``time.time``, ``datetime.now``, ... — the REP301
+  taxonomy, reused verbatim);
+* OS entropy (``os.urandom``, ``uuid.uuid4``, ``secrets.*`` — ditto);
+* host/process identity (``os.getpid``/``getppid``, ``os.uname``,
+  ``socket.gethostname``/``getfqdn``, ``platform.node``,
+  ``getpass.getuser``) — a fingerprint that encodes *where* it was
+  computed is not content-addressed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.check.rules import Rule, register
+from repro.check.rules.determinism import _OS_ENTROPY, _WALL_CLOCK
+
+if TYPE_CHECKING:
+    from repro.check.engine import FileContext, Finding, Project
+
+#: Host/process identity sources; meaningless in a content address.
+_IDENTITY = frozenset(
+    {
+        "os.getpid",
+        "os.getppid",
+        "os.uname",
+        "socket.gethostname",
+        "socket.getfqdn",
+        "platform.node",
+        "getpass.getuser",
+    }
+)
+
+
+@register
+class StoreKeyProvenanceRule(Rule):
+    id = "REP103"
+    name = "nonprovenance-store-key"
+    summary = (
+        "repro.store modules must not read wall clocks, OS entropy, or "
+        "host/process identity — cache keys derive from provenance only"
+    )
+
+    def applies_to(self, file: FileContext) -> bool:
+        module = file.module
+        return module == "repro.store" or module.startswith("repro.store.")
+
+    def check(
+        self, file: FileContext, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = file.resolve(node.func)
+            if resolved in _WALL_CLOCK:
+                yield self.finding(
+                    file,
+                    node.lineno,
+                    node.col_offset,
+                    f"{resolved} reads the wall clock in repro.store; "
+                    "content-addressed keys and stored payloads must "
+                    "derive from campaign provenance only",
+                )
+            elif resolved in _OS_ENTROPY:
+                yield self.finding(
+                    file,
+                    node.lineno,
+                    node.col_offset,
+                    f"{resolved} draws OS entropy in repro.store; "
+                    "fingerprints must be reproducible functions of "
+                    "campaign provenance",
+                )
+            elif resolved in _IDENTITY:
+                yield self.finding(
+                    file,
+                    node.lineno,
+                    node.col_offset,
+                    f"{resolved} reads host/process identity in "
+                    "repro.store; a key that encodes where it was "
+                    "computed is not content-addressed",
+                )

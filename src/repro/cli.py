@@ -182,6 +182,24 @@ def _json_payload(exhibit: str, fft_points: int) -> dict:
 # ----------------------------------------------------------------------
 # Resilient campaign exhibit
 # ----------------------------------------------------------------------
+def _open_store(args):
+    """Result store selected by ``--store`` / ``$REPRO_STORE``.
+
+    ``--no-store`` wins over both; returns ``None`` when no store is
+    configured (exhibits then always compute cold).
+    """
+    import os
+
+    if getattr(args, "no_store", False):
+        return None
+    path = getattr(args, "store", None) or os.environ.get("REPRO_STORE")
+    if not path:
+        return None
+    from repro.store import ResultStore
+
+    return ResultStore(path)
+
+
 def _campaign_result(args):
     """Run one resilient failure-rate campaign from CLI arguments."""
     from repro.analysis.campaign import run_campaign
@@ -202,6 +220,7 @@ def _campaign_result(args):
     program = build_fft_program(args.fft)
     golden = program.expected_output(list(program.data_words[: args.fft]))
     progress = _campaign_progress(args)
+    store = _open_store(args)
     try:
         return run_campaign(
             runner_cls,
@@ -217,6 +236,7 @@ def _campaign_result(args):
             journal=args.resume,
             lanes=args.lanes,
             progress=progress,
+            store=store,
             macro_style="cell-based",
         )
     finally:
@@ -252,18 +272,25 @@ def _campaign_payload(result) -> dict:
         dataclasses.replace(result, resilience=None)
     )
     payload.pop("resilience", None)
-    payload["resilience"] = {
-        "resumed": report.resumed,
-        "executed": report.executed,
-        "retries": report.retries,
-        "requeues": report.requeues,
-        "checkpoints": report.checkpoints,
-        "pool_breaks": report.pool_breaks,
-        "deadline_overruns": report.deadline_overruns,
-        "degraded_to_serial": report.degraded_to_serial,
-        "quarantined": dict(report.quarantined),
-        "journal": report.journal_path,
-    }
+    if report is None:
+        # Store-served result: no execution happened, so there is no
+        # resilience report — only the cache provenance marker.
+        payload["served_from_store"] = True
+        payload["resilience"] = None
+    else:
+        payload["served_from_store"] = False
+        payload["resilience"] = {
+            "resumed": report.resumed,
+            "executed": report.executed,
+            "retries": report.retries,
+            "requeues": report.requeues,
+            "checkpoints": report.checkpoints,
+            "pool_breaks": report.pool_breaks,
+            "deadline_overruns": report.deadline_overruns,
+            "degraded_to_serial": report.degraded_to_serial,
+            "quarantined": dict(report.quarantined),
+            "journal": report.journal_path,
+        }
     return {"campaign": payload}
 
 
@@ -284,14 +311,19 @@ def _render_campaign(result) -> str:
             for kind, count in sorted(result.failures_by_kind.items())
         )
         lines.append(f"failure kinds: {kinds}")
-    lines.append(
-        f"resilience: resumed {report.resumed} | executed "
-        f"{report.executed} | retries {report.retries} | requeues "
-        f"{report.requeues} | checkpoints {report.checkpoints} | pool "
-        f"breaks {report.pool_breaks}"
-    )
-    if report.journal_path:
-        lines.append(f"journal: {report.journal_path}")
+    if report is None:
+        lines.append(
+            "served from store (warm hit; no execution this run)"
+        )
+    else:
+        lines.append(
+            f"resilience: resumed {report.resumed} | executed "
+            f"{report.executed} | retries {report.retries} | requeues "
+            f"{report.requeues} | checkpoints {report.checkpoints} | pool "
+            f"breaks {report.pool_breaks}"
+        )
+        if report.journal_path:
+            lines.append(f"journal: {report.journal_path}")
     return "\n".join(lines)
 
 
@@ -363,6 +395,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the deterministic engine profiler and append its "
         "report (opcode mix, fast/slow-path residency, SIMD lane "
         "histograms); bit-exactness-neutral",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="content-addressed result store: serve cached campaign "
+        "points and publish fresh ones (default: $REPRO_STORE if set)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="ignore --store and $REPRO_STORE; always compute cold",
     )
     campaign = parser.add_argument_group(
         "campaign options (exhibit: campaign)"
@@ -517,4 +561,12 @@ def main(argv: list[str] | None = None) -> None:
         from repro.obs.perfhistory import main as perf_compare_main
 
         raise SystemExit(perf_compare_main(actual[1:]))
+    if actual and actual[0] == "serve":
+        from repro.serve.cli import main as serve_main
+
+        raise SystemExit(serve_main(actual[1:]))
+    if actual and actual[0] == "cache":
+        from repro.store.cli import main as cache_main
+
+        raise SystemExit(cache_main(actual[1:]))
     print(run(actual))

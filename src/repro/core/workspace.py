@@ -1,0 +1,73 @@
+"""Reusable scratch buffers for hot numpy kernels.
+
+The batched fault sampler and the SECDED/BCH byte-LUT codecs build the
+same handful of temporary arrays on every call — index vectors for the
+byte gathers, uniform matrices for conditional mask draws, boolean flip
+masks.  Inside a campaign loop those allocations dominate small-batch
+calls.  :class:`ScratchArena` owns one growable flat buffer per
+``(name, dtype)`` slot and hands out leading views, so a steady-state
+loop allocates nothing.
+
+Rules of use (enforced by the callers, asserted in tests):
+
+* scratch views never escape the kernel that requested them — anything
+  returned to a caller is freshly allocated or an independent array;
+* requesting a slot grows it geometrically and never shrinks, so views
+  from earlier (smaller) requests are invalidated only by *larger*
+  requests — callers re-request per call and never cache views;
+* arenas are single-threaded by design (one per codec / fault-model
+  instance), mirroring how the engines already use those objects.
+
+The arena is deliberately RNG-free and clock-free: enabling scratch
+must be bit-exactness-neutral, which the perf harness and the ECC /
+fault-sampling test suites pin (identical outputs *and* identical
+``Generator.bit_generator.state`` after sampling).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+class ScratchArena:
+    """Named, growable, dtype-segregated scratch buffers."""
+
+    def __init__(self) -> None:
+        self._slots: Dict[Tuple[str, str], np.ndarray] = {}
+
+    def array(self, name: str, shape, dtype) -> np.ndarray:
+        """Return a C-contiguous scratch view of ``shape``/``dtype``.
+
+        Contents are unspecified (previous call's data); callers must
+        fully overwrite the view before reading it.
+        """
+        dtype = np.dtype(dtype)
+        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        key = (name, dtype.str)
+        flat = self._slots.get(key)
+        if flat is None or flat.size < size:
+            capacity = 1
+            while capacity < size:
+                capacity <<= 1
+            flat = np.empty(capacity, dtype=dtype)
+            self._slots[key] = flat
+        return flat[:size].reshape(shape)
+
+    def zeros(self, name: str, shape, dtype) -> np.ndarray:
+        """Like :meth:`array`, but zero-filled."""
+        view = self.array(name, shape, dtype)
+        view.fill(0)
+        return view
+
+    @property
+    def slots(self) -> int:
+        return len(self._slots)
+
+    def nbytes(self) -> int:
+        """Total bytes currently held across all slots."""
+        return sum(flat.nbytes for flat in self._slots.values())
+
+
+__all__ = ["ScratchArena"]

@@ -197,12 +197,7 @@ class BchCodec(Codec):
         if self._enc_byte_luts is None:
             return super().encode_batch(words)
         words = self._as_word_array(words, self.data_bits, "data")
-        u64 = np.uint64
-        out = self._enc_byte_luts[0][(words & u64(0xFF)).astype(np.intp)]
-        for k in range(1, self._enc_byte_luts.shape[0]):
-            byte = ((words >> u64(8 * k)) & u64(0xFF)).astype(np.intp)
-            out ^= self._enc_byte_luts[k][byte]
-        return out
+        return self._lut_gather(self._enc_byte_luts, words)
 
     def decode_batch(
         self, codewords: np.ndarray, record: bool = True
@@ -226,12 +221,7 @@ class BchCodec(Codec):
         if self._syn_byte_luts is None:
             return self._decode_batch_scalar_dirty(codewords, record)
         u64 = np.uint64
-        packed = self._syn_byte_luts[0][
-            (codewords & u64(0xFF)).astype(np.intp)
-        ]
-        for k in range(1, self._syn_byte_luts.shape[0]):
-            byte = ((codewords >> u64(8 * k)) & u64(0xFF)).astype(np.intp)
-            packed ^= self._syn_byte_luts[k][byte]
+        packed = self._lut_gather(self._syn_byte_luts, codewords)
         data = codewords >> u64(self.n_check)
         status = np.full(codewords.shape, STATUS_CLEAN, dtype=np.uint8)
         corrected = np.zeros(codewords.shape, dtype=np.int64)
@@ -252,12 +242,7 @@ class BchCodec(Codec):
         """Remainder screen + scalar dirty decode (syndromes too wide
         to pack into a uint64 lane)."""
         u64 = np.uint64
-        remainder = self._rem_byte_luts[0][
-            (codewords & u64(0xFF)).astype(np.intp)
-        ]
-        for k in range(1, self._rem_byte_luts.shape[0]):
-            byte = ((codewords >> u64(8 * k)) & u64(0xFF)).astype(np.intp)
-            remainder ^= self._rem_byte_luts[k][byte]
+        remainder = self._lut_gather(self._rem_byte_luts, codewords)
         data = codewords >> u64(self.n_check)
         status = np.full(codewords.shape, STATUS_CLEAN, dtype=np.uint8)
         corrected = np.zeros(codewords.shape, dtype=np.int64)

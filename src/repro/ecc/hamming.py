@@ -236,26 +236,29 @@ class SecdedCodec(Codec):
     def encode_batch(self, words: np.ndarray) -> np.ndarray:
         """Vectorized encode: byte-sliced generator-matrix gathers."""
         words = self._as_word_array(words, self.data_bits, "data")
-        out = self._enc_byte_luts[0][(words & _U64(0xFF)).astype(np.intp)]
-        for k in range(1, 4):
-            byte = ((words >> _U64(8 * k)) & _U64(0xFF)).astype(np.intp)
-            out ^= self._enc_byte_luts[k][byte]
-        return out
+        return self._lut_gather(self._enc_byte_luts, words)
 
     def decode_batch(
         self, codewords: np.ndarray, record: bool = True
     ) -> BatchDecodeResult:
         """Vectorized decode via byte-sliced parity checks + syndrome LUT."""
         codewords = self._as_word_array(codewords, self.code_bits, "codeword")
-        bytes_ = [
-            ((codewords >> _U64(8 * k)) & _U64(0xFF)).astype(np.intp)
-            for k in range(5)
-        ]
-        index = self._index_byte_luts[0][bytes_[0]]
-        for k in range(1, 5):
-            index ^= self._index_byte_luts[k][bytes_[k]]
-        index = index.astype(np.intp)
-        corrected_words = codewords ^ self._flip_lut[index]
+        index8 = self._lut_gather(self._index_byte_luts, codewords)
+        scratch = self._scratch
+        if scratch is None:
+            index = index8.astype(np.intp)
+            corrected_words = codewords ^ self._flip_lut[index]
+        else:
+            # Reused intp index + corrected-word buffers; the result
+            # arrays below (data/status/corrected_bits) are all fresh
+            # fancy-indexing outputs, so nothing scratch-backed escapes.
+            index = scratch.array("dec_index", codewords.shape, np.intp)
+            np.copyto(index, index8, casting="unsafe")
+            corrected_words = scratch.array(
+                "dec_words", codewords.shape, _U64
+            )
+            np.take(self._flip_lut, index, out=corrected_words)
+            np.bitwise_xor(corrected_words, codewords, out=corrected_words)
         data = self._extract_batch(corrected_words)
         status = self._status_lut[index]
         if record:
@@ -268,8 +271,4 @@ class SecdedCodec(Codec):
 
     def _extract_batch(self, codewords: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`_extract` over a ``uint64`` array."""
-        data = self._ext_byte_luts[0][(codewords & _U64(0xFF)).astype(np.intp)]
-        for k in range(1, 5):
-            byte = ((codewords >> _U64(8 * k)) & _U64(0xFF)).astype(np.intp)
-            data ^= self._ext_byte_luts[k][byte]
-        return data
+        return self._lut_gather(self._ext_byte_luts, codewords)

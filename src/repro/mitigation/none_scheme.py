@@ -37,7 +37,8 @@ class NoMitigationRunner(SchemeRunner):
             self.config.im_words,
             width=32,
             faults=VoltageFaultModel(
-                self.access_model, 32, vdd, rng=self._rng(1)
+                self.access_model, 32, vdd, rng=self._rng(1),
+                reuse_buffers=True,
             ),
         )
         sp = FaultyMemory(
@@ -45,7 +46,8 @@ class NoMitigationRunner(SchemeRunner):
             self.config.sp_words,
             width=32,
             faults=VoltageFaultModel(
-                self.access_model, 32, vdd, rng=self._rng(2)
+                self.access_model, 32, vdd, rng=self._rng(2),
+                reuse_buffers=True,
             ),
         )
         return Platform(

@@ -187,15 +187,19 @@ class OceanRunner(SchemeRunner):
 
     def build_platform(self, vdd: float) -> Platform:
         vdd = validate_vdd(vdd, "OCEAN.build_platform")
-        im_codec = SecdedCodec()
-        sp_codec = DetectOnlyCodec(SecdedCodec())
-        pm_codec = BchCodec(data_bits=32, t=4)
+        # Scratch reuse is on for campaign-built platforms (bit-exact);
+        # the detect-only wrapper delegates encode_batch, so enabling
+        # it on the inner SECDED covers the burst write-back path too.
+        im_codec = SecdedCodec().enable_scratch()
+        sp_codec = DetectOnlyCodec(SecdedCodec().enable_scratch())
+        pm_codec = BchCodec(data_bits=32, t=4).enable_scratch()
         im = FaultyMemory(
             "IM",
             self.config.im_words,
             width=im_codec.code_bits,
             faults=VoltageFaultModel(
-                self.access_model, im_codec.code_bits, vdd, rng=self._rng(1)
+                self.access_model, im_codec.code_bits, vdd, rng=self._rng(1),
+                reuse_buffers=True,
             ),
         )
         sp = FaultyMemory(
@@ -203,7 +207,8 @@ class OceanRunner(SchemeRunner):
             self.config.sp_words,
             width=sp_codec.code_bits,
             faults=VoltageFaultModel(
-                self.access_model, sp_codec.code_bits, vdd, rng=self._rng(2)
+                self.access_model, sp_codec.code_bits, vdd, rng=self._rng(2),
+                reuse_buffers=True,
             ),
         )
         pm = FaultyMemory(
@@ -211,7 +216,8 @@ class OceanRunner(SchemeRunner):
             self.config.pm_words,
             width=pm_codec.code_bits,
             faults=VoltageFaultModel(
-                self.access_model, pm_codec.code_bits, vdd, rng=self._rng(3)
+                self.access_model, pm_codec.code_bits, vdd, rng=self._rng(3),
+                reuse_buffers=True,
             ),
         )
         return Platform(

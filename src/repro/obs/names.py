@@ -92,6 +92,27 @@ CAMPAIGN_CORRECTED_WORDS = "campaign.corrected_words"
 CAMPAIGN_ROLLBACKS = "campaign.rollbacks"
 CAMPAIGN_QUARANTINED_RUNS = "campaign.quarantined_runs"
 
+# Content-addressed result store (repro.store).
+STORE_HITS = "store.hits"
+STORE_FRONT_HITS = "store.front_hits"
+STORE_MISSES = "store.misses"
+STORE_PUTS = "store.puts"
+STORE_EVICTIONS = "store.evictions"
+STORE_RECOVERIES = "store.recoveries"
+STORE_CORRUPT_ENTRIES = "store.corrupt_entries"
+STORE_INFLIGHT_WAITS = "store.inflight_waits"
+STORE_IMPORTED = "store.imported"
+STORE_EXPORTED = "store.exported"
+STORE_GC_REMOVED = "store.gc_removed"
+
+# Campaign job server (repro.serve).
+SERVE_REQUESTS = "serve.requests"
+SERVE_JOBS = "serve.jobs"
+SERVE_JOBS_DEDUPED = "serve.jobs_deduped"
+SERVE_WARM_POINTS = "serve.warm_points"
+SERVE_EXECUTED_POINTS = "serve.executed_points"
+SERVE_ERRORS = "serve.errors"
+
 # ----------------------------------------------------------------------
 # Histograms
 # ----------------------------------------------------------------------
@@ -114,6 +135,7 @@ SPAN_RESILIENCE_RUN = "resilience.run"
 SPAN_BATCH_ACCESS_BER_GRID = "batch.access_ber_grid"
 SPAN_BATCH_RETENTION_FAILURE_CURVE = "batch.retention_failure_curve"
 SPAN_STUDY_SCHEME_RUN = "study.scheme_run"
+SPAN_SERVE_JOB = "serve.job"
 
 # ----------------------------------------------------------------------
 # Points (unsampled trace records)
@@ -130,6 +152,8 @@ POINT_RESILIENCE_DEGRADED_TO_SERIAL = "resilience.degraded_to_serial"
 POINT_BATCH_DIE_COUNTS = "batch.die_counts"
 POINT_CAMPAIGN_OUTCOME = "campaign.outcome"
 POINT_STUDY_SCHEME_OUTCOME = "study.scheme_outcome"
+POINT_STORE_RECOVERY = "store.recovery"
+POINT_SERVE_JOB_FAILED = "serve.job_failed"
 
 # ----------------------------------------------------------------------
 # Events (sampled hot-path trace records)
@@ -158,6 +182,38 @@ def ecc_metric(codec: str, field: str) -> str:
             f"expected one of {sorted(ECC_METRIC_FIELDS)}"
         )
     return f"ecc.{codec}.{field}"
+
+
+#: Result-store operation counters published by ``repro.store``
+#: (stat key -> registered ``store.*`` counter name).
+STORE_METRIC_FIELDS = {
+    "hits": STORE_HITS,
+    "front_hits": STORE_FRONT_HITS,
+    "misses": STORE_MISSES,
+    "puts": STORE_PUTS,
+    "evictions": STORE_EVICTIONS,
+    "recoveries": STORE_RECOVERIES,
+    "corrupt_entries": STORE_CORRUPT_ENTRIES,
+    "inflight_waits": STORE_INFLIGHT_WAITS,
+    "imported": STORE_IMPORTED,
+    "exported": STORE_EXPORTED,
+    "gc_removed": STORE_GC_REMOVED,
+}
+
+
+def store_metric(stat: str) -> str:
+    """Return the registered ``store.*`` counter name for a stat key.
+
+    The stat key must be one of :data:`STORE_METRIC_FIELDS` so the
+    family stays enumerable.
+    """
+    try:
+        return STORE_METRIC_FIELDS[stat]
+    except KeyError:
+        raise ValueError(
+            f"unknown store metric stat {stat!r}; "
+            f"expected one of {sorted(STORE_METRIC_FIELDS)}"
+        ) from None
 
 
 # ----------------------------------------------------------------------

@@ -47,8 +47,18 @@ _SCALAR_FIELDS = (
     ("bch", "decode_batch_s"),
     ("faults", "speedup"),
     ("faults", "batch_s"),
+    ("faults", "cond_scratch_s"),
+    ("faults", "cond_noscratch_s"),
+    ("faults", "cond_scratch_speedup"),
     ("fig5_campaign", "speedup"),
     ("fig5_campaign", "batch_s"),
+    ("store", "cold_s"),
+    ("store", "warm_s"),
+    ("store", "warm_speedup"),
+    ("store", "hit_ratio"),
+    ("store", "campaign_cold_s"),
+    ("store", "campaign_warm_s"),
+    ("store", "campaign_warm_speedup"),
     ("resilience", "baseline_s"),
     ("profile", "overhead_pct"),
     ("profile", "profiled_s"),
@@ -110,6 +120,7 @@ def append_history(
 ) -> Dict[str, Any]:
     """Append one history entry for ``report``; returns the entry."""
     entry: Dict[str, Any] = {
+        "schema": 1,
         "t": time.time(),
         "rev": git_revision(),
         "quick": bool(report.get("quick", False)),
@@ -140,9 +151,31 @@ def load_history(path: PathLike) -> List[Dict[str, Any]]:
                 record = json.loads(line)
             except json.JSONDecodeError:
                 break
-            if isinstance(record, dict) and "sections" in record:
+            if isinstance(record, dict) and isinstance(
+                record.get("sections"), dict
+            ):
                 entries.append(record)
     return entries
+
+
+def _numeric_sections(entry: Dict[str, Any]) -> Dict[str, float]:
+    """The entry's ``sections`` restricted to finite numeric scalars.
+
+    History files accumulate across tool versions (and survive torn
+    writes), so ``compare`` must not trust any individual entry's
+    shape: a missing/odd-typed section or a non-numeric metric value
+    silently drops that entry from the pool instead of crashing the
+    whole comparison.
+    """
+    sections = entry.get("sections")
+    if not isinstance(sections, dict):
+        return {}
+    cleaned: Dict[str, float] = {}
+    for metric, value in sections.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        cleaned[str(metric)] = float(value)
+    return cleaned
 
 
 def _median(values: List[float]) -> float:
@@ -187,13 +220,14 @@ def compare(
     baseline_pool = pool[-last_k:]
     deltas: List[Dict[str, Any]] = []
     regressions: List[str] = []
-    latest_sections = latest.get("sections", {})
+    baseline_sections = [_numeric_sections(e) for e in baseline_pool]
+    latest_sections = _numeric_sections(latest)
     for metric in sorted(latest_sections):
         value = latest_sections[metric]
         history = [
-            e["sections"][metric]
-            for e in baseline_pool
-            if metric in e.get("sections", {})
+            sections[metric]
+            for sections in baseline_sections
+            if metric in sections
         ]
         if not history:
             continue

@@ -1,0 +1,21 @@
+"""Campaign-as-a-service: asyncio job server over the result store.
+
+See :mod:`repro.serve.server` for the HTTP surface and
+:mod:`repro.store` for the content-addressed store it serves from.
+"""
+
+from repro.serve.server import (
+    CampaignJobServer,
+    Job,
+    ServerThread,
+    normalize_spec,
+    spec_fingerprint,
+)
+
+__all__ = [
+    "CampaignJobServer",
+    "Job",
+    "ServerThread",
+    "normalize_spec",
+    "spec_fingerprint",
+]

@@ -1,0 +1,65 @@
+"""``repro serve`` — run the campaign job server in the foreground."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+from typing import List, Optional
+
+from repro.serve.server import CampaignJobServer
+from repro.store import ResultStore
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="serve campaign curves from a content-addressed "
+        "result store (submit/status/result/curve over HTTP)",
+    )
+    parser.add_argument(
+        "--store",
+        required=True,
+        metavar="PATH",
+        help="result store file (created if missing)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8437)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="campaign worker threads (default 2)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    store = ResultStore(args.store)
+    server = CampaignJobServer(
+        store, host=args.host, port=args.port, workers=args.workers
+    )
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"repro serve: listening on http://{server.host}:{server.port} "
+            f"(store: {args.store}, {len(store)} cached points)",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,565 @@
+"""Long-running campaign job server (stdlib asyncio + HTTP).
+
+``repro serve`` turns the repository's Monte-Carlo exhibits into a
+compute-once, serve-many endpoint: clients submit (scheme × voltage)
+grid requests, the server fans them out to a worker pool that drives
+:func:`repro.store.pipeline.scheme_failure_grid` through a shared
+:class:`~repro.store.ResultStore`, and repeated or concurrent
+identical requests are answered warm — either straight from the store
+(``/curve``) or by joining the already-running job (submit-level
+deduplication keyed by the request's provenance fingerprint).
+
+The HTTP layer is deliberately tiny: ``asyncio.start_server`` plus a
+hand-rolled request-line/header parser — no third-party dependencies,
+one JSON response per connection (``Connection: close``).  Blocking
+campaign work never runs on the event loop; jobs execute on a
+``ThreadPoolExecutor`` and publish progress through the PR 7
+:class:`~repro.obs.report.CampaignProgress` hooks, so ``/status``
+streams done/total per point while a grid is running.
+
+Endpoints
+---------
+``POST /submit``      JSON spec → ``{job, state}`` (``deduplicated``
+                      true when an identical job was already live)
+``GET /status/<job>`` live progress (state, point/task counters)
+``GET /result/<job>`` 200 with results when done, 202 while running
+``GET /curve?...``    all-warm answers immediately from the store,
+                      otherwise submits a job and returns 202
+``GET /healthz``      liveness probe
+``GET /stats``        store + job-table counters
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs import active_metrics, active_tracer, names
+from repro.store.keys import fingerprint_payload
+from repro.store.pipeline import (
+    campaign_point_key,
+    decode_campaign_result,
+    encode_campaign_result,
+    scheme_failure_grid,
+)
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+_SCHEMES = ("none", "secded", "ocean")
+
+#: Fields of a normalized spec that determine the answer bit-for-bit.
+#: Execution knobs (processes) are deliberately not here — same rule
+#: as the store keys (REP103): provenance only.
+_PROVENANCE_FIELDS = (
+    "scheme", "vdds", "runs", "seed", "lanes", "fft", "frequency",
+    "macro_style",
+)
+
+
+def normalize_spec(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate and canonicalize a job spec.
+
+    Accepts either ``vdd`` (one point) or ``vdds`` (a grid); fills the
+    CLI campaign exhibit's defaults so a spec and its equivalent CLI
+    invocation share provenance.
+    """
+    if not isinstance(spec, dict):
+        raise ValueError("spec must be a JSON object")
+    scheme = spec.get("scheme", "secded")
+    if scheme not in _SCHEMES:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; expected one of {_SCHEMES}"
+        )
+    if "vdds" in spec:
+        vdds = [float(v) for v in spec["vdds"]]
+    elif "vdd" in spec:
+        vdds = [float(spec["vdd"])]
+    else:
+        raise ValueError("spec needs 'vdd' or 'vdds'")
+    if not vdds:
+        raise ValueError("'vdds' must not be empty")
+    normalized = {
+        "scheme": scheme,
+        "vdds": vdds,
+        "runs": int(spec.get("runs", 20)),
+        "seed": int(spec.get("seed", 100)),
+        "lanes": int(spec.get("lanes", 1)),
+        "fft": int(spec.get("fft", 64)),
+        "frequency": float(spec.get("frequency", 290e3)),
+        "macro_style": str(spec.get("macro_style", "cell-based")),
+        "processes": (
+            int(spec["processes"]) if spec.get("processes") else None
+        ),
+    }
+    if normalized["runs"] <= 0:
+        raise ValueError("runs must be positive")
+    if normalized["lanes"] < 1:
+        raise ValueError("lanes must be positive")
+    return normalized
+
+
+def spec_fingerprint(spec: Dict[str, Any]) -> str:
+    """Submit-level dedup key: the provenance fields of a spec."""
+    payload = {name: spec[name] for name in _PROVENANCE_FIELDS}
+    payload["kind"] = "serve-grid"
+    return fingerprint_payload(payload)
+
+
+@dataclass
+class Job:
+    """One grid request's lifecycle (queued → running → done/failed)."""
+
+    id: str
+    fingerprint: str
+    spec: Dict[str, Any]
+    state: str = "queued"
+    points_done: int = 0
+    points_total: int = 0
+    tasks_done: int = 0
+    tasks_total: int = 0
+    hits: int = 0
+    executed_points: int = 0
+    error: Optional[str] = None
+    results: Optional[List[Dict[str, Any]]] = None
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "job": self.id,
+            "state": self.state,
+            "spec": {
+                name: self.spec[name] for name in _PROVENANCE_FIELDS
+            },
+            "points_done": self.points_done,
+            "points_total": self.points_total,
+            "tasks_done": self.tasks_done,
+            "tasks_total": self.tasks_total,
+            "hits": self.hits,
+            "executed_points": self.executed_points,
+            "error": self.error,
+        }
+
+
+class CampaignJobServer:
+    """Asyncio HTTP front end over a store-backed campaign worker pool.
+
+    ``fail_after_points`` is a chaos hook for the test suite: the
+    worker raises after that many grid points complete, simulating a
+    serve worker dying mid-campaign.  Completed points are already
+    published to the store, so a resubmitted identical job resumes
+    warm from the partial results.
+    """
+
+    def __init__(
+        self,
+        store: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        fail_after_points: Optional[int] = None,
+    ) -> None:
+        self.store = store
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.fail_after_points = fail_after_points
+        self._jobs: Dict[str, Job] = {}
+        self._by_fingerprint: Dict[str, str] = {}
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._programs: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._pool.shutdown(wait=False)
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        status, payload = 500, {"error": "internal error"}
+        try:
+            request_line = await reader.readline()
+            if not request_line:
+                writer.close()
+                return
+            parts = request_line.decode("latin-1").strip().split(" ")
+            method, target = parts[0].upper(), parts[1] if len(parts) > 1 else "/"
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or 0)
+            body = await reader.readexactly(length) if length else b""
+            active_metrics().counter(names.SERVE_REQUESTS).inc()
+            status, payload = await self._route(method, target, body)
+        except ValueError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive surface
+            active_metrics().counter(names.SERVE_ERRORS).inc()
+            status, payload = 500, {
+                "error": f"{type(exc).__name__}: {exc}"
+            }
+        data = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        try:
+            writer.write(head.encode("latin-1") + data)
+            await writer.drain()
+        finally:
+            writer.close()
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        url = urlsplit(target)
+        path = url.path.rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            return 200, {"ok": True, "jobs": len(self._jobs)}
+        if path == "/stats" and method == "GET":
+            return 200, self._stats()
+        if path == "/submit" and method == "POST":
+            spec = json.loads(body.decode("utf-8") or "{}")
+            return await self._submit(normalize_spec(spec))
+        if path.startswith("/status/") and method == "GET":
+            return self._status(path[len("/status/"):])
+        if path.startswith("/result/") and method == "GET":
+            return self._result(path[len("/result/"):])
+        if path == "/curve" and method == "GET":
+            return await self._curve(parse_qs(url.query))
+        if path in ("/submit", "/curve") or path.startswith(
+            ("/status/", "/result/")
+        ):
+            return 405, {"error": f"method {method} not allowed on {path}"}
+        return 404, {"error": f"no such endpoint: {path}"}
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    async def _submit(
+        self, spec: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        fingerprint = spec_fingerprint(spec)
+        loop = asyncio.get_running_loop()
+        with self._lock:
+            existing_id = self._by_fingerprint.get(fingerprint)
+            if existing_id is not None:
+                job = self._jobs[existing_id]
+                if job.state != "failed":
+                    active_metrics().counter(
+                        names.SERVE_JOBS_DEDUPED
+                    ).inc()
+                    status = job.status()
+                    status["deduplicated"] = True
+                    return 202, status
+            self._seq += 1
+            job = Job(
+                id=f"job-{self._seq:04d}-{fingerprint[:12]}",
+                fingerprint=fingerprint,
+                spec=spec,
+                points_total=len(spec["vdds"]),
+            )
+            self._jobs[job.id] = job
+            self._by_fingerprint[fingerprint] = job.id
+        active_metrics().counter(names.SERVE_JOBS).inc()
+        loop.run_in_executor(self._pool, self._run_job, job)
+        status = job.status()
+        status["deduplicated"] = False
+        return 202, status
+
+    def _status(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        job = self._jobs.get(job_id)
+        if job is None:
+            return 404, {"error": f"no such job: {job_id}"}
+        return 200, job.status()
+
+    def _result(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        job = self._jobs.get(job_id)
+        if job is None:
+            return 404, {"error": f"no such job: {job_id}"}
+        if job.state == "failed":
+            return 500, job.status()
+        if job.state != "done" or job.results is None:
+            return 202, job.status()
+        status = job.status()
+        status["results"] = job.results
+        return 200, status
+
+    async def _curve(
+        self, query: Dict[str, List[str]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        spec: Dict[str, Any] = {}
+        if "scheme" in query:
+            spec["scheme"] = query["scheme"][0]
+        if "vdds" in query:
+            spec["vdds"] = [
+                float(v) for v in query["vdds"][0].split(",") if v
+            ]
+        elif "vdd" in query:
+            spec["vdd"] = float(query["vdd"][0])
+        for name in ("runs", "seed", "lanes", "fft"):
+            if name in query:
+                spec[name] = int(query[name][0])
+        spec = normalize_spec(spec)
+        warm = self._probe_all(spec)
+        if warm is not None:
+            active_metrics().counter(names.SERVE_WARM_POINTS).inc(
+                len(warm)
+            )
+            return 200, {
+                "warm": True,
+                "spec": {
+                    name: spec[name] for name in _PROVENANCE_FIELDS
+                },
+                "results": warm,
+            }
+        status, payload = await self._submit(spec)
+        payload["warm"] = False
+        return status, payload
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _plan(self, spec: Dict[str, Any]) -> Tuple[Any, Any, Any, Any]:
+        from repro.core.access import ACCESS_CELL_BASED_40NM_TYPICAL
+        from repro.mitigation import (
+            NoMitigationRunner,
+            OceanRunner,
+            SecdedRunner,
+        )
+        from repro.workloads.fft import build_fft_program
+
+        runners = {
+            "none": NoMitigationRunner,
+            "secded": SecdedRunner,
+            "ocean": OceanRunner,
+        }
+        runner_cls = runners[spec["scheme"]]
+        program = self._programs.get(spec["fft"])
+        if program is None:
+            program = build_fft_program(spec["fft"])
+            self._programs[spec["fft"]] = program
+        golden = program.expected_output(
+            list(program.data_words[: spec["fft"]])
+        )
+        return (
+            runner_cls,
+            program.workload,
+            golden,
+            ACCESS_CELL_BASED_40NM_TYPICAL,
+        )
+
+    def _probe_all(
+        self, spec: Dict[str, Any]
+    ) -> Optional[List[Dict[str, Any]]]:
+        """All-points-warm probe; None unless every point is cached."""
+        runner_cls, workload, golden, access_model = self._plan(spec)
+        results = []
+        for vdd in spec["vdds"]:
+            key = campaign_point_key(
+                runner_cls, workload, golden, access_model,
+                vdd=vdd, frequency=spec["frequency"], runs=spec["runs"],
+                seed_base=spec["seed"], lanes=spec["lanes"],
+                runner_kwargs={"macro_style": spec["macro_style"]},
+            )
+            payload = self.store.get(key)
+            if payload is None:
+                return None
+            # Round-trip through the codec so a corrupt payload is a
+            # loud error here rather than a wrong answer downstream.
+            results.append(
+                encode_campaign_result(decode_campaign_result(payload))
+            )
+        return results
+
+    def _run_job(self, job: Job) -> None:
+        from repro.obs.report import CampaignProgress
+
+        job.state = "running"
+        spec = job.spec
+        tracer = active_tracer()
+        try:
+            runner_cls, workload, golden, access_model = self._plan(spec)
+
+            def on_point(index: int, total: int, result: Any) -> None:
+                job.points_done = index + 1
+                job.points_total = total
+                if (
+                    self.fail_after_points is not None
+                    and job.points_done >= self.fail_after_points
+                ):
+                    raise RuntimeError(
+                        "chaos: serve worker killed mid-campaign "
+                        f"after {job.points_done} points"
+                    )
+
+            def progress_factory(index: int, total: int) -> Any:
+                def on_update(progress: Any) -> None:
+                    job.tasks_done = progress.done
+                    job.tasks_total = progress.total
+
+                return CampaignProgress(on_update=on_update)
+
+            with tracer.span(
+                names.SPAN_SERVE_JOB,
+                job=job.id,
+                scheme=spec["scheme"],
+                points=len(spec["vdds"]),
+            ):
+                grid = scheme_failure_grid(
+                    runner_cls,
+                    workload,
+                    golden,
+                    access_model,
+                    spec["vdds"],
+                    store=self.store,
+                    frequency=spec["frequency"],
+                    runs=spec["runs"],
+                    seed_base=spec["seed"],
+                    lanes=spec["lanes"],
+                    processes=spec["processes"],
+                    macro_style=spec["macro_style"],
+                    on_point=on_point,
+                    progress_factory=progress_factory,
+                )
+            job.results = [
+                encode_campaign_result(result) for result in grid.results
+            ]
+            job.hits = grid.hits
+            job.executed_points = grid.executed_points
+            active_metrics().counter(names.SERVE_WARM_POINTS).inc(
+                grid.hits
+            )
+            active_metrics().counter(names.SERVE_EXECUTED_POINTS).inc(
+                grid.executed_points
+            )
+            job.state = "done"
+        except Exception as exc:
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = "failed"
+            active_metrics().counter(names.SERVE_ERRORS).inc()
+            tracer.point(
+                names.POINT_SERVE_JOB_FAILED,
+                job=job.id,
+                error=job.error,
+            )
+            with self._lock:
+                # A failed job must not absorb future identical
+                # submissions — evict it from the dedup table so a
+                # resubmit gets a fresh job (which resumes warm from
+                # whatever points the store already holds).
+                if self._by_fingerprint.get(job.fingerprint) == job.id:
+                    del self._by_fingerprint[job.fingerprint]
+
+    def _stats(self) -> Dict[str, Any]:
+        with self._lock:
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "jobs": states,
+            "store": self.store.stats(),
+            "workers": self.workers,
+        }
+
+
+@dataclass
+class ServerThread:
+    """Run a :class:`CampaignJobServer` on a background event loop.
+
+    The test suite's (and docs') way to stand a server up in-process::
+
+        with ServerThread(store) as handle:
+            urllib.request.urlopen(handle.url + "/healthz")
+    """
+
+    store: Any
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    fail_after_points: Optional[int] = None
+    server: CampaignJobServer = field(init=False)
+    _loop: asyncio.AbstractEventLoop = field(init=False)
+    _thread: threading.Thread = field(init=False)
+
+    def __enter__(self) -> "ServerThread":
+        self.server = CampaignJobServer(
+            self.store,
+            host=self.host,
+            port=self.port,
+            workers=self.workers,
+            fail_after_points=self.fail_after_points,
+        )
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-serve-loop",
+            daemon=True,
+        )
+        self._thread.start()
+        asyncio.run_coroutine_threadsafe(
+            self.server.start(), self._loop
+        ).result(timeout=10)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self._loop
+        ).result(timeout=10)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server.host}:{self.server.port}"
+
+
+__all__ = [
+    "CampaignJobServer",
+    "Job",
+    "ServerThread",
+    "normalize_spec",
+    "spec_fingerprint",
+]

@@ -1,0 +1,13 @@
+"""Bad: wall clock, entropy and host identity leak into a cache key."""
+import os
+import socket
+import time
+
+
+def fingerprint_payload(payload: dict) -> dict:
+    payload = dict(payload)
+    payload["stamp"] = time.time()
+    payload["host"] = socket.gethostname()
+    payload["pid"] = os.getpid()
+    payload["nonce"] = os.urandom(8).hex()
+    return payload

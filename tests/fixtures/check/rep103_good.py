@@ -1,0 +1,8 @@
+"""Good: the fingerprint is a pure function of campaign provenance."""
+import hashlib
+import json
+
+
+def fingerprint_payload(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -40,6 +40,7 @@ MAX_SUPPRESSIONS = 4
 FIXTURE_PATHS = {
     "REP101": "src/repro/analysis/example.py",
     "REP102": "src/repro/soc/simd.py",
+    "REP103": "src/repro/store/example.py",
     "REP201": "src/repro/memdev/example.py",
     "REP301": "src/repro/soc/example.py",
     "REP401": "src/repro/soc/example.py",

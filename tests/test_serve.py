@@ -1,0 +1,235 @@
+"""Campaign job server: endpoints, dedup, chaos kill + warm resume.
+
+Uses :class:`repro.serve.ServerThread` to stand the asyncio server up
+in-process and plain ``urllib`` as the client — the same surface the
+``repro serve`` CLI exposes.  The chaos test is the serving pipeline's
+core resilience claim: killing a worker mid-campaign loses no stored
+points, and a resubmission serves the completed prefix warm while
+executing only the remainder, bit-identically to a fresh cold run.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.access import ACCESS_CELL_BASED_40NM_TYPICAL
+from repro.mitigation import SecdedRunner
+from repro.serve import ServerThread, normalize_spec, spec_fingerprint
+from repro.store import (
+    ResultStore,
+    encode_campaign_result,
+    scheme_failure_grid,
+)
+from repro.workloads.fft import build_fft_program
+
+SPEC = {"scheme": "secded", "vdds": [0.44, 0.46], "runs": 2, "seed": 100}
+DEADLINE_S = 120.0
+
+
+def _request(url, payload=None):
+    """GET (or POST ``payload`` as JSON); returns (status, body dict)."""
+    data = None
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(url, data=data)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _wait(base_url, job_id, states=("done",)):
+    deadline = time.monotonic() + DEADLINE_S
+    while time.monotonic() < deadline:
+        status, body = _request(f"{base_url}/status/{job_id}")
+        assert status == 200
+        if body["state"] in states or body["state"] == "failed":
+            return body
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not settle in {DEADLINE_S}s")
+
+
+def _reference_results(tmp_path, spec=SPEC):
+    """Cold-run the spec against a fresh store, no server involved."""
+    spec = normalize_spec(dict(spec))
+    program = build_fft_program(spec["fft"])
+    golden = program.expected_output(
+        list(program.data_words[: spec["fft"]])
+    )
+    grid = scheme_failure_grid(
+        SecdedRunner, program.workload, golden,
+        ACCESS_CELL_BASED_40NM_TYPICAL, spec["vdds"],
+        store=ResultStore(tmp_path / "reference.sqlite"),
+        frequency=spec["frequency"], runs=spec["runs"],
+        seed_base=spec["seed"], lanes=spec["lanes"],
+        macro_style=spec["macro_style"],
+    )
+    return [encode_campaign_result(result) for result in grid.results]
+
+
+class TestSpec:
+    def test_normalize_defaults_and_vdd_promotion(self):
+        spec = normalize_spec({"scheme": "secded", "vdd": 0.5})
+        assert spec["vdds"] == [0.5]
+        assert spec["runs"] == 20
+        assert spec["seed"] == 100
+        assert spec["lanes"] == 1
+        assert spec["fft"] == 64
+
+    def test_fingerprint_ignores_execution_knobs(self):
+        spec_a = normalize_spec({**SPEC, "processes": None})
+        spec_b = normalize_spec({**SPEC, "processes": 4})
+        assert spec_fingerprint(spec_a) == spec_fingerprint(spec_b)
+        spec_c = normalize_spec({**SPEC, "runs": 3})
+        assert spec_fingerprint(spec_c) != spec_fingerprint(spec_a)
+
+    def test_normalize_rejects_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            normalize_spec({"scheme": "parity", "vdd": 0.5})
+
+
+class TestEndpoints:
+    def test_submit_status_result_and_warm_curve(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        with ServerThread(store) as handle:
+            status, health = _request(handle.url + "/healthz")
+            assert (status, health["ok"]) == (200, True)
+
+            status, submitted = _request(
+                handle.url + "/submit", payload=SPEC
+            )
+            assert status == 202
+            assert submitted["deduplicated"] is False
+            job_id = submitted["job"]
+
+            done = _wait(handle.url, job_id)
+            assert done["state"] == "done"
+            assert done["error"] is None
+            assert done["points_done"] == len(SPEC["vdds"])
+            assert done["hits"] == 0
+            assert done["executed_points"] == len(SPEC["vdds"])
+            assert done["tasks_done"] == done["tasks_total"] > 0
+
+            status, result = _request(f"{handle.url}/result/{job_id}")
+            assert status == 200
+            results = result["results"]
+            assert len(results) == len(SPEC["vdds"])
+
+            # The whole curve is now cached: /curve answers warm, with
+            # byte-identical payloads, without starting a job.
+            status, curve = _request(
+                handle.url
+                + "/curve?scheme=secded&vdds=0.44,0.46&runs=2&seed=100"
+            )
+            assert status == 200
+            assert curve["warm"] is True
+            assert curve["results"] == results
+
+            status, stats = _request(handle.url + "/stats")
+            assert status == 200
+            assert stats["jobs"]["done"] == 1
+        assert results == _reference_results(tmp_path)
+
+    def test_cold_curve_submits_a_job(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        with ServerThread(store) as handle:
+            status, body = _request(
+                handle.url
+                + "/curve?scheme=secded&vdd=0.44&runs=2&seed=100"
+            )
+            assert status == 202
+            assert body["warm"] is False
+            done = _wait(handle.url, body["job"])
+            assert done["state"] == "done"
+
+    def test_unknown_routes_and_methods(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        with ServerThread(store) as handle:
+            assert _request(handle.url + "/nope")[0] == 404
+            assert _request(f"{handle.url}/status/none")[0] == 404
+            assert _request(handle.url + "/curve", payload={})[0] == 405
+            assert _request(
+                handle.url + "/submit", payload={"scheme": "bogus"}
+            )[0] == 400
+
+
+class TestDedup:
+    def test_concurrent_identical_submits_share_one_job(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        with ServerThread(store) as handle:
+            responses = []
+            barrier = threading.Barrier(3)
+
+            def submit():
+                barrier.wait()
+                responses.append(
+                    _request(handle.url + "/submit", payload=SPEC)
+                )
+
+            threads = [
+                threading.Thread(target=submit) for _ in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            assert [status for status, _ in responses] == [202, 202, 202]
+            job_ids = {body["job"] for _, body in responses}
+            assert len(job_ids) == 1  # one execution for three clients
+            deduplicated = [
+                body["deduplicated"] for _, body in responses
+            ]
+            assert sorted(deduplicated) == [False, True, True]
+
+            done = _wait(handle.url, job_ids.pop())
+            assert done["state"] == "done"
+            _, stats = _request(handle.url + "/stats")
+            assert stats["jobs"] == {"done": 1}
+
+
+class TestChaos:
+    def test_killed_worker_resumes_warm_and_bit_identical(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+
+        # Phase 1: the worker dies after completing (and storing) the
+        # first point.
+        with ServerThread(store, fail_after_points=1) as handle:
+            status, submitted = _request(
+                handle.url + "/submit", payload=SPEC
+            )
+            assert status == 202
+            failed = _wait(handle.url, submitted["job"])
+            assert failed["state"] == "failed"
+            assert "chaos" in failed["error"]
+            status, _ = _request(
+                f"{handle.url}/result/{submitted['job']}"
+            )
+            assert status == 500
+        assert len(store) == 1  # the completed point survived the kill
+
+        # Phase 2: a healthy server on the same store accepts the
+        # resubmission (failed jobs do not pin the fingerprint), serves
+        # the stored point warm and executes only the remainder.
+        with ServerThread(store) as handle:
+            status, resubmitted = _request(
+                handle.url + "/submit", payload=SPEC
+            )
+            assert status == 202
+            assert resubmitted["deduplicated"] is False
+            done = _wait(handle.url, resubmitted["job"])
+            assert done["state"] == "done"
+            assert done["hits"] == 1
+            assert done["executed_points"] == len(SPEC["vdds"]) - 1
+            status, result = _request(
+                f"{handle.url}/result/{resubmitted['job']}"
+            )
+            assert status == 200
+
+        # Bit-identity with a cold run on a fresh store.
+        assert result["results"] == _reference_results(tmp_path)

@@ -679,6 +679,84 @@ def bench_resilience(
     }
 
 
+def bench_serve(runs: int, fft_points: int = 64):
+    """Serving pipeline: cold submit, warm resubmit, journal recovery.
+
+    Three passes over the same two-point grid through real
+    ``ServerThread`` instances and the retrying ``ServeClient``: a
+    cold submit into an empty store, a resubmit against a *fresh*
+    server process sharing that store (every point a store hit — the
+    serving-layer ``warm_speedup``), and a journal recovery pass where
+    the server starts with a hand-written incomplete job (the SIGKILL
+    aftermath) and must finish it warm.  All three must produce
+    byte-identical results.
+    """
+    from repro.serve import ServeClient, ServerThread
+    from repro.serve.durability import JobJournal
+    from repro.serve.server import normalize_spec, spec_fingerprint
+    from repro.store import ResultStore
+
+    spec = {
+        "scheme": "secded",
+        "vdds": [0.44, 0.46],
+        "runs": runs,
+        "seed": 100,
+        "fft": fft_points,
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        store = ResultStore(tmp_path / "serve.sqlite")
+        with ServerThread(store) as handle:
+            start = time.perf_counter()
+            cold = ServeClient(handle.url).submit_and_wait(spec, poll_s=0.02)
+            cold_s = time.perf_counter() - start
+
+        # A fresh server on the same store: the resubmit is served
+        # entirely from cache.
+        with ServerThread(store) as handle:
+            start = time.perf_counter()
+            warm = ServeClient(handle.url).submit_and_wait(spec, poll_s=0.02)
+            warm_s = time.perf_counter() - start
+
+        # Journal recovery: submitted+started with no terminal record
+        # is exactly what a SIGKILLed server leaves behind.
+        journal = tmp_path / "serve_jobs.ndjson"
+        normalized = normalize_spec(dict(spec))
+        with JobJournal(journal) as job_journal:
+            job_journal.record_submitted(
+                "job-0001-bench", spec_fingerprint(normalized),
+                normalized, len(normalized["vdds"]),
+            )
+            job_journal.record_started("job-0001-bench")
+        start = time.perf_counter()
+        with ServerThread(store, journal=journal) as handle:
+            client = ServeClient(handle.url)
+            recovered = client.wait(
+                "job-0001-bench", poll_s=0.02, deadline_s=120
+            )
+            serve_stats = client.stats()
+        recovered_s = time.perf_counter() - start
+
+    identical = (
+        json.dumps(cold["results"], sort_keys=True)
+        == json.dumps(warm["results"], sort_keys=True)
+        == json.dumps(recovered["results"], sort_keys=True)
+    )
+    return {
+        "runs": runs,
+        "fft_points": fft_points,
+        "grid_points": len(spec["vdds"]),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_speedup": cold_s / warm_s,
+        "warm_hits": warm["hits"],
+        "recovered_s": recovered_s,
+        "recovered_jobs": serve_stats["recovered_jobs"],
+        "recovered_hits": recovered["hits"],
+        "warm_bit_identical": bool(identical),
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -821,6 +899,8 @@ def main() -> int:
             resilience_runs, 64, args.max_retries, args.task_timeout,
             args.resume,
         )
+    with registry.timer("bench.serve").time():
+        results["serve"] = bench_serve(resilience_runs)
 
     schemes = results["platform"]["schemes"]
     simd_configs = results["simd"]["configs"]
@@ -874,6 +954,18 @@ def main() -> int:
         "resilience_resume_skipped_work": (
             results["resilience"]["resumed_tasks"] >= 1
         ),
+        "serve_warm_all_hits": (
+            results["serve"]["warm_hits"]
+            == results["serve"]["grid_points"]
+        ),
+        "serve_recovered_job_completed": (
+            results["serve"]["recovered_jobs"] == 1
+            and results["serve"]["recovered_hits"]
+            == results["serve"]["grid_points"]
+        ),
+        "serve_warm_bit_identical": (
+            results["serve"]["warm_bit_identical"]
+        ),
         "profile_bit_exact": results["profile"]["bit_exact"],
         "profile_output_correct": results["profile"]["output_correct"],
         "profile_instruments_populated": (
@@ -911,6 +1003,7 @@ def main() -> int:
             "store_campaign_warm": (
                 results["store"]["campaign_warm_speedup"]
             ),
+            "serve_warm": results["serve"]["warm_speedup"],
             "platform": {
                 name: s["speedup"] for name, s in schemes.items()
             },
@@ -962,6 +1055,14 @@ def main() -> int:
         f"identical={res['resume_bit_identical']} "
         f"({res['resumed_tasks']} resumed / "
         f"{res['executed_after_resume']} executed)"
+    )
+    sv = results["serve"]
+    print(
+        f"{'serve':>16}: warm {sv['warm_speedup']:6.1f}x "
+        f"(cold {sv['cold_s']:.2f}s, warm {sv['warm_s']:.2f}s), "
+        f"recovery {sv['recovered_s']:.2f}s "
+        f"({sv['recovered_jobs']} job, "
+        f"bit_identical={sv['warm_bit_identical']})"
     )
     for name, s in schemes.items():
         print(

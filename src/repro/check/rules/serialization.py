@@ -33,6 +33,7 @@ SERIALIZER_MODULES = frozenset(
         "repro.obs.trace",
         "repro.obs.manifest",
         "repro.resilience.journal",
+        "repro.serve.durability",
         "repro.check.report",
     }
 )

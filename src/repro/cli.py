@@ -565,6 +565,10 @@ def main(argv: list[str] | None = None) -> None:
         from repro.serve.cli import main as serve_main
 
         raise SystemExit(serve_main(actual[1:]))
+    if actual and actual[0] == "submit":
+        from repro.serve.cli import submit_main
+
+        raise SystemExit(submit_main(actual[1:]))
     if actual and actual[0] == "cache":
         from repro.store.cli import main as cache_main
 

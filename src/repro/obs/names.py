@@ -112,6 +112,12 @@ SERVE_JOBS_DEDUPED = "serve.jobs_deduped"
 SERVE_WARM_POINTS = "serve.warm_points"
 SERVE_EXECUTED_POINTS = "serve.executed_points"
 SERVE_ERRORS = "serve.errors"
+SERVE_JOBS_RECOVERED = "serve.jobs_recovered"
+SERVE_DRAINS = "serve.drains"
+SERVE_SHEDS = "serve.sheds"
+SERVE_DEADLINE_KILLS = "serve.deadline_kills"
+SERVE_REJECTED_REQUESTS = "serve.rejected_requests"
+SERVE_CLIENT_RETRIES = "serve.client_retries"
 
 # ----------------------------------------------------------------------
 # Histograms
@@ -154,6 +160,9 @@ POINT_CAMPAIGN_OUTCOME = "campaign.outcome"
 POINT_STUDY_SCHEME_OUTCOME = "study.scheme_outcome"
 POINT_STORE_RECOVERY = "store.recovery"
 POINT_SERVE_JOB_FAILED = "serve.job_failed"
+POINT_SERVE_JOB_RECOVERED = "serve.job_recovered"
+POINT_SERVE_JOB_TIMED_OUT = "serve.job_timed_out"
+POINT_SERVE_DRAIN = "serve.drain"
 
 # ----------------------------------------------------------------------
 # Events (sampled hot-path trace records)

@@ -60,6 +60,11 @@ _SCALAR_FIELDS = (
     ("store", "campaign_warm_s"),
     ("store", "campaign_warm_speedup"),
     ("resilience", "baseline_s"),
+    ("serve", "cold_s"),
+    ("serve", "warm_s"),
+    ("serve", "warm_speedup"),
+    ("serve", "recovered_s"),
+    ("serve", "recovered_jobs"),
     ("profile", "overhead_pct"),
     ("profile", "profiled_s"),
     ("profile", "unprofiled_s"),

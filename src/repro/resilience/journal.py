@@ -140,8 +140,10 @@ class CheckpointJournal:
     # Writing
     # ------------------------------------------------------------------
     def _append(self, record: dict) -> None:
-        json.dump(record, self._file, separators=(",", ":"))
-        self._file.write("\n")
+        # Serialize first, write once: a single write() on an
+        # append-mode handle cannot interleave with another writer's
+        # line, whereas json.dump streams fragments.
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
         # Flush per record: a checkpoint that only exists in a userspace
         # buffer survives a KeyboardInterrupt but not much else; this
         # keeps the window to the torn-tail case small without paying an

@@ -1,12 +1,28 @@
-"""Campaign-as-a-service: asyncio job server over the result store.
+"""Campaign-as-a-service: crash-safe asyncio job server + client.
 
-See :mod:`repro.serve.server` for the HTTP surface and
-:mod:`repro.store` for the content-addressed store it serves from.
+See :mod:`repro.serve.server` for the HTTP surface,
+:mod:`repro.serve.durability` for the job journal and cross-process
+claims that make restarts lossless, :mod:`repro.serve.client` for the
+retrying client, and :mod:`repro.store` for the content-addressed
+store everything is served from.
 """
 
+from repro.serve.client import (
+    JobFailedError,
+    ServeClient,
+    ServeClientError,
+    ServerUnavailableError,
+)
+from repro.serve.durability import (
+    JobClaims,
+    JobJournal,
+    JournaledJob,
+    replay_jobs,
+)
 from repro.serve.server import (
     CampaignJobServer,
     Job,
+    RequestError,
     ServerThread,
     normalize_spec,
     spec_fingerprint,
@@ -15,7 +31,16 @@ from repro.serve.server import (
 __all__ = [
     "CampaignJobServer",
     "Job",
+    "JobClaims",
+    "JobFailedError",
+    "JobJournal",
+    "JournaledJob",
+    "RequestError",
+    "ServeClient",
+    "ServeClientError",
     "ServerThread",
+    "ServerUnavailableError",
     "normalize_spec",
+    "replay_jobs",
     "spec_fingerprint",
 ]

@@ -1,4 +1,4 @@
-"""Long-running campaign job server (stdlib asyncio + HTTP).
+"""Crash-safe campaign job server (stdlib asyncio + HTTP).
 
 ``repro serve`` turns the repository's Monte-Carlo exhibits into a
 compute-once, serve-many endpoint: clients submit (scheme × voltage)
@@ -8,6 +8,26 @@ grid requests, the server fans them out to a worker pool that drives
 identical requests are answered warm — either straight from the store
 (``/curve``) or by joining the already-running job (submit-level
 deduplication keyed by the request's provenance fingerprint).
+
+The server survives the same fault class it simulates:
+
+* **Durable job journal** — every job-state transition is appended to
+  an NDJSON journal (:mod:`repro.serve.durability`).  A server killed
+  with ``SIGKILL`` replays the journal on restart, reconstructs its
+  job table, and resumes incomplete jobs — warm, because completed
+  points already live in the store.  Cross-process claims keep two
+  servers replaying the same journal from double-running a job.
+* **Watchdog** — per-job deadlines and a progress-staleness probe move
+  stuck jobs to ``timed-out``, evict their fingerprint so resubmits
+  get a fresh job, and cooperatively cancel the worker at the next
+  point boundary.
+* **Admission control** — bounded queue depth and in-flight job count
+  (429 + ``Retry-After``), a request-body size cap (413), and
+  malformed-request hardening (400) in the HTTP layer.
+* **Graceful drain** — ``stop()`` closes the listener, waits (bounded)
+  for in-flight jobs, flushes the journal and trace sinks, and only
+  then shuts the pool down; a drain that times out abandons cleanly
+  (the journal knows, so the next start recovers).
 
 The HTTP layer is deliberately tiny: ``asyncio.start_server`` plus a
 hand-rolled request-line/header parser — no third-party dependencies,
@@ -26,7 +46,7 @@ Endpoints
 ``GET /curve?...``    all-warm answers immediately from the store,
                       otherwise submits a job and returns 202
 ``GET /healthz``      liveness probe
-``GET /stats``        store + job-table counters
+``GET /stats``        store + job-table + durability counters
 """
 
 from __future__ import annotations
@@ -34,12 +54,21 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
 from repro.obs import active_metrics, active_tracer, names
+from repro.obs.report import JournalLiveness
+from repro.serve.durability import (
+    TERMINAL_STATES,
+    JobClaims,
+    JobJournal,
+    replay_jobs,
+)
 from repro.store.keys import fingerprint_payload
 from repro.store.pipeline import (
     campaign_point_key,
@@ -54,10 +83,14 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
 }
 
 _SCHEMES = ("none", "secded", "ocean")
+
+_MAX_HEADERS = 100
 
 #: Fields of a normalized spec that determine the answer bit-for-bit.
 #: Execution knobs (processes) are deliberately not here — same rule
@@ -66,6 +99,19 @@ _PROVENANCE_FIELDS = (
     "scheme", "vdds", "runs", "seed", "lanes", "fft", "frequency",
     "macro_style",
 )
+
+
+class RequestError(Exception):
+    """A request the HTTP layer rejects with a specific status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class _JobCancelled(Exception):
+    """Raised inside a worker when its job was cancelled externally."""
 
 
 def normalize_spec(spec: Dict[str, Any]) -> Dict[str, Any]:
@@ -133,6 +179,10 @@ class Job:
     executed_points: int = 0
     error: Optional[str] = None
     results: Optional[List[Dict[str, Any]]] = None
+    recovered: bool = False
+    started_at: Optional[float] = None
+    last_progress_at: Optional[float] = None
+    cancelled: threading.Event = field(default_factory=threading.Event)
 
     def status(self) -> Dict[str, Any]:
         return {
@@ -147,6 +197,7 @@ class Job:
             "tasks_total": self.tasks_total,
             "hits": self.hits,
             "executed_points": self.executed_points,
+            "recovered": self.recovered,
             "error": self.error,
         }
 
@@ -154,11 +205,33 @@ class Job:
 class CampaignJobServer:
     """Asyncio HTTP front end over a store-backed campaign worker pool.
 
+    Parameters beyond PR 8's:
+
+    journal:
+        Path of the durable job journal.  With a journal, ``start()``
+        replays prior transitions, rebuilds the job table, and
+        requeues incomplete jobs it can claim
+        (:class:`~repro.serve.durability.JobClaims`).
+    job_deadline_s / progress_stale_s:
+        Watchdog knobs: wall-clock budget per running job, and the
+        maximum silence between progress updates, before a job is
+        moved to ``timed-out`` and its fingerprint evicted.
+    max_inflight_jobs / max_queue_depth:
+        Admission control: cap on queued+running jobs, and on queued
+        jobs alone.  Overflow is answered 429 with ``Retry-After:
+        retry_after_s``.
+    max_body_bytes:
+        Request bodies above this (or POSTs without Content-Length)
+        are rejected 413 before any body byte is read.
+    drain_deadline_s:
+        ``stop(drain=True)`` waits at most this long for in-flight
+        jobs before abandoning them to the journal.
+
     ``fail_after_points`` is a chaos hook for the test suite: the
     worker raises after that many grid points complete, simulating a
-    serve worker dying mid-campaign.  Completed points are already
-    published to the store, so a resubmitted identical job resumes
-    warm from the partial results.
+    serve worker dying mid-campaign.  ``chaos_hold`` is a second hook:
+    workers block on the event at job start, so tests can pin a job
+    in the running state deterministically.
     """
 
     def __init__(
@@ -167,13 +240,33 @@ class CampaignJobServer:
         host: str = "127.0.0.1",
         port: int = 0,
         workers: int = 2,
+        journal: Optional[Any] = None,
+        job_deadline_s: Optional[float] = None,
+        progress_stale_s: Optional[float] = None,
+        max_inflight_jobs: Optional[int] = None,
+        max_queue_depth: Optional[int] = None,
+        max_body_bytes: int = 1 << 20,
+        retry_after_s: float = 1.0,
+        drain_deadline_s: float = 30.0,
+        watchdog_interval_s: float = 0.25,
         fail_after_points: Optional[int] = None,
+        chaos_hold: Optional[threading.Event] = None,
     ) -> None:
         self.store = store
         self.host = host
         self.port = port
         self.workers = workers
+        self.journal_path = journal
+        self.job_deadline_s = job_deadline_s
+        self.progress_stale_s = progress_stale_s
+        self.max_inflight_jobs = max_inflight_jobs
+        self.max_queue_depth = max_queue_depth
+        self.max_body_bytes = max_body_bytes
+        self.retry_after_s = retry_after_s
+        self.drain_deadline_s = drain_deadline_s
+        self.watchdog_interval_s = watchdog_interval_s
         self.fail_after_points = fail_after_points
+        self.chaos_hold = chaos_hold
         self._jobs: Dict[str, Job] = {}
         self._by_fingerprint: Dict[str, str] = {}
         self._lock = threading.Lock()
@@ -183,54 +276,313 @@ class CampaignJobServer:
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._programs: Dict[int, Any] = {}
+        self._journal: Optional[JobJournal] = None
+        self._claims: Optional[JobClaims] = None
+        self._recovered_jobs = 0
+        self._drains = 0
+        self._last_drain_clean: Optional[bool] = None
+        self._watchdog_stop = threading.Event()
+        self._watchdog_thread: Optional[threading.Thread] = None
+        self._stopped = False
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
+        if self.journal_path is not None:
+            self._claims = JobClaims.for_journal(self.journal_path)
+            recovered = replay_jobs(self.journal_path)
+            self._journal = JobJournal(self.journal_path)
+            self._recover(recovered)
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if (
+            self.job_deadline_s is not None
+            or self.progress_stale_s is not None
+        ):
+            self._watchdog_thread = threading.Thread(
+                target=self._watchdog_loop,
+                name="repro-serve-watchdog",
+                daemon=True,
+            )
+            self._watchdog_thread.start()
 
-    async def stop(self) -> None:
+    def _recover(self, journaled: Dict[str, Any]) -> None:
+        """Rebuild the job table from a replayed journal.
+
+        Terminal jobs become visible again (done jobs rehydrate their
+        results lazily from the store); incomplete jobs are requeued
+        iff this server wins the cross-process fingerprint claim — a
+        concurrently restarted sibling replaying the same journal
+        leaves them to the winner.
+        """
+        assert self._claims is not None
+        for journaled_job in journaled.values():
+            try:
+                seq = int(journaled_job.id.split("-")[1])
+            except (IndexError, ValueError):
+                seq = 0
+            self._seq = max(self._seq, seq)
+            job = Job(
+                id=journaled_job.id,
+                fingerprint=journaled_job.fingerprint,
+                spec=journaled_job.spec,
+                state=journaled_job.state,
+                points_done=journaled_job.points_done,
+                points_total=journaled_job.points_total,
+                hits=journaled_job.hits,
+                executed_points=journaled_job.executed_points,
+                error=journaled_job.error,
+            )
+            self._jobs[job.id] = job
+            if job.state == "done":
+                self._by_fingerprint[job.fingerprint] = job.id
+                continue
+            if job.state in TERMINAL_STATES:
+                continue  # failed/timed-out: fingerprint stays evicted
+            if not self._claims.claim(job.fingerprint):
+                # A live sibling server owns this job; keep it visible
+                # but do not run (and do not absorb resubmissions).
+                continue
+            job.state = "queued"
+            job.recovered = True
+            job.points_done = 0
+            self._by_fingerprint[job.fingerprint] = job.id
+            self._recovered_jobs += 1
+            active_metrics().counter(names.SERVE_JOBS_RECOVERED).inc()
+            active_tracer().point(
+                names.POINT_SERVE_JOB_RECOVERED,
+                job=job.id,
+                fingerprint=job.fingerprint,
+            )
+            asyncio.get_running_loop().run_in_executor(
+                self._pool, self._run_job, job
+            )
+
+    async def stop(self, drain: bool = True) -> Dict[str, Any]:
+        """Close the listener, drain in-flight jobs, flush, shut down.
+
+        Returns a drain summary (``clean`` is False when the bounded
+        drain deadline expired with jobs still in flight — those jobs
+        stay incomplete in the journal and recover on the next start).
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        self._pool.shutdown(wait=False)
+        if self._stopped:
+            return {"clean": True, "abandoned": 0, "drained": True}
+        loop = asyncio.get_running_loop()
+        summary = await loop.run_in_executor(None, self._drain, drain)
+        self._stopped = True
+        return summary
+
+    def _in_flight(self) -> List[Job]:
+        with self._lock:
+            return [
+                job
+                for job in self._jobs.values()
+                if job.state in ("queued", "running")
+            ]
+
+    def _drain(self, drain: bool) -> Dict[str, Any]:
+        deadline = time.monotonic() + (
+            self.drain_deadline_s if drain else 0.0
+        )
+        while self._in_flight() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        leftover = self._in_flight()
+        clean = not leftover
+        self._watchdog_stop.set()
+        if self._watchdog_thread is not None:
+            self._watchdog_thread.join(timeout=5)
+            self._watchdog_thread = None
+        if clean:
+            self._pool.shutdown(wait=True)
+        else:
+            # Abandon: cancel cooperatively and drop queued futures.
+            # The journal holds no terminal record for these jobs, so
+            # the next start() recovers them.
+            for job in leftover:
+                job.cancelled.set()
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        self._drains += 1
+        self._last_drain_clean = clean
+        active_metrics().counter(names.SERVE_DRAINS).inc()
+        tracer = active_tracer()
+        tracer.point(
+            names.POINT_SERVE_DRAIN,
+            in_flight=len(leftover),
+            clean=clean,
+        )
+        tracer.flush()
+        if self._journal is not None:
+            self._journal.record_drain(len(leftover), clean)
+            self._journal.close()
+        if self._claims is not None:
+            self._claims.release_all()
+        return {"clean": clean, "abandoned": len(leftover), "drained": drain}
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
         await self._server.serve_forever()
 
     # ------------------------------------------------------------------
+    # Watchdog
+    # ------------------------------------------------------------------
+    def _watchdog_loop(self) -> None:
+        while not self._watchdog_stop.wait(self.watchdog_interval_s):
+            self.watchdog_sweep()
+
+    def watchdog_sweep(self) -> List[str]:
+        """One deadline/staleness pass; returns the job ids timed out."""
+        now = time.monotonic()
+        with self._lock:
+            running = [
+                job
+                for job in self._jobs.values()
+                if job.state == "running" and job.started_at is not None
+            ]
+        timed_out = []
+        for job in running:
+            overdue = (
+                self.job_deadline_s is not None
+                and now - job.started_at > self.job_deadline_s
+            )
+            last_progress = job.last_progress_at or job.started_at
+            stalled = (
+                self.progress_stale_s is not None
+                and now - last_progress > self.progress_stale_s
+            )
+            if not overdue and not stalled:
+                continue
+            reason = "deadline" if overdue else "progress-stall"
+            if self._time_out(job, reason):
+                timed_out.append(job.id)
+        return timed_out
+
+    def _time_out(self, job: Job, reason: str) -> bool:
+        budget = (
+            self.job_deadline_s
+            if reason == "deadline"
+            else self.progress_stale_s
+        )
+        with self._lock:
+            if job.state != "running":
+                return False
+            job.state = "timed-out"
+            job.error = f"{reason}: exceeded {budget:g}s"
+            # Evict the fingerprint so a resubmit gets a fresh job.
+            if self._by_fingerprint.get(job.fingerprint) == job.id:
+                del self._by_fingerprint[job.fingerprint]
+        job.cancelled.set()
+        active_metrics().counter(names.SERVE_DEADLINE_KILLS).inc()
+        active_tracer().point(
+            names.POINT_SERVE_JOB_TIMED_OUT,
+            job=job.id,
+            reason=reason,
+        )
+        if self._journal is not None:
+            self._journal.record_timed_out(job.id, float(budget or 0.0))
+        if self._claims is not None:
+            self._claims.release(job.fingerprint)
+        return True
+
+    # ------------------------------------------------------------------
     # Request plumbing
     # ------------------------------------------------------------------
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        """Parse one request; None on an empty connection.
+
+        Raises :class:`RequestError` (not a generic 500) on malformed
+        request lines (400), unbounded or oversized bodies (413), and
+        truncated reads (400) — the hardening surface for clients that
+        are buggy, hostile, or mid-crash.
+        """
+        try:
+            request_line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError):
+            raise RequestError(400, "request line too long") from None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise RequestError(400, "malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        if not method.isalpha():
+            raise RequestError(400, "malformed request line")
+        headers: Dict[str, str] = {}
+        while True:
+            try:
+                line = await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError):
+                raise RequestError(400, "header line too long") from None
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) >= _MAX_HEADERS:
+                raise RequestError(400, "too many headers")
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep or not name.strip():
+                raise RequestError(400, f"malformed header: {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        raw_length = headers.get("content-length")
+        if raw_length is None:
+            if method == "POST":
+                raise RequestError(
+                    413,
+                    "POST requires Content-Length "
+                    f"(max {self.max_body_bytes} bytes)",
+                )
+            length = 0
+        else:
+            try:
+                length = int(raw_length)
+            except ValueError:
+                raise RequestError(
+                    400, f"invalid Content-Length: {raw_length!r}"
+                ) from None
+            if length < 0:
+                raise RequestError(
+                    400, f"invalid Content-Length: {raw_length!r}"
+                )
+            if length > self.max_body_bytes:
+                raise RequestError(
+                    413,
+                    f"request body of {length} bytes exceeds the "
+                    f"{self.max_body_bytes}-byte cap",
+                )
+        try:
+            body = await reader.readexactly(length) if length else b""
+        except asyncio.IncompleteReadError:
+            raise RequestError(400, "truncated request body") from None
+        return method, target, body
+
     async def _handle(
         self,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
         status, payload = 500, {"error": "internal error"}
+        headers: Dict[str, str] = {}
         try:
-            request_line = await reader.readline()
-            if not request_line:
+            request = await self._read_request(reader)
+            if request is None:
                 writer.close()
                 return
-            parts = request_line.decode("latin-1").strip().split(" ")
-            method, target = parts[0].upper(), parts[1] if len(parts) > 1 else "/"
-            headers: Dict[str, str] = {}
-            while True:
-                line = await reader.readline()
-                if line in (b"\r\n", b"\n", b""):
-                    break
-                name, _, value = line.decode("latin-1").partition(":")
-                headers[name.strip().lower()] = value.strip()
-            length = int(headers.get("content-length", "0") or 0)
-            body = await reader.readexactly(length) if length else b""
+            method, target, body = request
             active_metrics().counter(names.SERVE_REQUESTS).inc()
-            status, payload = await self._route(method, target, body)
+            result = await self._route(method, target, body)
+            if len(result) == 3:
+                status, payload, headers = result  # type: ignore[misc]
+            else:
+                status, payload = result  # type: ignore[misc]
+        except RequestError as exc:
+            active_metrics().counter(names.SERVE_REJECTED_REQUESTS).inc()
+            status, payload = exc.status, {"error": exc.message}
         except ValueError as exc:
             status, payload = 400, {"error": str(exc)}
         except Exception as exc:  # pragma: no cover - defensive surface
@@ -239,10 +591,14 @@ class CampaignJobServer:
                 "error": f"{type(exc).__name__}: {exc}"
             }
         data = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in headers.items()
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(data)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n"
         )
         try:
@@ -253,7 +609,7 @@ class CampaignJobServer:
 
     async def _route(
         self, method: str, target: str, body: bytes
-    ) -> Tuple[int, Dict[str, Any]]:
+    ) -> Tuple[Any, ...]:
         url = urlsplit(target)
         path = url.path.rstrip("/") or "/"
         if path == "/healthz" and method == "GET":
@@ -261,14 +617,17 @@ class CampaignJobServer:
         if path == "/stats" and method == "GET":
             return 200, self._stats()
         if path == "/submit" and method == "POST":
-            spec = json.loads(body.decode("utf-8") or "{}")
-            return await self._submit(normalize_spec(spec))
+            try:
+                spec = json.loads(body.decode("utf-8") or "{}")
+            except json.JSONDecodeError as exc:
+                raise RequestError(400, f"invalid JSON body: {exc}") from None
+            return self._submit(normalize_spec(spec))
         if path.startswith("/status/") and method == "GET":
             return self._status(path[len("/status/"):])
         if path.startswith("/result/") and method == "GET":
             return self._result(path[len("/result/"):])
         if path == "/curve" and method == "GET":
-            return await self._curve(parse_qs(url.query))
+            return self._curve(parse_qs(url.query))
         if path in ("/submit", "/curve") or path.startswith(
             ("/status/", "/result/")
         ):
@@ -278,22 +637,51 @@ class CampaignJobServer:
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
-    async def _submit(
-        self, spec: Dict[str, Any]
-    ) -> Tuple[int, Dict[str, Any]]:
+    def _admission_overflow(self) -> Optional[Dict[str, int]]:
+        """Queue/in-flight census when at capacity, else None."""
+        queued = running = 0
+        for job in self._jobs.values():
+            if job.state == "queued":
+                queued += 1
+            elif job.state == "running":
+                running += 1
+        over_inflight = (
+            self.max_inflight_jobs is not None
+            and queued + running >= self.max_inflight_jobs
+        )
+        over_queue = (
+            self.max_queue_depth is not None
+            and queued >= self.max_queue_depth
+        )
+        if over_inflight or over_queue:
+            return {"queued": queued, "running": running}
+        return None
+
+    def _submit(self, spec: Dict[str, Any]) -> Tuple[Any, ...]:
         fingerprint = spec_fingerprint(spec)
-        loop = asyncio.get_running_loop()
         with self._lock:
             existing_id = self._by_fingerprint.get(fingerprint)
             if existing_id is not None:
                 job = self._jobs[existing_id]
-                if job.state != "failed":
+                if job.state not in ("failed", "timed-out"):
                     active_metrics().counter(
                         names.SERVE_JOBS_DEDUPED
                     ).inc()
                     status = job.status()
                     status["deduplicated"] = True
                     return 202, status
+            census = self._admission_overflow()
+            if census is not None:
+                active_metrics().counter(names.SERVE_SHEDS).inc()
+                return (
+                    429,
+                    {
+                        "error": "server at capacity; retry later",
+                        "retry_after_s": self.retry_after_s,
+                        **census,
+                    },
+                    {"Retry-After": f"{self.retry_after_s:g}"},
+                )
             self._seq += 1
             job = Job(
                 id=f"job-{self._seq:04d}-{fingerprint[:12]}",
@@ -304,7 +692,13 @@ class CampaignJobServer:
             self._jobs[job.id] = job
             self._by_fingerprint[fingerprint] = job.id
         active_metrics().counter(names.SERVE_JOBS).inc()
-        loop.run_in_executor(self._pool, self._run_job, job)
+        if self._journal is not None:
+            self._journal.record_submitted(
+                job.id, fingerprint, spec, len(spec["vdds"])
+            )
+        asyncio.get_running_loop().run_in_executor(
+            self._pool, self._run_job, job
+        )
         status = job.status()
         status["deduplicated"] = False
         return 202, status
@@ -319,17 +713,28 @@ class CampaignJobServer:
         job = self._jobs.get(job_id)
         if job is None:
             return 404, {"error": f"no such job: {job_id}"}
-        if job.state == "failed":
+        if job.state in ("failed", "timed-out"):
             return 500, job.status()
-        if job.state != "done" or job.results is None:
+        if job.state != "done":
             return 202, job.status()
+        if job.results is None:
+            # A journal-recovered done job: the journal records the
+            # transition, the store holds the points — rehydrate.
+            warm = self._probe_all(job.spec)
+            if warm is None:
+                status = job.status()
+                status["error"] = (
+                    "results no longer in the store (evicted?); resubmit"
+                )
+                return 500, status
+            job.results = warm
         status = job.status()
         status["results"] = job.results
         return 200, status
 
-    async def _curve(
+    def _curve(
         self, query: Dict[str, List[str]]
-    ) -> Tuple[int, Dict[str, Any]]:
+    ) -> Tuple[Any, ...]:
         spec: Dict[str, Any] = {}
         if "scheme" in query:
             spec["scheme"] = query["scheme"][0]
@@ -355,9 +760,9 @@ class CampaignJobServer:
                 },
                 "results": warm,
             }
-        status, payload = await self._submit(spec)
-        payload["warm"] = False
-        return status, payload
+        result = self._submit(spec)
+        result[1]["warm"] = False
+        return result
 
     # ------------------------------------------------------------------
     # Worker side
@@ -414,18 +819,40 @@ class CampaignJobServer:
             )
         return results
 
+    def _hold_for_chaos(self, job: Job) -> None:
+        """Block at job start while the test suite holds the gate."""
+        if self.chaos_hold is None:
+            return
+        while not self.chaos_hold.is_set():
+            if job.cancelled.is_set():
+                raise _JobCancelled()
+            self.chaos_hold.wait(0.02)
+
     def _run_job(self, job: Job) -> None:
         from repro.obs.report import CampaignProgress
 
+        if job.cancelled.is_set():
+            return
         job.state = "running"
+        job.started_at = time.monotonic()
         spec = job.spec
         tracer = active_tracer()
+        if self._journal is not None:
+            self._journal.record_started(job.id)
         try:
+            self._hold_for_chaos(job)
             runner_cls, workload, golden, access_model = self._plan(spec)
 
             def on_point(index: int, total: int, result: Any) -> None:
                 job.points_done = index + 1
                 job.points_total = total
+                job.last_progress_at = time.monotonic()
+                if self._journal is not None:
+                    self._journal.record_point(
+                        job.id, job.points_done, total
+                    )
+                if job.cancelled.is_set():
+                    raise _JobCancelled()
                 if (
                     self.fail_after_points is not None
                     and job.points_done >= self.fail_after_points
@@ -439,6 +866,7 @@ class CampaignJobServer:
                 def on_update(progress: Any) -> None:
                     job.tasks_done = progress.done
                     job.tasks_total = progress.total
+                    job.last_progress_at = time.monotonic()
 
                 return CampaignProgress(on_update=on_update)
 
@@ -476,6 +904,17 @@ class CampaignJobServer:
                 grid.executed_points
             )
             job.state = "done"
+            if self._journal is not None:
+                self._journal.record_done(
+                    job.id, grid.hits, grid.executed_points
+                )
+        except _JobCancelled:
+            # Timed out (watchdog already journaled and evicted) or
+            # cancelled by an unclean drain: the job reverts to queued
+            # so a journal replay on the next start re-runs it.
+            with self._lock:
+                if job.state == "running":
+                    job.state = "queued"
         except Exception as exc:
             job.error = f"{type(exc).__name__}: {exc}"
             job.state = "failed"
@@ -485,6 +924,8 @@ class CampaignJobServer:
                 job=job.id,
                 error=job.error,
             )
+            if self._journal is not None:
+                self._journal.record_failed(job.id, job.error)
             with self._lock:
                 # A failed job must not absorb future identical
                 # submissions — evict it from the dedup table so a
@@ -492,17 +933,43 @@ class CampaignJobServer:
                 # whatever points the store already holds).
                 if self._by_fingerprint.get(job.fingerprint) == job.id:
                     del self._by_fingerprint[job.fingerprint]
+        finally:
+            if self._claims is not None:
+                self._claims.release(job.fingerprint)
 
     def _stats(self) -> Dict[str, Any]:
         with self._lock:
             states: Dict[str, int] = {}
             for job in self._jobs.values():
                 states[job.state] = states.get(job.state, 0) + 1
-        return {
+        stats: Dict[str, Any] = {
             "jobs": states,
             "store": self.store.stats(),
             "workers": self.workers,
+            "recovered_jobs": self._recovered_jobs,
+            "drains": self._drains,
+            "admission": {
+                "max_inflight_jobs": self.max_inflight_jobs,
+                "max_queue_depth": self.max_queue_depth,
+                "max_body_bytes": self.max_body_bytes,
+            },
+            "watchdog": {
+                "job_deadline_s": self.job_deadline_s,
+                "progress_stale_s": self.progress_stale_s,
+            },
         }
+        if self.journal_path is not None:
+            liveness = JournalLiveness(
+                self.journal_path,
+                stale_after_s=self.progress_stale_s
+                or self.job_deadline_s
+                or 60.0,
+            )
+            stats["journal"] = {
+                "path": str(self.journal_path),
+                **liveness.probe(),
+            }
+        return stats
 
 
 @dataclass
@@ -513,13 +980,30 @@ class ServerThread:
 
         with ServerThread(store) as handle:
             urllib.request.urlopen(handle.url + "/healthz")
+
+    ``startup_timeout_s`` / ``shutdown_timeout_s`` bound how long
+    entering and leaving the context may take; a startup that blows
+    the budget raises a descriptive error instead of a bare
+    ``TimeoutError``.  Exit performs a graceful drain by default.
     """
 
     store: Any
     host: str = "127.0.0.1"
     port: int = 0
     workers: int = 2
+    journal: Optional[Any] = None
+    job_deadline_s: Optional[float] = None
+    progress_stale_s: Optional[float] = None
+    max_inflight_jobs: Optional[int] = None
+    max_queue_depth: Optional[int] = None
+    max_body_bytes: int = 1 << 20
+    retry_after_s: float = 1.0
+    drain_deadline_s: float = 30.0
     fail_after_points: Optional[int] = None
+    chaos_hold: Optional[threading.Event] = None
+    startup_timeout_s: float = 10.0
+    shutdown_timeout_s: float = 30.0
+    drain: bool = True
     server: CampaignJobServer = field(init=False)
     _loop: asyncio.AbstractEventLoop = field(init=False)
     _thread: threading.Thread = field(init=False)
@@ -530,7 +1014,16 @@ class ServerThread:
             host=self.host,
             port=self.port,
             workers=self.workers,
+            journal=self.journal,
+            job_deadline_s=self.job_deadline_s,
+            progress_stale_s=self.progress_stale_s,
+            max_inflight_jobs=self.max_inflight_jobs,
+            max_queue_depth=self.max_queue_depth,
+            max_body_bytes=self.max_body_bytes,
+            retry_after_s=self.retry_after_s,
+            drain_deadline_s=self.drain_deadline_s,
             fail_after_points=self.fail_after_points,
+            chaos_hold=self.chaos_hold,
         )
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
@@ -539,17 +1032,43 @@ class ServerThread:
             daemon=True,
         )
         self._thread.start()
-        asyncio.run_coroutine_threadsafe(
+        future = asyncio.run_coroutine_threadsafe(
             self.server.start(), self._loop
-        ).result(timeout=10)
+        )
+        try:
+            future.result(timeout=self.startup_timeout_s)
+        except FutureTimeoutError:
+            future.cancel()
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5)
+            raise RuntimeError(
+                f"repro serve: server did not start within "
+                f"{self.startup_timeout_s:g}s (host={self.host}, "
+                f"port={self.port}); raise startup_timeout_s or check "
+                f"that the address is bindable"
+            ) from None
+        except Exception:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5)
+            raise
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
-        asyncio.run_coroutine_threadsafe(
-            self.server.stop(), self._loop
-        ).result(timeout=10)
-        self._loop.call_soon_threadsafe(self._loop.stop)
-        self._thread.join(timeout=10)
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(drain=self.drain), self._loop
+        )
+        try:
+            future.result(timeout=self.shutdown_timeout_s)
+        except FutureTimeoutError:
+            raise RuntimeError(
+                f"repro serve: shutdown did not finish within "
+                f"{self.shutdown_timeout_s:g}s; in-flight jobs "
+                f"{[job.id for job in self.server._in_flight()]} "
+                f"did not drain"
+            ) from None
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=self.shutdown_timeout_s)
 
     @property
     def url(self) -> str:
@@ -559,6 +1078,7 @@ class ServerThread:
 __all__ = [
     "CampaignJobServer",
     "Job",
+    "RequestError",
     "ServerThread",
     "normalize_spec",
     "spec_fingerprint",

@@ -11,3 +11,8 @@ def publish(codec: str) -> None:
 def publish_profile() -> None:
     active_metrics().histogram(names.PROFILE_LANE_OCCUPANCY).add("4-7")
     active_metrics().counter("profile.fast_path.instructions").inc()
+
+
+def publish_serve() -> None:
+    active_metrics().counter(names.SERVE_JOBS_RECOVERED).inc()
+    active_metrics().counter("serve.deadline_kills").inc()

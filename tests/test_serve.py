@@ -6,9 +6,16 @@ in-process and plain ``urllib`` as the client — the same surface the
 core resilience claim: killing a worker mid-campaign loses no stored
 points, and a resubmission serves the completed prefix warm while
 executing only the remainder, bit-identically to a fresh cold run.
+
+PR 9 additions: malformed-HTTP hardening (400/413), admission control
+(429 + Retry-After), watchdog deadlines (timed-out + fingerprint
+eviction), graceful drain on exit, and configurable ServerThread
+startup/shutdown budgets.
 """
 
+import asyncio
 import json
+import socket
 import threading
 import time
 import urllib.error
@@ -19,6 +26,7 @@ import pytest
 from repro.core.access import ACCESS_CELL_BASED_40NM_TYPICAL
 from repro.mitigation import SecdedRunner
 from repro.serve import ServerThread, normalize_spec, spec_fingerprint
+from repro.serve.server import CampaignJobServer
 from repro.store import (
     ResultStore,
     encode_campaign_result,
@@ -32,15 +40,42 @@ DEADLINE_S = 120.0
 
 def _request(url, payload=None):
     """GET (or POST ``payload`` as JSON); returns (status, body dict)."""
+    status, body, _ = _request_full(url, payload)
+    return status, body
+
+
+def _request_full(url, payload=None):
+    """Like :func:`_request` but also returns the response headers."""
     data = None
     if payload is not None:
         data = json.dumps(payload).encode("utf-8")
     request = urllib.request.Request(url, data=data)
     try:
         with urllib.request.urlopen(request, timeout=30) as response:
-            return response.status, json.loads(response.read())
+            return response.status, json.loads(response.read()), response.headers
     except urllib.error.HTTPError as error:
-        return error.code, json.loads(error.read())
+        return error.code, json.loads(error.read()), error.headers
+
+
+def _raw_request(handle, data):
+    """Send raw bytes on a fresh socket; returns (status, body dict).
+
+    Bypasses urllib so the tests can send requests urllib refuses to
+    produce (garbage request lines, bogus Content-Length headers).
+    """
+    address = (handle.server.host, handle.server.port)
+    with socket.create_connection(address, timeout=10) as sock:
+        sock.sendall(data)
+        sock.shutdown(socket.SHUT_WR)
+        response = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            response += chunk
+    head, _, body = response.partition(b"\r\n\r\n")
+    status = int(head.split(b"\r\n")[0].split()[1])
+    return status, json.loads(body)
 
 
 def _wait(base_url, job_id, states=("done",)):
@@ -233,3 +268,189 @@ class TestChaos:
 
         # Bit-identity with a cold run on a fresh store.
         assert result["results"] == _reference_results(tmp_path)
+
+
+class TestHardening:
+    """Malformed-HTTP requests get specific 4xx answers, never a hang."""
+
+    def test_garbage_request_line_is_400(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        with ServerThread(store) as handle:
+            status, body = _raw_request(handle, b"\x01garbage\r\n")
+            assert status == 400
+            assert "malformed request line" in body["error"]
+            status, body = _raw_request(
+                handle, b"GET /healthz NOTHTTP\r\n\r\n"
+            )
+            assert status == 400
+            # The connection-level rejection must not wedge the server.
+            assert _request(handle.url + "/healthz")[0] == 200
+
+    def test_post_without_content_length_is_413(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        with ServerThread(store) as handle:
+            status, body = _raw_request(
+                handle, b"POST /submit HTTP/1.1\r\n\r\n"
+            )
+            assert status == 413
+            assert "Content-Length" in body["error"]
+
+    def test_invalid_content_length_is_400(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        with ServerThread(store) as handle:
+            for raw in (b"abc", b"-5"):
+                status, body = _raw_request(
+                    handle,
+                    b"POST /submit HTTP/1.1\r\n"
+                    b"Content-Length: " + raw + b"\r\n\r\n",
+                )
+                assert status == 400
+                assert "Content-Length" in body["error"]
+
+    def test_oversized_body_is_413_before_reading_it(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        with ServerThread(store, max_body_bytes=64) as handle:
+            status, body = _raw_request(
+                handle,
+                b"POST /submit HTTP/1.1\r\n"
+                b"Content-Length: 100\r\n\r\n",
+            )
+            assert status == 413
+            assert "64-byte cap" in body["error"]
+
+    def test_truncated_body_is_400(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        with ServerThread(store) as handle:
+            status, body = _raw_request(
+                handle,
+                b"POST /submit HTTP/1.1\r\n"
+                b"Content-Length: 50\r\n\r\n"
+                b"short",
+            )
+            assert status == 400
+            assert "truncated" in body["error"]
+
+    def test_invalid_json_body_is_400(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        with ServerThread(store) as handle:
+            status, body = _raw_request(
+                handle,
+                b"POST /submit HTTP/1.1\r\n"
+                b"Content-Length: 3\r\n\r\n"
+                b"xyz",
+            )
+            assert status == 400
+            assert "invalid JSON" in body["error"]
+
+
+class TestAdmission:
+    def test_overflow_is_shed_with_retry_after(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        hold = threading.Event()
+        other = {**SPEC, "seed": 101}
+        with ServerThread(
+            store,
+            workers=1,
+            max_inflight_jobs=1,
+            chaos_hold=hold,
+            retry_after_s=2.5,
+        ) as handle:
+            status, first = _request(handle.url + "/submit", payload=SPEC)
+            assert status == 202
+
+            # Capacity reached: a *different* spec is shed with the
+            # standard backpressure contract (429 + Retry-After).
+            status, body, headers = _request_full(
+                handle.url + "/submit", payload=other
+            )
+            assert status == 429
+            assert headers["Retry-After"] == "2.5"
+            assert body["retry_after_s"] == 2.5
+            assert body["queued"] + body["running"] == 1
+
+            # An *identical* spec still joins the live job — dedup
+            # outranks admission control, as a retrying client relies on.
+            status, joined = _request(handle.url + "/submit", payload=SPEC)
+            assert (status, joined["deduplicated"]) == (202, True)
+            assert joined["job"] == first["job"]
+
+            _, stats = _request(handle.url + "/stats")
+            assert stats["admission"]["max_inflight_jobs"] == 1
+
+            hold.set()
+            assert _wait(handle.url, first["job"])["state"] == "done"
+
+            # Capacity freed: the previously shed spec is now accepted.
+            status, retried = _request(handle.url + "/submit", payload=other)
+            assert (status, retried["deduplicated"]) == (202, False)
+            assert _wait(handle.url, retried["job"])["state"] == "done"
+
+
+class TestWatchdog:
+    def test_deadline_times_out_job_and_evicts_fingerprint(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        hold = threading.Event()  # never-released: the job is stuck
+        with ServerThread(
+            store, job_deadline_s=0.1, chaos_hold=hold
+        ) as handle:
+            status, submitted = _request(handle.url + "/submit", payload=SPEC)
+            assert status == 202
+            stuck = _wait(handle.url, submitted["job"], states=("timed-out",))
+            assert stuck["state"] == "timed-out"
+            assert "deadline" in stuck["error"]
+
+            status, _ = _request(f"{handle.url}/result/{submitted['job']}")
+            assert status == 500
+
+            _, stats = _request(handle.url + "/stats")
+            assert stats["jobs"]["timed-out"] == 1
+            assert stats["watchdog"]["job_deadline_s"] == 0.1
+
+            # The fingerprint was evicted, so a resubmission gets a
+            # fresh job instead of joining the corpse.  Widen the
+            # deadline first so the watchdog spares the fresh job.
+            handle.server.job_deadline_s = 60.0
+            status, resubmitted = _request(
+                handle.url + "/submit", payload=SPEC
+            )
+            assert (status, resubmitted["deduplicated"]) == (202, False)
+            assert resubmitted["job"] != submitted["job"]
+
+            hold.set()  # release the fresh job; it completes normally
+            assert _wait(handle.url, resubmitted["job"])["state"] == "done"
+
+
+class TestDrain:
+    def test_exit_drains_in_flight_jobs_and_quiesces_pool(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        with ServerThread(store) as handle:
+            status, submitted = _request(handle.url + "/submit", payload=SPEC)
+            assert status == 202
+            server = handle.server
+        # Exiting the context drained: the in-flight job ran to
+        # completion (stop() no longer abandons workers) ...
+        job = server._jobs[submitted["job"]]
+        assert job.state == "done"
+        assert job.results is not None
+        assert server._last_drain_clean is True
+        assert server._drains == 1
+        # ... and the worker pool + event loop + watchdog are quiesced.
+        lingering = [
+            thread.name
+            for thread in threading.enumerate()
+            if thread.name.startswith("repro-serve") and thread.is_alive()
+        ]
+        assert lingering == []
+
+
+class TestServerThreadTimeouts:
+    def test_startup_timeout_is_configurable_and_descriptive(
+        self, tmp_path, monkeypatch
+    ):
+        async def hang(self):
+            await asyncio.sleep(60)
+
+        monkeypatch.setattr(CampaignJobServer, "start", hang)
+        store = ResultStore(tmp_path / "s.sqlite")
+        with pytest.raises(RuntimeError, match="did not start within 0.2s"):
+            ServerThread(store, startup_timeout_s=0.2).__enter__()

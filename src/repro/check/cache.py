@@ -1,0 +1,125 @@
+"""mtime+size-keyed parse cache for ``repro check``.
+
+Parsing and indexing ~180 files dominates a warm checker run; almost
+none of them change between two local invocations (or between CI runs
+restoring the cache).  Each entry pickles one fully-indexed
+:class:`~repro.check.engine.FileContext` — AST, import maps,
+suppressions — keyed by the SHA-256 of the file's resolved path, and
+is *validated* against the file's current ``st_mtime_ns`` + ``st_size``
+before use.  On a stat mismatch the entry gets one cheaper-than-parse
+second chance: if the SHA-256 of the file's current bytes equals the
+hash recorded at store time, the content is unchanged (a ``touch``, or
+a fresh CI checkout restoring the cache onto new mtimes) and the entry
+is still good; otherwise it is a miss and the file is re-parsed and
+re-stored.  A corrupt, truncated, or schema-incompatible entry is
+likewise just a miss — the cache can be deleted (or poisoned) at any
+time without affecting correctness, only speed.
+
+The engine never imports this module; the CLI constructs a
+:class:`ParseCache` and hands it to :func:`~repro.check.engine.
+run_check`, which only relies on the ``load``/``store`` duck type.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from pathlib import Path
+from typing import Optional
+
+from repro.check.engine import FileContext
+
+#: Bump when FileContext's pickled shape changes; old entries miss.
+SCHEMA_VERSION = 1
+
+#: Default cache location, relative to the invocation directory.
+DEFAULT_CACHE_DIR = ".repro-check-cache"
+
+
+class ParseCache:
+    """Directory of pickled ``FileContext`` entries with stat guards."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, path: Path) -> Path:
+        digest = hashlib.sha256(
+            str(path.resolve()).encode("utf-8")
+        ).hexdigest()
+        return self.directory / f"{digest}.pkl"
+
+    @staticmethod
+    def _stat_key(path: Path) -> Optional[tuple[int, int]]:
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def load(self, path: Path, rel_path: str) -> Optional[FileContext]:
+        """The cached context for ``path``, or None on any mismatch."""
+        stat_key = self._stat_key(path)
+        if stat_key is None:
+            return None
+        entry_path = self._entry_path(path)
+        try:
+            raw = entry_path.read_bytes()
+            entry = pickle.loads(raw)
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(entry, dict):
+            self.misses += 1
+            return None
+        context = entry.get("context")
+        if (
+            entry.get("schema") != SCHEMA_VERSION
+            or entry.get("rel_path") != rel_path
+            or not isinstance(context, FileContext)
+        ):
+            self.misses += 1
+            return None
+        if entry.get("stat") != stat_key:
+            # Same bytes under a new stat (touch, CI checkout)?
+            try:
+                digest = hashlib.sha256(path.read_bytes()).hexdigest()
+            except OSError:
+                self.misses += 1
+                return None
+            if entry.get("sha256") != digest:
+                self.misses += 1
+                return None
+        self.hits += 1
+        return context
+
+    def store(self, path: Path, context: FileContext) -> None:
+        """Best-effort write; an unwritable cache never fails a check."""
+        stat_key = self._stat_key(path)
+        if stat_key is None:
+            return
+        try:
+            digest = hashlib.sha256(path.read_bytes()).hexdigest()
+        except OSError:
+            return
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "stat": stat_key,
+            "sha256": digest,
+            "rel_path": context.rel_path,
+            "context": context,
+        }
+        entry_path = self._entry_path(path)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            # Write-then-rename so a crashed writer leaves no torn
+            # entry for the next run to trip over.
+            tmp_path = entry_path.with_suffix(".tmp")
+            tmp_path.write_bytes(pickle.dumps(entry))
+            tmp_path.replace(entry_path)
+        except OSError:
+            pass
+
+
+__all__ = ["DEFAULT_CACHE_DIR", "SCHEMA_VERSION", "ParseCache"]

@@ -5,16 +5,30 @@ Usage::
     python -m repro check [paths ...] [--format text|json|github]
                           [--select REP101,REP201] [--list-rules]
                           [--list-suppressions]
+                          [--cache-dir DIR | --no-cache]
+                          [--changed-only [REF]]
 
 Paths default to ``src`` and ``tests``.  Exit status: 0 clean, 1 when
 findings are reported, 2 on usage errors (argparse's convention).
+
+Parsed files are cached under ``.repro-check-cache/`` (override with
+``--cache-dir``, disable with ``--no-cache``); entries are validated
+by mtime+size, so the cache never goes stale — delete it freely.
+
+``--changed-only`` (optionally with a git ref, default ``HEAD``)
+restricts *reporting* to files changed versus that ref while still
+indexing the whole project, so interprocedural rules keep their full
+call graph.  Run it from the repository root.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
+from pathlib import Path
 from typing import Sequence
 
+from repro.check.cache import DEFAULT_CACHE_DIR, ParseCache
 from repro.check.engine import run_check
 from repro.check.report import FORMATTERS, format_suppressions
 from repro.check.rules import RULES
@@ -59,7 +73,58 @@ def build_parser() -> argparse.ArgumentParser:
             "paths as JSON and exit 0"
         ),
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=(
+            "parse-cache directory, keyed by file mtime+size "
+            f"(default: {DEFAULT_CACHE_DIR})"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="parse every file fresh; do not read or write the cache",
+    )
+    parser.add_argument(
+        "--changed-only",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help=(
+            "report findings only in files changed vs. a git ref "
+            "(default REF: HEAD); the whole project is still indexed"
+        ),
+    )
     return parser
+
+
+def _changed_files(ref: str) -> set[str] | None:
+    """Repo-relative paths changed vs. ``ref`` plus untracked files.
+
+    None when git is unavailable or the ref does not resolve.
+    """
+    changed: set[str] = set()
+    for args in (
+        ["git", "diff", "--name-only", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                args, capture_output=True, text=True, timeout=30
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        changed.update(
+            line.strip()
+            for line in proc.stdout.splitlines()
+            if line.strip()
+        )
+    return changed
 
 
 def _list_rules() -> str:
@@ -94,7 +159,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"unknown rule id(s): {', '.join(sorted(unknown))}"
             )
 
-    result = run_check(args.paths, select=select)
+    report_only: set[str] | None = None
+    if args.changed_only is not None:
+        report_only = _changed_files(args.changed_only)
+        if report_only is None:
+            parser.error(
+                "--changed-only needs a git checkout and a "
+                f"resolvable ref (got {args.changed_only!r})"
+            )
+
+    cache = None if args.no_cache else ParseCache(Path(args.cache_dir))
+    result = run_check(
+        args.paths, select=select, cache=cache, report_only=report_only
+    )
 
     if args.list_suppressions:
         print(format_suppressions(result))

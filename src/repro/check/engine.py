@@ -31,7 +31,23 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path, PurePosixPath
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:
+    from typing import Protocol
+
+    from repro.check.flow.project import ProjectFlow
+
+    class SupportsParseCache(Protocol):
+        """What ``run_check`` needs from a parse cache."""
+
+        def load(
+            self, path: Path, rel_path: str
+        ) -> "FileContext | None":
+            ...
+
+        def store(self, path: Path, context: "FileContext") -> None:
+            ...
 
 #: Directories never descended into during discovery.  ``fixtures`` is
 #: excluded because ``tests/fixtures/check/`` holds deliberately bad
@@ -233,6 +249,19 @@ class Project:
     #: (``ResilientExecutor(fn)`` / ``pool.submit(fn, ...)``): the
     #: functions that run in worker processes.
     worker_functions: dict[str, set[str]] = field(default_factory=dict)
+    #: Lazily-built interprocedural analyses (call graph, taint, lock
+    #: discipline); shared by every rule that needs them.
+    _flow: "ProjectFlow | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    def flow(self) -> "ProjectFlow":
+        """The project's dataflow analyses, built on first use."""
+        if self._flow is None:
+            from repro.check.flow.project import ProjectFlow
+
+            self._flow = ProjectFlow(self)
+        return self._flow
 
     def build_indexes(self) -> None:
         self.validating_functions = {"validate_vdd"}
@@ -376,17 +405,48 @@ def check_files(
 def run_check(
     paths: Iterable[str | Path],
     select: Iterable[str] | None = None,
+    cache: "SupportsParseCache | None" = None,
+    report_only: Iterable[str] | None = None,
 ) -> CheckResult:
-    """Discover, parse and check ``paths``; the CLI entry point."""
+    """Discover, parse and check ``paths``; the CLI entry point.
+
+    ``cache``, when given, answers ``load(path, rel_path)`` with a
+    previously-parsed :class:`FileContext` (or None) and accepts
+    ``store(path, context)`` for fresh parses — see
+    :class:`repro.check.cache.ParseCache`.
+
+    ``report_only``, when given, restricts *reported* findings to the
+    listed repo-relative paths while still parsing and indexing the
+    whole file set — interprocedural rules keep seeing the full call
+    graph, so pre-commit runs over changed files miss nothing that a
+    changed file causes elsewhere only if the cause is in the diff.
+    """
     contexts: list[FileContext] = []
     parse_failures: list[Finding] = []
     for path in discover(paths):
-        loaded = load_file(path)
+        rel = path.as_posix()
+        loaded: FileContext | Finding | None = None
+        if cache is not None:
+            loaded = cache.load(path, rel)
+        if loaded is None:
+            loaded = load_file(path, rel)
+            if cache is not None and isinstance(loaded, FileContext):
+                cache.store(path, loaded)
         if isinstance(loaded, Finding):
             parse_failures.append(loaded)
         else:
             contexts.append(loaded)
-    return check_files(contexts, select=select, parse_failures=parse_failures)
+    result = check_files(
+        contexts, select=select, parse_failures=parse_failures
+    )
+    if report_only is None:
+        return result
+    allowed = set(report_only)
+    return CheckResult(
+        findings=[f for f in result.findings if f.path in allowed],
+        suppressions=result.suppressions,
+        files_checked=result.files_checked,
+    )
 
 
 def _apply_suppressions(

@@ -1,0 +1,35 @@
+"""``repro.check.flow`` — project-wide dataflow under the rule engine.
+
+PR 5's rules were *intraprocedural*: each looked at one file (plus one
+level of bare-name delegation credit) at a time.  The invariants they
+guard, however, are *transitive* — a provenance key is only pure if
+everything it calls is pure, a replay path is only deterministic if
+every reachable callee is, and ``validate_vdd`` funnels compose across
+arbitrarily deep delegation chains.  This package closes that gap with
+three reusable analyses, all stdlib-``ast`` only:
+
+* :mod:`repro.check.flow.callgraph` — a whole-project call graph
+  resolving module-level calls, import aliases (including package
+  ``__init__`` re-exports) and ``self.``/``cls.`` method dispatch
+  within a class;
+* :mod:`repro.check.flow.taint` — generic transitive reachability from
+  configurable root functions to configurable impurity sources, with
+  barrier modules and per-finding call chains (the engine behind the
+  transitive REP301/REP103/REP104 rules);
+* :mod:`repro.check.flow.locks` — per-class lock-discipline inference:
+  which attributes are only ever touched under ``with self._lock:``,
+  and which thread-reachable methods break that discipline (REP503);
+* :mod:`repro.check.flow.funnel` — the interprocedural ``validate_vdd``
+  funnel fixpoint (REP201).
+
+Every analysis is computed lazily, once per :class:`~repro.check.engine.
+Project`, via :class:`ProjectFlow` — rules share the graph instead of
+rebuilding it.
+"""
+
+from __future__ import annotations
+
+from repro.check.flow.callgraph import CallGraph, FunctionInfo
+from repro.check.flow.project import ProjectFlow
+
+__all__ = ["CallGraph", "FunctionInfo", "ProjectFlow"]

@@ -1,0 +1,165 @@
+"""Interprocedural ``validate_vdd`` funneling (the REP201 engine).
+
+The old rule credited exactly one level of delegation, and only via
+bare callee names.  This analysis answers the real question: *does the
+value of parameter ``p`` of function ``f`` flow into a call of*
+``validate_vdd`` *along some call path?* — with arguments bound
+positionally and by keyword through resolved call-graph edges, to any
+depth, cycle-safely.
+
+The fixpoint is a memoised recursion::
+
+    validates(f, p) =
+        ∃ call-site in f passing p where
+            callee is validate_vdd                             (base)
+          ∨ callee resolves to g, p binds to g's param q,
+            and validates(g, q)                                (step)
+          ∨ callee is unresolved but its bare name is a known
+            validating function                                (fallback)
+
+The fallback keeps the one conservative credit the old rule extended —
+calls the graph cannot resolve (duck-typed receivers, injected
+callables) still count when the bare name is in the project's
+``validating_functions`` set.  ``*args``/``**kwargs`` forwarding binds
+by *name* when the callee declares the same parameter (a ``vdd``
+forwarded through ``**kwargs`` arrives as ``vdd``), and otherwise
+falls back to the bare-name benefit of the doubt, exactly as before.
+In-progress cycles answer ``False`` (recursion alone never validates),
+which is the conservative direction: a false *finding* gets reviewed,
+a false *credit* hides a real gap.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.check.flow.callgraph import CallGraph, CallSite
+
+
+def _param_names(fn: ast.AST) -> List[str]:
+    if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return []
+    return [
+        arg.arg
+        for arg in (
+            fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs
+        )
+    ]
+
+
+def _bindings(site: CallSite, param: str) -> Tuple[List[int], List[str], bool]:
+    """How ``param`` is passed at this site.
+
+    Returns (positional indices, keyword names, forwarded-via-star).
+    """
+    positions: List[int] = []
+    keywords: List[str] = []
+    star = False
+    for index, arg in enumerate(site.call.args):
+        if isinstance(arg, ast.Name) and arg.id == param:
+            positions.append(index)
+        elif isinstance(arg, ast.Starred):
+            star = True
+    for keyword in site.call.keywords:
+        if keyword.arg is None:
+            star = True
+        elif (
+            isinstance(keyword.value, ast.Name)
+            and keyword.value.id == param
+        ):
+            keywords.append(keyword.arg)
+    return positions, keywords, star
+
+
+class FunnelAnalysis:
+    """Memoised whole-graph ``validate_vdd`` funnel resolution."""
+
+    def __init__(
+        self, graph: CallGraph, validating_names: Set[str]
+    ) -> None:
+        self.graph = graph
+        #: bare names credited on *unresolved* calls only.
+        self.validating_names = validating_names
+        self._memo: Dict[Tuple[str, str], Optional[bool]] = {}
+
+    def param_validated(self, key: str, param: str) -> bool:
+        """True when ``param`` of function ``key`` reaches validate_vdd."""
+        memo_key = (key, param)
+        if memo_key in self._memo:
+            cached = self._memo[memo_key]
+            # None marks in-progress: recursion is not validation.
+            return cached is True
+        self._memo[memo_key] = None
+        result = self._compute(key, param)
+        self._memo[memo_key] = result
+        return result
+
+    def _compute(self, key: str, param: str) -> bool:
+        for site in self.graph.calls_of(key):
+            positions, keywords, star = _bindings(site, param)
+            if not positions and not keywords and not star:
+                continue
+            # Base case: the gate itself, however it is spelled
+            # (validate_vdd(v), errors.validate_vdd(v), self._validate
+            # aliases resolve below instead).
+            if site.tail == "validate_vdd":
+                return True
+            if site.targets:
+                if self._delegates(
+                    site.targets[0], positions, keywords, star, param
+                ):
+                    return True
+            elif (
+                site.tail is not None
+                and site.tail in self.validating_names
+            ):
+                # Unresolved callee: the old bare-name credit.
+                return True
+        return False
+
+    def _delegates(
+        self,
+        target: str,
+        positions: List[int],
+        keywords: List[str],
+        star: bool,
+        param: str,
+    ) -> bool:
+        node = self.graph.node_of(target)
+        info = self.graph.functions.get(target)
+        params = _param_names(node) if node is not None else []
+        if not params:
+            # Resolved to something without a body we can bind into
+            # (e.g. a class with no __init__): fall back to bare name.
+            return (
+                info is not None and info.name in self.validating_names
+            )
+        offset = 0
+        if params and params[0] in ("self", "cls"):
+            offset = 1  # bound method / constructor call
+        bound: List[str] = []
+        for index in positions:
+            slot = index + offset
+            if slot < len(params):
+                bound.append(params[slot])
+        for name in keywords:
+            if name in params:
+                bound.append(name)
+        if star and param in params:
+            # *args/**kwargs forwarding usually preserves the name.
+            bound.append(param)
+        for name in bound:
+            if self.param_validated(target, name):
+                return True
+        if star and not bound:
+            # Star-forwarding into a callee that does not even declare
+            # the parameter: keep the legacy benefit of the doubt only
+            # for known validating names.
+            return (
+                info is not None and info.name in self.validating_names
+            )
+        return False
+
+
+__all__ = ["FunnelAnalysis"]

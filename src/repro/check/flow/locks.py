@@ -1,0 +1,483 @@
+"""Per-class lock-discipline inference (the REP503 engine).
+
+For every class that owns a lock — an attribute assigned
+``threading.Lock()`` / ``RLock()`` / ``Condition()`` (or simply named
+``_lock``) — the analysis learns the class's *discipline* and flags
+code that breaks it:
+
+1. **Guarded attributes**: ``self.X`` attributes that are touched at
+   least once inside a ``with self._lock:`` region *and* mutated
+   somewhere in the class.  These are the attributes the class itself
+   declares shared.
+2. **Thread-reachable methods**: methods handed to
+   ``threading.Thread(target=...)``, ``pool.submit(...)``,
+   ``loop.run_in_executor(...)`` or ``call_soon_threadsafe(...)``,
+   every ``async def`` (the event loop is a thread concurrent with the
+   pool), every public method (a class that locks advertises its
+   public surface as its concurrency boundary), plus everything
+   reachable from those via ``self.`` calls.
+3. **Lock-credited methods**: a private method whose *every* in-class
+   call site sits inside a lock region executes under the lock even
+   though its own body never takes it (``_admission_overflow`` under
+   ``_submit``'s lock) — such methods are exempt.
+
+A violation is then: an unguarded touch of a guarded attribute from a
+thread-reachable, non-credited method — or an unguarded *container
+mutation* (``self.d[k] = v``, ``self.xs.append(...)``, ``self.n += 1``)
+of any attribute from such a method.  ``__init__`` is exempt (no other
+thread can hold the instance yet), as is plain attribute rebinding of
+never-guarded attributes (``self._server = None`` — publication via
+single assignment is the idiomatic benign case).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.check.engine import FileContext, dotted_name
+
+#: Mutating container/attribute methods that count as writes.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Call tails that register a callable with another thread.
+_THREAD_DISPATCHERS = frozenset(
+    {"submit", "run_in_executor", "call_soon_threadsafe"}
+)
+
+#: Methods never analysed: construction happens-before thread start.
+_EXEMPT_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+@dataclass(frozen=True)
+class AttrAccess:
+    """One ``self.X`` touch inside a method."""
+
+    attr: str
+    lineno: int
+    col: int
+    locked: bool
+    #: plain rebinding (``self.x = v``) vs container mutation/augassign.
+    write: bool
+    container_write: bool
+
+
+@dataclass(frozen=True)
+class LockViolation:
+    """One discipline break, ready to become a finding."""
+
+    cls: str
+    method: str
+    attr: str
+    lineno: int
+    col: int
+    #: "guarded" (attr has a lock discipline) or "unclassified"
+    #: (container mutation of a never-guarded attr).
+    kind: str
+    entry_chain: str
+
+
+def _is_lock_factory(node: ast.expr) -> bool:
+    """True for ``threading.Lock()``-shaped expressions (incl. field
+    defaults such as ``field(default_factory=threading.RLock)``)."""
+    text = ast.dump(node)
+    return any(
+        marker in text for marker in ("Lock", "RLock", "Condition")
+    )
+
+
+class _MethodScan(ast.NodeVisitor):
+    """Collect ``self.X`` accesses with their lock context."""
+
+    def __init__(self, lock_attrs: Set[str]) -> None:
+        self.lock_attrs = lock_attrs
+        self.depth = 0
+        self.accesses: List[AttrAccess] = []
+        #: self-method call sites: (method name, locked?)
+        self.self_calls: List[Tuple[str, bool]] = []
+
+    # -- lock regions ---------------------------------------------------
+    def _is_lock_item(self, item: ast.withitem) -> bool:
+        expr = item.context_expr
+        return (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in self.lock_attrs
+        )
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: "ast.With | ast.AsyncWith") -> None:
+        takes_lock = any(self._is_lock_item(item) for item in node.items)
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        if takes_lock:
+            self.depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if takes_lock:
+            self.depth -= 1
+
+    # -- accesses -------------------------------------------------------
+    def _self_attr(self, node: ast.expr) -> Optional[str]:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver = self._self_attr(func.value)
+            if receiver is not None and func.attr in _MUTATOR_METHODS:
+                # self.X.append(...) — container mutation of X.
+                self._record(
+                    receiver,
+                    node.lineno,
+                    node.col_offset,
+                    write=True,
+                    container=True,
+                )
+            direct = self._self_attr(func)
+            if direct is not None:
+                # self.method(...) — a self-call edge, plus a read of
+                # the attribute (harmless for plain methods).
+                self.self_calls.append((func.attr, self.depth > 0))
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_target(target)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        attr = self._self_attr(node.target)
+        if attr is not None:
+            # self.n += 1 is a read-modify-write: container-grade.
+            self._record(
+                attr,
+                node.target.lineno,
+                node.target.col_offset,
+                write=True,
+                container=True,
+            )
+        else:
+            self._record_target(node.target)
+        self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._record_target(target, deleting=True)
+
+    def _record_target(
+        self, target: ast.expr, deleting: bool = False
+    ) -> None:
+        attr = self._self_attr(target)
+        if attr is not None:
+            self._record(
+                attr,
+                target.lineno,
+                target.col_offset,
+                write=True,
+                container=deleting,
+            )
+            return
+        # self.d[k] = v / del self.d[k] / self.obj.field = v — the base
+        # self attribute is mutated in place.
+        base = target
+        while isinstance(base, (ast.Subscript, ast.Attribute)):
+            if isinstance(base, ast.Subscript):
+                self.visit(base.slice)
+            parent = base.value
+            attr = self._self_attr(parent)
+            if attr is not None:
+                self._record(
+                    attr,
+                    target.lineno,
+                    target.col_offset,
+                    write=True,
+                    container=True,
+                )
+                return
+            base = parent
+        self.visit(target)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = self._self_attr(node)
+        if attr is not None and isinstance(node.ctx, ast.Load):
+            self._record(
+                attr,
+                node.lineno,
+                node.col_offset,
+                write=False,
+                container=False,
+            )
+        self.generic_visit(node)
+
+    def _record(
+        self,
+        attr: str,
+        lineno: int,
+        col: int,
+        write: bool,
+        container: bool,
+    ) -> None:
+        if attr in self.lock_attrs:
+            return
+        self.accesses.append(
+            AttrAccess(
+                attr=attr,
+                lineno=lineno,
+                col=col,
+                locked=self.depth > 0,
+                write=write,
+                container_write=container,
+            )
+        )
+
+
+@dataclass
+class ClassDiscipline:
+    """Everything learned about one lock-owning class."""
+
+    name: str
+    lock_attrs: Set[str]
+    guarded_attrs: Set[str]
+    #: method name -> its scan.
+    scans: Dict[str, _MethodScan]
+    #: methods reachable from a thread entry point, with entry chains.
+    thread_reachable: Dict[str, str]
+    #: private methods whose every in-class call site is lock-held.
+    lock_credited: Set[str]
+
+
+def _method_defs(
+    cls: ast.ClassDef,
+) -> Iterator["ast.FunctionDef | ast.AsyncFunctionDef"]:
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _lock_attrs(cls: ast.ClassDef) -> Set[str]:
+    locks: Set[str] = set()
+    for method in _method_defs(cls):
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and _is_lock_factory(node.value)
+                ):
+                    locks.add(target.attr)
+    # Dataclass-style: class-level annotated field with a Lock default.
+    for node in cls.body:
+        if (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.value is not None
+            and _is_lock_factory(node.value)
+        ):
+            locks.add(node.target.id)
+    if not locks:
+        for method in _method_defs(cls):
+            for node in ast.walk(method):
+                if isinstance(node, ast.withitem):
+                    expr = node.context_expr
+                    if (
+                        isinstance(expr, ast.Attribute)
+                        and isinstance(expr.value, ast.Name)
+                        and expr.value.id == "self"
+                        and expr.attr == "_lock"
+                    ):
+                        locks.add("_lock")
+    return locks
+
+
+def _thread_targets(file: FileContext, cls: ast.ClassDef) -> Set[str]:
+    """Methods of ``cls`` handed to threads/executors anywhere in it."""
+    targets: Set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func) or ""
+        tail = name.split(".")[-1] if name else (
+            node.func.attr if isinstance(node.func, ast.Attribute) else ""
+        )
+        candidates: List[ast.expr] = []
+        if tail == "Thread":
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    candidates.append(keyword.value)
+        elif tail in _THREAD_DISPATCHERS:
+            candidates.extend(node.args)
+        for candidate in candidates:
+            if (
+                isinstance(candidate, ast.Attribute)
+                and isinstance(candidate.value, ast.Name)
+                and candidate.value.id == "self"
+            ):
+                targets.add(candidate.attr)
+    return targets
+
+
+def analyze_class(
+    file: FileContext, cls: ast.ClassDef
+) -> Optional[ClassDiscipline]:
+    """Learn a class's lock discipline; None when it owns no lock."""
+    lock_attrs = _lock_attrs(cls)
+    if not lock_attrs:
+        return None
+    scans: Dict[str, _MethodScan] = {}
+    methods: Dict[str, "ast.FunctionDef | ast.AsyncFunctionDef"] = {}
+    for method in _method_defs(cls):
+        scan = _MethodScan(lock_attrs)
+        for stmt in method.body:
+            scan.visit(stmt)
+        scans[method.name] = scan
+        methods[method.name] = method
+
+    # Guarded attributes: locked somewhere + written somewhere
+    # (outside __init__, which is construction, not sharing).
+    locked_attrs: Set[str] = set()
+    written_attrs: Set[str] = set()
+    for name, scan in scans.items():
+        if name in _EXEMPT_METHODS:
+            continue
+        for access in scan.accesses:
+            if access.locked:
+                locked_attrs.add(access.attr)
+            if access.write:
+                written_attrs.add(access.attr)
+    guarded = locked_attrs & written_attrs
+
+    # Entry points: thread targets + async defs + public methods.
+    entries: Dict[str, str] = {}
+    for target in _thread_targets(file, cls):
+        if target in scans:
+            entries.setdefault(target, f"thread target {target}()")
+    for name, method in methods.items():
+        if name in _EXEMPT_METHODS:
+            continue
+        if isinstance(method, ast.AsyncFunctionDef):
+            entries.setdefault(name, f"event-loop method {name}()")
+        elif not name.startswith("_"):
+            entries.setdefault(name, f"public method {name}()")
+
+    # Reachability via self-calls (BFS), remembering the entry.
+    reachable: Dict[str, str] = dict(entries)
+    queue = list(entries)
+    while queue:
+        current = queue.pop()
+        for callee, _locked in scans[current].self_calls:
+            if callee in scans and callee not in reachable:
+                reachable[callee] = (
+                    f"{reachable[current]} -> {callee}()"
+                )
+                queue.append(callee)
+
+    # Lock credit: private, non-entry methods only ever called from
+    # inside a lock region (by any method of the class).
+    call_contexts: Dict[str, List[bool]] = {}
+    for scan in scans.values():
+        for callee, locked in scan.self_calls:
+            call_contexts.setdefault(callee, []).append(locked)
+    credited: Set[str] = set()
+    for name in scans:
+        if name in entries or not name.startswith("_"):
+            continue
+        contexts = call_contexts.get(name)
+        if contexts and all(contexts):
+            credited.add(name)
+
+    return ClassDiscipline(
+        name=cls.name,
+        lock_attrs=lock_attrs,
+        guarded_attrs=guarded,
+        scans=scans,
+        thread_reachable=reachable,
+        lock_credited=credited,
+    )
+
+
+def violations(file: FileContext) -> Iterator[LockViolation]:
+    """Every lock-discipline break in every lock-owning class of a file."""
+    for node in file.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        discipline = analyze_class(file, node)
+        if discipline is None:
+            continue
+        for method, chain in sorted(
+            discipline.thread_reachable.items()
+        ):
+            if (
+                method in _EXEMPT_METHODS
+                or method in discipline.lock_credited
+            ):
+                continue
+            scan = discipline.scans[method]
+            seen: Set[Tuple[str, int, str]] = set()
+            for access in scan.accesses:
+                if access.locked:
+                    continue
+                if access.attr in discipline.guarded_attrs:
+                    kind = "guarded"
+                elif access.container_write:
+                    kind = "unclassified"
+                else:
+                    continue
+                dedup = (access.attr, access.lineno, kind)
+                if dedup in seen:
+                    continue
+                seen.add(dedup)
+                yield LockViolation(
+                    cls=discipline.name,
+                    method=method,
+                    attr=access.attr,
+                    lineno=access.lineno,
+                    col=access.col,
+                    kind=kind,
+                    entry_chain=chain,
+                )
+
+
+__all__ = [
+    "AttrAccess",
+    "ClassDiscipline",
+    "LockViolation",
+    "analyze_class",
+    "violations",
+]

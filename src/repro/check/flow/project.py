@@ -1,0 +1,202 @@
+"""Lazy, shared dataflow analyses for one :class:`Project`.
+
+Each :class:`~repro.check.engine.Project` owns at most one
+:class:`ProjectFlow` (created on first use via ``Project.flow()``).
+Rules ask it questions; it builds the call graph once and memoises
+every derived analysis so that six interprocedural rules cost one
+graph construction plus one BFS each:
+
+* :attr:`graph` — the whole-project :class:`CallGraph`;
+* :meth:`taint` — per-rule transitive-impurity results, cached by
+  rule id (REP301 / REP103 / REP104);
+* :meth:`lock_violations` — per-file lock-discipline breaks (REP503);
+* :attr:`funnel` — the interprocedural ``validate_vdd`` fixpoint
+  (REP201);
+* :meth:`referenced_identifiers` / :meth:`referenced_strings` —
+  project-wide name/constant reference indexes (REP403's liveness
+  check for pinned observability names).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.check.flow.callgraph import CallGraph
+from repro.check.flow.funnel import FunnelAnalysis
+from repro.check.flow.locks import LockViolation, violations
+from repro.check.flow.taint import (
+    TaintSpec,
+    Touch,
+    module_roots,
+    transitive_touches,
+)
+
+if TYPE_CHECKING:
+    from repro.check.engine import FileContext, Project
+
+#: Modules the taint walks never enter: observability sinks consume
+#: timestamps without feeding them back into results, and the checker
+#: inspects impure primitives by name as part of its job.
+BARRIER_MODULES: Tuple[str, ...] = ("repro.obs", "repro.check")
+
+#: Modules whose string literals are *definitions*, not uses, for the
+#: reference index (REP403's liveness check).
+REGISTRY_MODULES: Tuple[str, ...] = ("repro.obs.names",)
+
+
+class ProjectFlow:
+    """Memoised home of every interprocedural analysis."""
+
+    def __init__(self, project: "Project") -> None:
+        self.project = project
+        self._graph: Optional[CallGraph] = None
+        self._funnel: Optional[FunnelAnalysis] = None
+        self._taints: Dict[str, Dict[str, List[Touch]]] = {}
+        self._locks: Dict[str, List[LockViolation]] = {}
+        self._identifier_refs: Optional[Set[str]] = None
+        self._string_refs: Optional[Set[str]] = None
+        self._exception_classes: Optional[Set[str]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> CallGraph:
+        if self._graph is None:
+            self._graph = CallGraph(self.project.files)
+        return self._graph
+
+    @property
+    def funnel(self) -> FunnelAnalysis:
+        if self._funnel is None:
+            self._funnel = FunnelAnalysis(
+                self.graph, self.project.validating_functions
+            )
+        return self._funnel
+
+    # ------------------------------------------------------------------
+    def taint(
+        self,
+        rule_id: str,
+        root_prefixes: Tuple[str, ...],
+        spec: TaintSpec,
+        extra_root_names: Tuple[str, ...] = (),
+    ) -> Dict[str, List[Touch]]:
+        """Transitive touches for one rule, computed once per project.
+
+        Roots are every function of every module matching
+        ``root_prefixes`` plus any function whose bare name matches an
+        ``extra_root_names`` prefix (``fingerprint*`` for store keys).
+        """
+        cached = self._taints.get(rule_id)
+        if cached is not None:
+            return cached
+        graph = self.graph
+        roots = module_roots(graph, root_prefixes)
+        if extra_root_names:
+            for key, info in graph.functions.items():
+                if any(
+                    info.name == name or info.name.startswith(name)
+                    for name in extra_root_names
+                ):
+                    roots.append(key)
+        result = transitive_touches(graph, roots, spec)
+        self._taints[rule_id] = result
+        return result
+
+    def lock_violations(
+        self, file: "FileContext"
+    ) -> List[LockViolation]:
+        cached = self._locks.get(file.rel_path)
+        if cached is None:
+            cached = list(violations(file))
+            self._locks[file.rel_path] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def referenced_identifiers(self) -> Set[str]:
+        """Every identifier *used* anywhere: Name loads + attribute
+        accesses.  Store contexts (the definitions themselves) do not
+        count, so an assigned-but-never-read constant stays dead."""
+        if self._identifier_refs is None:
+            self._build_reference_index()
+        assert self._identifier_refs is not None
+        return self._identifier_refs
+
+    def referenced_strings(self) -> Set[str]:
+        """Every string literal in the project (metric names are also
+        live when spelled out directly at a call site).
+
+        Literals inside name-registry modules themselves are excluded —
+        a registry definition must not count as its own use."""
+        if self._string_refs is None:
+            self._build_reference_index()
+        assert self._string_refs is not None
+        return self._string_refs
+
+    def exception_classes(self) -> Set[str]:
+        """Bare names of exception classes *defined in this project*.
+
+        Seeded by classes whose base name spells an exception
+        (``...Error`` / ``...Exception``), then closed under
+        subclassing so ``class Worse(ProjectError)`` is included too.
+        """
+        if self._exception_classes is not None:
+            return self._exception_classes
+        bases_of: Dict[str, List[str]] = {}
+        for file in self.project.files:
+            for node in ast.walk(file.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                tails: List[str] = []
+                for base in node.bases:
+                    if isinstance(base, ast.Name):
+                        tails.append(base.id)
+                    elif isinstance(base, ast.Attribute):
+                        tails.append(base.attr)
+                bases_of.setdefault(node.name, []).extend(tails)
+        exceptional: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, tails in bases_of.items():
+                if name in exceptional:
+                    continue
+                for tail in tails:
+                    if (
+                        tail.endswith("Error")
+                        or tail.endswith("Exception")
+                        or tail in ("BaseException", "Warning")
+                        or tail in exceptional
+                    ):
+                        exceptional.add(name)
+                        changed = True
+                        break
+        self._exception_classes = exceptional
+        return exceptional
+
+    def _build_reference_index(self) -> None:
+        identifiers: Set[str] = set()
+        strings: Set[str] = set()
+        for file in self.project.files:
+            registry = file.module in REGISTRY_MODULES
+            for node in ast.walk(file.tree):
+                if isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    identifiers.add(node.id)
+                elif isinstance(node, ast.Attribute):
+                    identifiers.add(node.attr)
+                elif (
+                    not registry
+                    and isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                ):
+                    strings.add(node.value)
+                elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                    for alias in node.names:
+                        identifiers.add(alias.name.split(".")[-1])
+        self._identifier_refs = identifiers
+        self._string_refs = strings
+
+
+__all__ = ["BARRIER_MODULES", "ProjectFlow", "TaintSpec", "Touch"]

@@ -1,0 +1,183 @@
+"""Generic transitive-reachability / taint analysis over the call graph.
+
+A :class:`TaintSpec` names three things:
+
+* **roots** — the functions whose behaviour the invariant protects
+  (every function of a replay-path module, the key-derivation
+  functions, ...);
+* **sources** — impure primitives, as import-resolved dotted call
+  names (``time.time``, ``os.urandom``), plus optionally unordered
+  ``set`` iteration;
+* **barriers** — module prefixes the walk never enters (observability
+  sinks whose timestamps never feed results, and the checker itself).
+
+The analysis walks the call graph from the roots and reports every
+source *touch site* in a reachable function, with the root→touch call
+chain rendered into the finding message.  Sanitization works exactly
+like every other rule: a ``# repro: noqa[RULE] why`` on the touching
+line suppresses the finding through the engine's normal suppression
+pass — auditable, justified, and pinned by the ledger test.
+
+Results are grouped by file so rules can stay file-scoped: a rule asks
+for "the transitive touches that live in *this* file" and emits only
+those, keeping finding paths aligned with where the offending line
+actually is.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
+
+from repro.check.flow.callgraph import CallGraph
+
+if TYPE_CHECKING:
+    from repro.check.engine import FileContext
+
+
+@dataclass(frozen=True)
+class TaintSpec:
+    """One transitive-impurity question to ask of the project."""
+
+    #: dotted source call -> short category text for the message.
+    sources: Mapping[str, str]
+    #: also treat ``for x in set(...)`` / set comprehensions as sources.
+    flag_set_iteration: bool = False
+    #: module prefixes never entered by the reachability walk.
+    barrier_modules: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Touch:
+    """One impure call (or set iteration) in a reachable function."""
+
+    rel_path: str
+    module: str
+    lineno: int
+    col: int
+    #: dotted source name, or "set-iteration".
+    source: str
+    category: str
+    #: rendered root→function call chain.
+    chain: str
+
+
+def _is_set_expr(node: ast.expr, file: "FileContext") -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        resolved = file.resolve(node.func)
+        return resolved in {"set", "frozenset"}
+    return False
+
+
+def _function_touches(
+    graph: CallGraph,
+    key: str,
+    spec: TaintSpec,
+) -> List[Tuple[int, int, str, str]]:
+    """Source touches inside one function: (line, col, source, category)."""
+    file = graph.file_of(key)
+    node = graph.node_of(key)
+    info = graph.functions.get(key)
+    if file is None or node is None or info is None:
+        return []
+    touches: List[Tuple[int, int, str, str]] = []
+    for site in graph.calls_of(key):
+        if site.dotted is not None and site.dotted in spec.sources:
+            touches.append(
+                (
+                    site.lineno,
+                    site.col,
+                    site.dotted,
+                    spec.sources[site.dotted],
+                )
+            )
+    if spec.flag_set_iteration:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.For) and _is_set_expr(sub.iter, file):
+                touches.append(
+                    (
+                        sub.lineno,
+                        sub.col_offset,
+                        "set-iteration",
+                        "set-iteration",
+                    )
+                )
+            elif isinstance(
+                sub,
+                (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+            ):
+                for generator in sub.generators:
+                    if _is_set_expr(generator.iter, file):
+                        touches.append(
+                            (
+                                sub.lineno,
+                                sub.col_offset,
+                                "set-iteration",
+                                "set-iteration",
+                            )
+                        )
+    return touches
+
+
+def transitive_touches(
+    graph: CallGraph,
+    roots: List[str],
+    spec: TaintSpec,
+) -> Dict[str, List[Touch]]:
+    """All source touches reachable from ``roots``, grouped by file.
+
+    Every touch carries the shortest-by-BFS call chain from a root to
+    the touching function.  Touches are deduplicated per source line
+    (many roots may reach the same impure call; one finding suffices).
+    """
+    parents = graph.reachable(roots, spec.barrier_modules)
+    by_file: Dict[str, List[Touch]] = {}
+    seen: set[Tuple[str, int, str]] = set()
+    for key in parents:
+        info = graph.functions.get(key)
+        if info is None:
+            continue
+        for lineno, col, source, category in _function_touches(
+            graph, key, spec
+        ):
+            dedup = (info.rel_path, lineno, source)
+            if dedup in seen:
+                continue
+            seen.add(dedup)
+            by_file.setdefault(info.rel_path, []).append(
+                Touch(
+                    rel_path=info.rel_path,
+                    module=info.module,
+                    lineno=lineno,
+                    col=col,
+                    source=source,
+                    category=category,
+                    chain=graph.chain(parents, key),
+                )
+            )
+    for touches in by_file.values():
+        touches.sort(key=lambda t: (t.lineno, t.col, t.source))
+    return by_file
+
+
+def module_roots(graph: CallGraph, prefixes: Tuple[str, ...]) -> List[str]:
+    """Keys of every function defined in modules matching ``prefixes``."""
+    roots: List[str] = []
+    for key, info in graph.functions.items():
+        if any(
+            info.module == prefix or info.module.startswith(prefix + ".")
+            for prefix in prefixes
+        ):
+            roots.append(key)
+    return roots
+
+
+__all__ = [
+    "TaintSpec",
+    "Touch",
+    "module_roots",
+    "transitive_touches",
+]

@@ -88,17 +88,26 @@ def _in_repro_src(file: "FileContext") -> bool:
     )
 
 
-# Import rule modules for their registration side effect (order fixes
-# the --list-rules order).
+# Import rule modules for their registration side effect.
 from repro.check.rules import rng  # noqa: E402,F401
 from repro.check.rules import lanes  # noqa: E402,F401
 from repro.check.rules import voltage  # noqa: E402,F401
 from repro.check.rules import determinism  # noqa: E402,F401
 from repro.check.rules import storekeys  # noqa: E402,F401
 from repro.check.rules import obsnames  # noqa: E402,F401
+from repro.check.rules import deadnames  # noqa: E402,F401
 from repro.check.rules import instrumentation  # noqa: E402,F401
 from repro.check.rules import concurrency  # noqa: E402,F401
+from repro.check.rules import sharedstate  # noqa: E402,F401
 from repro.check.rules import serialization  # noqa: E402,F401
 from repro.check.rules import exceptions  # noqa: E402,F401
+from repro.check.rules import exceptionflow  # noqa: E402,F401
+
+# Registration order above is import order; re-key the registry sorted
+# by rule id so --list-rules and report output are stable no matter
+# which module happens to be imported first.
+_sorted_rules = dict(sorted(RULES.items()))
+RULES.clear()
+RULES.update(_sorted_rules)
 
 __all__ = ["RULES", "Rule", "register"]

@@ -1,0 +1,77 @@
+"""REP403 — every pinned obs name must be referenced somewhere.
+
+REP401 pins call sites to the registry (``repro/obs/names.py``); this
+rule closes the loop in the other direction.  A constant that sits in
+the registry but is referenced nowhere — not by identifier (import,
+``names.FOO`` attribute, same-file table such as
+``STORE_METRIC_FIELDS``) and not by string literal at a call site —
+is a dashboard row that will read zero forever.  Either the
+instrument was removed and the name should go too, or the name was
+added ahead of an instrument that never landed; both are registry
+drift, the exact failure mode the registry exists to prevent.
+
+Liveness uses the project-wide reference index
+(:class:`~repro.check.flow.project.ProjectFlow`): identifier loads and
+attribute accesses anywhere, plus string literals anywhere *outside*
+the registry module itself (a definition is not a use).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.check.rules import Rule, register
+
+if TYPE_CHECKING:
+    from repro.check.engine import FileContext, Finding, Project
+
+#: The registry module this rule audits.
+_REGISTRY_MODULE = "repro.obs.names"
+
+
+@register
+class DeadPinnedObsNameRule(Rule):
+    id = "REP403"
+    name = "dead-pinned-obs-name"
+    summary = (
+        "names pinned in repro/obs/names.py must be referenced by "
+        "some call site — an unreferenced name is registry drift"
+    )
+
+    def applies_to(self, file: FileContext) -> bool:
+        return file.module == _REGISTRY_MODULE
+
+    def check(
+        self, file: FileContext, project: Project
+    ) -> Iterator[Finding]:
+        flow = project.flow()
+        identifiers = flow.referenced_identifiers()
+        strings = flow.referenced_strings()
+        for node in file.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            if not name.isupper() or name.startswith("_"):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Constant) or not isinstance(
+                value.value, str
+            ):
+                continue
+            if name in identifiers or value.value in strings:
+                continue
+            yield self.finding(
+                file,
+                node.lineno,
+                node.col_offset,
+                f"pinned obs name {name} ({value.value!r}) is never "
+                "referenced by any call site, import, or factory "
+                "table; delete it or wire up the instrument it was "
+                "registered for",
+            )

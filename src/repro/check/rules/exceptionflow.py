@@ -1,0 +1,101 @@
+"""REP702 — typed project errors must not be silently swallowed.
+
+REP701 polices *broad* catches (``except Exception: pass``).  This
+rule closes its blind spot: a handler for one of the project's *own*
+typed errors (``_JobCancelled``, ``InvalidVoltageError``, any class
+that subclasses a project exception) whose body neither re-raises nor
+calls anything is just as invisible — the raise site took the trouble
+to signal a specific condition, and the handler drops it before the
+journal, the tracer, or a counter ever records that it happened.
+
+Project exception classes are discovered on the whole file set
+(:meth:`~repro.check.flow.project.ProjectFlow.exception_classes`):
+any class whose base-chain spells an exception, closed under
+subclassing.  "Routed" follows REP701's definition — a ``raise`` or
+*any* call in the handler body (a journal append, a tracer point, a
+metrics bump, a state-machine transition helper all count; the point
+is that someone observes the failure).
+
+Scope: ``repro.serve`` and ``repro.resilience`` — the journal-
+bearing layers, where "nobody recorded it" means a lost crash-safety
+event.  ``repro.soc`` is deliberately out of scope: its speculative
+predecode fast paths use typed exceptions as ordinary dataflow ("this
+word does not accelerate") and the faithful slow path re-raises the
+real failure; REP701 still polices broad swallows there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from repro.check.rules import Rule, register
+from repro.check.rules.exceptions import _body_routes
+
+if TYPE_CHECKING:
+    from repro.check.engine import FileContext, Finding, Project
+
+_MODULE_PREFIXES = ("repro.serve", "repro.resilience")
+
+
+def _caught_names(handler: ast.ExceptHandler) -> List[str]:
+    node = handler.type
+    if node is None:
+        return []
+    candidates: List[ast.expr] = (
+        list(node.elts) if isinstance(node, ast.Tuple) else [node]
+    )
+    names: List[str] = []
+    for candidate in candidates:
+        tail: Optional[str] = None
+        if isinstance(candidate, ast.Name):
+            tail = candidate.id
+        elif isinstance(candidate, ast.Attribute):
+            tail = candidate.attr
+        if tail is not None:
+            names.append(tail)
+    return names
+
+
+@register
+class SwallowedTypedErrorRule(Rule):
+    id = "REP702"
+    name = "swallowed-typed-error"
+    summary = (
+        "handlers for the project's own typed errors in serve/ and "
+        "resilience/ must re-raise or route the failure somewhere "
+        "observable"
+    )
+
+    def applies_to(self, file: FileContext) -> bool:
+        module = file.module
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in _MODULE_PREFIXES
+        )
+
+    def check(
+        self, file: FileContext, project: Project
+    ) -> Iterator[Finding]:
+        project_errors = project.flow().exception_classes()
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = [
+                name
+                for name in _caught_names(node)
+                if name in project_errors
+            ]
+            if not caught:
+                continue
+            if _body_routes(node):
+                continue
+            yield self.finding(
+                file,
+                node.lineno,
+                node.col_offset,
+                f"typed error {'/'.join(caught)} is caught and "
+                "swallowed — the handler neither re-raises nor calls "
+                "anything, so no journal entry, trace point, or "
+                "counter ever records that it happened",
+            )

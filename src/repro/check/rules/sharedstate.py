@@ -1,0 +1,94 @@
+"""REP503 — classes that own a lock must use it consistently.
+
+The job server (PR 9) shares one job table between the asyncio accept
+loop, a pool of worker threads, and a watchdog thread; the store and
+the metrics registry are likewise documented thread-safe.  Each of
+these classes already *declares* its discipline by taking ``with
+self._lock:`` around its mutations — this rule machine-checks that the
+discipline is complete.
+
+The analysis (:mod:`repro.check.flow.locks`) learns, per lock-owning
+class:
+
+* the **guarded attributes** — touched under the lock somewhere and
+  mutated somewhere: the state the class itself says is shared;
+* the **thread-reachable methods** — thread/executor targets, ``async
+  def``s (the event loop runs concurrently with the pool), public
+  methods, and everything they reach through ``self.`` calls;
+* the **lock-credited** private methods — ones whose every in-class
+  call site already holds the lock (a ``_locked()`` helper needs no
+  second acquisition).
+
+Flagged, in thread-reachable non-credited methods:
+
+* any unguarded access (read or write) to a guarded attribute — a read
+  racing a mutation sees torn state;
+* any unguarded in-place mutation (``self.d[k] = v``, ``self.n += 1``,
+  ``self.xs.append(...)``) of *any* attribute — in a class that owns a
+  lock, a bare container mutation from a thread path is a bug even if
+  no other site guards that attribute yet.
+
+``__init__`` is exempt (construction happens-before sharing), as is
+plain rebinding of never-guarded attributes (single-assignment
+publication).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.check.rules import Rule, register
+
+if TYPE_CHECKING:
+    from repro.check.engine import FileContext, Finding, Project
+
+#: Subsystems with documented thread-safety contracts.
+_MODULE_PREFIXES = (
+    "repro.serve",
+    "repro.resilience",
+    "repro.store",
+    "repro.obs",
+)
+
+
+@register
+class UnguardedSharedStateRule(Rule):
+    id = "REP503"
+    name = "unguarded-shared-state"
+    summary = (
+        "lock-owning classes in serve/resilience/store/obs must hold "
+        "their lock for every access to lock-guarded attributes"
+    )
+
+    def applies_to(self, file: FileContext) -> bool:
+        module = file.module
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in _MODULE_PREFIXES
+        )
+
+    def check(
+        self, file: FileContext, project: Project
+    ) -> Iterator[Finding]:
+        for violation in project.flow().lock_violations(file):
+            if violation.kind == "guarded":
+                detail = (
+                    f"self.{violation.attr} is guarded by the class "
+                    f"lock elsewhere in {violation.cls}, but "
+                    f"{violation.method}() touches it without holding "
+                    "the lock"
+                )
+            else:
+                detail = (
+                    f"{violation.method}() mutates "
+                    f"self.{violation.attr} in place without holding "
+                    f"{violation.cls}'s lock"
+                )
+            yield self.finding(
+                file,
+                violation.lineno,
+                violation.col,
+                f"{detail}; the method is thread-reachable "
+                f"({violation.entry_chain}), so this races with "
+                "locked writers",
+            )

@@ -1,4 +1,4 @@
-"""REP103 — result-store keys derive from provenance, nothing else.
+"""REP103/REP104 — result-store keys derive from provenance, nothing else.
 
 The content-addressed result store (PR 8) promises that a campaign
 point's fingerprint is a pure function of its *provenance* — codec,
@@ -9,10 +9,19 @@ clock, the OS entropy pool, or host/process identity: the same
 campaign point would fingerprint differently per run, silently turning
 every lookup into a miss (or worse, colliding distinct points).
 
-Scope: ``repro.store`` and its submodules — the only place fingerprints
-are minted.
+Both rules share one taint pass (:mod:`repro.check.flow.taint`) rooted
+at every function of ``repro.store`` plus every function named like a
+fingerprint deriver (``fingerprint*``) elsewhere:
 
-Flagged there:
+* **REP103** flags impure touches physically *inside* ``repro.store``
+  — the intra-module purity check, as before, now also covering
+  helpers only reachable through other store functions;
+* **REP104** flags impure touches *outside* ``repro.store`` that the
+  key path reaches transitively — an impure utility in another package
+  poisons every fingerprint that calls through it, and the finding's
+  call chain shows exactly how the store gets there.
+
+Flagged sources:
 
 * wall-clock reads (``time.time``, ``datetime.now``, ... — the REP301
   taxonomy, reused verbatim);
@@ -25,14 +34,18 @@ Flagged there:
 
 from __future__ import annotations
 
-import ast
 from typing import TYPE_CHECKING, Iterator
 
-from repro.check.rules import Rule, register
-from repro.check.rules.determinism import _OS_ENTROPY, _WALL_CLOCK
+from repro.check.rules import Rule, _in_repro_src, register
+from repro.check.rules.determinism import (
+    _OS_ENTROPY,
+    _WALL_CLOCK,
+    _render_via,
+)
 
 if TYPE_CHECKING:
     from repro.check.engine import FileContext, Finding, Project
+    from repro.check.flow.taint import Touch
 
 #: Host/process identity sources; meaningless in a content address.
 _IDENTITY = frozenset(
@@ -47,6 +60,45 @@ _IDENTITY = frozenset(
     }
 )
 
+#: Shared cache id for the one taint pass both rules consume.
+_TAINT_ID = "store-purity"
+
+_STORE_ROOT_PREFIXES = ("repro.store",)
+_EXTRA_ROOT_NAMES = ("fingerprint",)
+
+_CATEGORY_TEXT = {
+    "wall-clock": "reads the wall clock",
+    "os-entropy": "draws OS entropy",
+    "identity": "reads host/process identity",
+}
+
+
+def _taint_sources() -> dict[str, str]:
+    sources = {name: "wall-clock" for name in _WALL_CLOCK}
+    sources.update({name: "os-entropy" for name in _OS_ENTROPY})
+    sources.update({name: "identity" for name in _IDENTITY})
+    return sources
+
+
+def _store_taint(project: Project) -> dict[str, list["Touch"]]:
+    from repro.check.flow.project import BARRIER_MODULES
+    from repro.check.flow.taint import TaintSpec
+
+    return project.flow().taint(
+        _TAINT_ID,
+        _STORE_ROOT_PREFIXES,
+        TaintSpec(
+            sources=_taint_sources(),
+            flag_set_iteration=False,
+            barrier_modules=BARRIER_MODULES,
+        ),
+        extra_root_names=_EXTRA_ROOT_NAMES,
+    )
+
+
+def _in_store(module: str) -> bool:
+    return module == "repro.store" or module.startswith("repro.store.")
+
 
 @register
 class StoreKeyProvenanceRule(Rule):
@@ -58,40 +110,48 @@ class StoreKeyProvenanceRule(Rule):
     )
 
     def applies_to(self, file: FileContext) -> bool:
-        module = file.module
-        return module == "repro.store" or module.startswith("repro.store.")
+        return _in_store(file.module)
 
     def check(
         self, file: FileContext, project: Project
     ) -> Iterator[Finding]:
-        for node in ast.walk(file.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            resolved = file.resolve(node.func)
-            if resolved in _WALL_CLOCK:
-                yield self.finding(
-                    file,
-                    node.lineno,
-                    node.col_offset,
-                    f"{resolved} reads the wall clock in repro.store; "
-                    "content-addressed keys and stored payloads must "
-                    "derive from campaign provenance only",
-                )
-            elif resolved in _OS_ENTROPY:
-                yield self.finding(
-                    file,
-                    node.lineno,
-                    node.col_offset,
-                    f"{resolved} draws OS entropy in repro.store; "
-                    "fingerprints must be reproducible functions of "
-                    "campaign provenance",
-                )
-            elif resolved in _IDENTITY:
-                yield self.finding(
-                    file,
-                    node.lineno,
-                    node.col_offset,
-                    f"{resolved} reads host/process identity in "
-                    "repro.store; a key that encodes where it was "
-                    "computed is not content-addressed",
-                )
+        for touch in _store_taint(project).get(file.rel_path, ()):
+            verb = _CATEGORY_TEXT.get(touch.category, "is impure")
+            yield self.finding(
+                file,
+                touch.lineno,
+                touch.col,
+                f"{touch.source} {verb} in repro.store"
+                f"{_render_via(touch.chain)}; content-addressed keys "
+                "and stored payloads must derive from campaign "
+                "provenance only",
+            )
+
+
+@register
+class TransitiveStoreImpurityRule(Rule):
+    id = "REP104"
+    name = "impure-store-key-dependency"
+    summary = (
+        "helpers reachable from the store's key-derivation path must "
+        "stay pure — impurity anywhere on the chain poisons the key"
+    )
+
+    def applies_to(self, file: FileContext) -> bool:
+        return _in_repro_src(file) and not _in_store(file.module)
+
+    def check(
+        self, file: FileContext, project: Project
+    ) -> Iterator[Finding]:
+        for touch in _store_taint(project).get(file.rel_path, ()):
+            verb = _CATEGORY_TEXT.get(touch.category, "is impure")
+            yield self.finding(
+                file,
+                touch.lineno,
+                touch.col,
+                f"{touch.source} {verb} in a function the store's "
+                f"key path reaches transitively "
+                f"{_render_via(touch.chain).strip() or '(direct)'}; "
+                "a fingerprint computed through this call is not "
+                "content-addressed",
+            )

@@ -9,9 +9,17 @@ This rule makes that convention machine-checked: every public function
 or method with a ``vdd``/``v_dd`` parameter must either
 
 * call ``validate_vdd`` on it, or
-* pass it to a callee that validates directly (delegation is resolved
-  **one level deep** across the whole checked file set, so thin
-  wrappers like ``read_energy`` → ``_check_vdd`` don't false-positive).
+* pass it along a call chain — of any depth — that reaches
+  ``validate_vdd`` with the value still bound to a parameter
+  (``read_energy(vdd)`` → ``_check(v)`` → ``_gate(v)`` →
+  ``validate_vdd(v)``).
+
+Delegation is resolved on the project call graph
+(:mod:`repro.check.flow.funnel`): arguments are bound positionally and
+by keyword through resolved edges, ``self.`` dispatch and import
+aliases included, cycle-safely.  Calls the graph cannot resolve keep
+the old conservative credit — a bare callee name in the project's
+validating-function set counts.
 
 Skipped: private helpers (leading underscore — their public callers
 validate), protocol/ABC stubs (empty or ``NotImplementedError``
@@ -99,8 +107,8 @@ class VddValidationRule(Rule):
     id = "REP201"
     name = "unvalidated-vdd"
     summary = (
-        "public functions taking vdd must call "
-        "core.errors.validate_vdd or delegate to a callee that does"
+        "public functions taking vdd must funnel it into "
+        "core.errors.validate_vdd along some call-graph path"
     )
 
     def applies_to(self, file: FileContext) -> bool:
@@ -127,24 +135,31 @@ class VddValidationRule(Rule):
             if _is_stub(node) or _has_abstract_decorator(node):
                 continue
             for param in params:
-                if not self._validated(node, param, project):
+                if not self._validated(file, node, param, project):
                     yield self.finding(
                         file,
                         node.lineno,
                         node.col_offset,
                         f"public function {node.name}() takes {param!r} "
-                        "but neither calls validate_vdd nor passes it "
-                        "to a validating callee; an unchecked NaN or "
-                        "negative supply corrupts every model "
+                        "but no call path from it reaches "
+                        "validate_vdd with that value; an unchecked "
+                        "NaN or negative supply corrupts every model "
                         "downstream",
                     )
 
     @staticmethod
     def _validated(
+        file: FileContext,
         fn: ast.FunctionDef | ast.AsyncFunctionDef,
         param: str,
         project: Project,
     ) -> bool:
+        flow = project.flow()
+        key = flow.graph.key_of(fn)
+        if key is not None:
+            return flow.funnel.param_validated(key, param)
+        # Nested defs are folded into their parent in the graph; fall
+        # back to the old one-level bare-name credit for them.
         for node in ast.walk(fn):
             if not isinstance(node, ast.Call):
                 continue

@@ -226,23 +226,29 @@ class MetricsRegistry:
         name: str,
         factory: Callable[[threading.Lock], _T],
     ) -> _T:
+        # Caller holds self._lock: lookup and insert are one atomic
+        # step, so two threads asking for the same name always share
+        # one instrument.
         instrument = table.get(name)
         if instrument is None:
-            with self._lock:
-                instrument = table.setdefault(name, factory(self._lock))
+            instrument = table.setdefault(name, factory(self._lock))
         return instrument
 
     def counter(self, name: str) -> Counter:
-        return self._get(self._counters, name, Counter)
+        with self._lock:
+            return self._get(self._counters, name, Counter)
 
     def gauge(self, name: str) -> Gauge:
-        return self._get(self._gauges, name, Gauge)
+        with self._lock:
+            return self._get(self._gauges, name, Gauge)
 
     def timer(self, name: str) -> Timer:
-        return self._get(self._timers, name, Timer)
+        with self._lock:
+            return self._get(self._timers, name, Timer)
 
     def histogram(self, name: str) -> Histogram:
-        return self._get(self._histograms, name, Histogram)
+        with self._lock:
+            return self._get(self._histograms, name, Histogram)
 
     # ------------------------------------------------------------------
     # Snapshot / merge / reset

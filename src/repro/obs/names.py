@@ -162,6 +162,7 @@ POINT_STORE_RECOVERY = "store.recovery"
 POINT_SERVE_JOB_FAILED = "serve.job_failed"
 POINT_SERVE_JOB_RECOVERED = "serve.job_recovered"
 POINT_SERVE_JOB_TIMED_OUT = "serve.job_timed_out"
+POINT_SERVE_JOB_REQUEUED = "serve.job_requeued"
 POINT_SERVE_DRAIN = "serve.drain"
 
 # ----------------------------------------------------------------------

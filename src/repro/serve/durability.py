@@ -249,6 +249,9 @@ class JobClaims:
 
     directory: Path
     _held: set = field(default_factory=set)
+    #: Guards ``_held`` — claim/release run on the event loop, worker
+    #: threads (job completion), and the drain thread concurrently.
+    _lock: threading.Lock = field(default_factory=threading.Lock)
 
     @classmethod
     def for_journal(cls, journal_path: PathLike) -> "JobClaims":
@@ -281,7 +284,8 @@ class JobClaims:
                 continue
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(str(os.getpid()))
-            self._held.add(fingerprint)
+            with self._lock:
+                self._held.add(fingerprint)
             return True
         return False
 
@@ -305,16 +309,19 @@ class JobClaims:
 
     def release(self, fingerprint: str) -> None:
         """Drop a claim this instance holds (no-op otherwise)."""
-        if fingerprint not in self._held:
-            return
-        self._held.discard(fingerprint)
+        with self._lock:
+            if fingerprint not in self._held:
+                return
+            self._held.discard(fingerprint)
         try:
             os.unlink(self._claim_path(fingerprint))
         except FileNotFoundError:
             pass
 
     def release_all(self) -> None:
-        for fingerprint in list(self._held):
+        with self._lock:
+            held = list(self._held)
+        for fingerprint in held:
             self.release(fingerprint)
 
 

@@ -324,7 +324,6 @@ class CampaignJobServer:
                 seq = int(journaled_job.id.split("-")[1])
             except (IndexError, ValueError):
                 seq = 0
-            self._seq = max(self._seq, seq)
             job = Job(
                 id=journaled_job.id,
                 fingerprint=journaled_job.fingerprint,
@@ -336,9 +335,14 @@ class CampaignJobServer:
                 executed_points=journaled_job.executed_points,
                 error=journaled_job.error,
             )
-            self._jobs[job.id] = job
+            # The watchdog thread may already be running from an
+            # earlier start(); every job-table touch takes the lock.
+            with self._lock:
+                self._seq = max(self._seq, seq)
+                self._jobs[job.id] = job
+                if job.state == "done":
+                    self._by_fingerprint[job.fingerprint] = job.id
             if job.state == "done":
-                self._by_fingerprint[job.fingerprint] = job.id
                 continue
             if job.state in TERMINAL_STATES:
                 continue  # failed/timed-out: fingerprint stays evicted
@@ -349,8 +353,9 @@ class CampaignJobServer:
             job.state = "queued"
             job.recovered = True
             job.points_done = 0
-            self._by_fingerprint[job.fingerprint] = job.id
-            self._recovered_jobs += 1
+            with self._lock:
+                self._by_fingerprint[job.fingerprint] = job.id
+                self._recovered_jobs += 1
             active_metrics().counter(names.SERVE_JOBS_RECOVERED).inc()
             active_tracer().point(
                 names.POINT_SERVE_JOB_RECOVERED,
@@ -408,8 +413,9 @@ class CampaignJobServer:
             for job in leftover:
                 job.cancelled.set()
             self._pool.shutdown(wait=False, cancel_futures=True)
-        self._drains += 1
-        self._last_drain_clean = clean
+        with self._lock:
+            self._drains += 1
+            self._last_drain_clean = clean
         active_metrics().counter(names.SERVE_DRAINS).inc()
         tracer = active_tracer()
         tracer.point(
@@ -613,7 +619,9 @@ class CampaignJobServer:
         url = urlsplit(target)
         path = url.path.rstrip("/") or "/"
         if path == "/healthz" and method == "GET":
-            return 200, {"ok": True, "jobs": len(self._jobs)}
+            with self._lock:
+                job_count = len(self._jobs)
+            return 200, {"ok": True, "jobs": job_count}
         if path == "/stats" and method == "GET":
             return 200, self._stats()
         if path == "/submit" and method == "POST":
@@ -704,13 +712,15 @@ class CampaignJobServer:
         return 202, status
 
     def _status(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
-        job = self._jobs.get(job_id)
+        with self._lock:
+            job = self._jobs.get(job_id)
         if job is None:
             return 404, {"error": f"no such job: {job_id}"}
         return 200, job.status()
 
     def _result(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
-        job = self._jobs.get(job_id)
+        with self._lock:
+            job = self._jobs.get(job_id)
         if job is None:
             return 404, {"error": f"no such job: {job_id}"}
         if job.state in ("failed", "timed-out"):
@@ -782,10 +792,17 @@ class CampaignJobServer:
             "ocean": OceanRunner,
         }
         runner_cls = runners[spec["scheme"]]
-        program = self._programs.get(spec["fft"])
+        with self._lock:
+            program = self._programs.get(spec["fft"])
         if program is None:
+            # Build outside the lock (FFT program construction is the
+            # expensive part); publish under it.  A racing builder just
+            # loses to whoever published first.
             program = build_fft_program(spec["fft"])
-            self._programs[spec["fft"]] = program
+            with self._lock:
+                program = self._programs.setdefault(
+                    spec["fft"], program
+                )
         golden = program.expected_output(
             list(program.data_words[: spec["fft"]])
         )
@@ -912,9 +929,18 @@ class CampaignJobServer:
             # Timed out (watchdog already journaled and evicted) or
             # cancelled by an unclean drain: the job reverts to queued
             # so a journal replay on the next start re-runs it.
+            requeued = False
             with self._lock:
                 if job.state == "running":
                     job.state = "queued"
+                    requeued = True
+            if requeued:
+                tracer.point(
+                    names.POINT_SERVE_JOB_REQUEUED,
+                    job=job.id,
+                    fingerprint=job.fingerprint,
+                    points_done=job.points_done,
+                )
         except Exception as exc:
             job.error = f"{type(exc).__name__}: {exc}"
             job.state = "failed"
@@ -942,12 +968,14 @@ class CampaignJobServer:
             states: Dict[str, int] = {}
             for job in self._jobs.values():
                 states[job.state] = states.get(job.state, 0) + 1
+            recovered_jobs = self._recovered_jobs
+            drains = self._drains
         stats: Dict[str, Any] = {
             "jobs": states,
             "store": self.store.stats(),
             "workers": self.workers,
-            "recovered_jobs": self._recovered_jobs,
-            "drains": self._drains,
+            "recovered_jobs": recovered_jobs,
+            "drains": drains,
             "admission": {
                 "max_inflight_jobs": self.max_inflight_jobs,
                 "max_queue_depth": self.max_queue_depth,

@@ -452,8 +452,9 @@ class ResultStore:
         """Cumulative operation counters plus the current row count."""
         with self._lock:
             snapshot = dict(self._stats)
+            front_cache_entries = len(self._lru)
         snapshot["rows"] = len(self)
-        snapshot["front_cache_entries"] = len(self._lru)
+        snapshot["front_cache_entries"] = front_cache_entries
         return snapshot
 
     def _count(self, stat: str, n: int) -> None:

@@ -1,0 +1,17 @@
+"""Bad: the key path reaches a wall-clock read two hops away."""
+import hashlib
+import time
+
+
+def _stamp() -> float:
+    return time.time()
+
+
+def _canonical(spec: dict) -> str:
+    parts = sorted(f"{k}={v}" for k, v in spec.items())
+    parts.append(f"at={_stamp()}")
+    return "|".join(parts)
+
+
+def fingerprint_spec(spec: dict) -> str:
+    return hashlib.sha256(_canonical(spec).encode()).hexdigest()

@@ -1,0 +1,10 @@
+"""Good: every helper on the key path derives from provenance only."""
+import hashlib
+
+
+def _canonical(spec: dict) -> str:
+    return "|".join(sorted(f"{k}={v}" for k, v in spec.items()))
+
+
+def fingerprint_spec(spec: dict) -> str:
+    return hashlib.sha256(_canonical(spec).encode()).hexdigest()

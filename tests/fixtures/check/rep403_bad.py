@@ -1,0 +1,6 @@
+"""Bad: one pinned name has no instrument behind it."""
+
+METRIC_SERVE_QUEUE_DEPTH = "serve.queue_depth"
+METRIC_STORE_GHOST_ROWS = "store.ghost_rows"
+
+SERVE_METRIC_FIELDS = (METRIC_SERVE_QUEUE_DEPTH,)

@@ -1,0 +1,9 @@
+"""Good: every pinned name is referenced by a factory table."""
+
+METRIC_SERVE_QUEUE_DEPTH = "serve.queue_depth"
+METRIC_STORE_GHOST_ROWS = "store.ghost_rows"
+
+SERVE_METRIC_FIELDS = (
+    METRIC_SERVE_QUEUE_DEPTH,
+    METRIC_STORE_GHOST_ROWS,
+)

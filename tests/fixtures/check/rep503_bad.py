@@ -1,0 +1,18 @@
+"""Bad: the watchdog thread sweeps the job table without the lock."""
+import threading
+
+
+class JobServer:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs = {}
+        self._watchdog = threading.Thread(target=self._watch)
+
+    def submit(self, job_id: str, job) -> None:
+        with self._lock:
+            self._jobs[job_id] = job
+
+    def _watch(self) -> None:
+        for job_id in list(self._jobs):
+            if self._jobs[job_id].expired():
+                self._jobs.pop(job_id)

@@ -1,0 +1,12 @@
+"""Bad: a typed cancellation is dropped before anyone records it."""
+
+
+class JobCancelledError(Exception):
+    pass
+
+
+def run(job) -> None:
+    try:
+        job.execute()
+    except JobCancelledError:
+        pass

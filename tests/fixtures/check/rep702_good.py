@@ -1,0 +1,12 @@
+"""Good: the typed cancellation is journalled before moving on."""
+
+
+class JobCancelledError(Exception):
+    pass
+
+
+def run(job, journal) -> None:
+    try:
+        job.execute()
+    except JobCancelledError as exc:
+        journal.record("cancelled", job_id=job.id, error=exc)

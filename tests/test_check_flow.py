@@ -1,0 +1,419 @@
+"""Tests for ``repro.check.flow`` — the interprocedural layer.
+
+Covers the call-graph builder's edge cases (aliased imports, method
+dispatch, recursion, cycles), the transitive taint walks behind
+REP301/REP103/REP104 on multi-file projects with ≥3-deep chains, the
+lock-discipline analysis against the *real* job server, and the two
+engine satellites: the mtime+size parse cache (including deliberate
+poisoning) and ``--changed-only`` report filtering.
+"""
+
+import os
+import pickle
+from pathlib import Path
+
+from repro.check import load_source, run_check
+from repro.check.cache import SCHEMA_VERSION, ParseCache
+from repro.check.engine import check_files
+from repro.check.flow.callgraph import CallGraph
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _contexts(sources: dict) -> list:
+    loaded = [
+        load_source(source, rel_path)
+        for rel_path, source in sources.items()
+    ]
+    for context in loaded:
+        assert not hasattr(context, "rule"), "fixture failed to parse"
+    return loaded
+
+
+# ----------------------------------------------------------------------
+# Call-graph construction
+# ----------------------------------------------------------------------
+def test_callgraph_resolves_aliased_module_import():
+    files = _contexts(
+        {
+            "src/repro/soc/faults.py": (
+                "def inject(word: int) -> int:\n"
+                "    return word ^ 1\n"
+            ),
+            "src/repro/soc/top.py": (
+                "import repro.soc.faults as flt\n"
+                "def step(word: int) -> int:\n"
+                "    return flt.inject(word)\n"
+            ),
+        }
+    )
+    graph = CallGraph(files)
+    assert "repro.soc.faults:inject" in graph.edges_of(
+        "repro.soc.top:step"
+    )
+
+
+def test_callgraph_resolves_from_import_alias():
+    files = _contexts(
+        {
+            "src/repro/soc/faults.py": (
+                "def inject(word: int) -> int:\n"
+                "    return word ^ 1\n"
+            ),
+            "src/repro/soc/top.py": (
+                "from repro.soc.faults import inject as poke\n"
+                "def step(word: int) -> int:\n"
+                "    return poke(word)\n"
+            ),
+        }
+    )
+    graph = CallGraph(files)
+    assert "repro.soc.faults:inject" in graph.edges_of(
+        "repro.soc.top:step"
+    )
+
+
+def test_callgraph_resolves_self_method_dispatch():
+    files = _contexts(
+        {
+            "src/repro/soc/core.py": (
+                "class Core:\n"
+                "    def step(self) -> int:\n"
+                "        return self._fetch()\n"
+                "    def _fetch(self) -> int:\n"
+                "        return 0\n"
+            ),
+        }
+    )
+    graph = CallGraph(files)
+    assert "repro.soc.core:Core._fetch" in graph.edges_of(
+        "repro.soc.core:Core.step"
+    )
+
+
+def test_callgraph_reachability_handles_recursion_and_cycles():
+    files = _contexts(
+        {
+            "src/repro/soc/walk.py": (
+                "def spin(n: int) -> int:\n"
+                "    return spin(n - 1) if n else 0\n"
+                "def ping(n: int) -> int:\n"
+                "    return pong(n)\n"
+                "def pong(n: int) -> int:\n"
+                "    return ping(n - 1) if n else 0\n"
+            ),
+        }
+    )
+    graph = CallGraph(files)
+    parents = graph.reachable(["repro.soc.walk:ping"], ())
+    assert "repro.soc.walk:pong" in parents
+    # A self-loop terminates and stays reachable from itself.
+    parents = graph.reachable(["repro.soc.walk:spin"], ())
+    assert "repro.soc.walk:spin" in parents
+
+
+def test_callgraph_chain_renders_call_path():
+    files = _contexts(
+        {
+            "src/repro/soc/chainmod.py": (
+                "def a() -> int:\n"
+                "    return b()\n"
+                "def b() -> int:\n"
+                "    return c()\n"
+                "def c() -> int:\n"
+                "    return 0\n"
+            ),
+        }
+    )
+    graph = CallGraph(files)
+    parents = graph.reachable(["repro.soc.chainmod:a"], ())
+    chain = graph.chain(parents, "repro.soc.chainmod:c")
+    assert chain == (
+        "repro.soc.chainmod.a -> repro.soc.chainmod.b "
+        "-> repro.soc.chainmod.c"
+    )
+
+
+# ----------------------------------------------------------------------
+# Transitive rules on multi-file projects (≥3-deep chains)
+# ----------------------------------------------------------------------
+def test_rep301_three_hop_chain_through_aliased_import():
+    # soc replay path -> util helper (aliased import) -> wall clock.
+    files = _contexts(
+        {
+            "src/repro/util/clockish.py": (
+                "import time\n"
+                "def _now() -> float:\n"
+                "    return time.time()\n"
+                "def stamp() -> float:\n"
+                "    return _now()\n"
+            ),
+            "src/repro/soc/replay.py": (
+                "import repro.util.clockish as ck\n"
+                "def run_point() -> float:\n"
+                "    return ck.stamp()\n"
+            ),
+        }
+    )
+    result = check_files(files, select=["REP301"])
+    assert len(result.findings) == 1
+    finding = result.findings[0]
+    assert finding.path == "src/repro/util/clockish.py"
+    assert "reached via" in finding.message
+    assert "run_point" in finding.message
+
+
+def test_rep301_untouched_helper_module_is_clean():
+    # The same impure helper with no replay-path caller is legal.
+    files = _contexts(
+        {
+            "src/repro/util/clockish.py": (
+                "import time\n"
+                "def stamp() -> float:\n"
+                "    return time.time()\n"
+            ),
+        }
+    )
+    result = check_files(files, select=["REP301"])
+    assert result.findings == []
+
+
+def test_rep103_three_hop_chain_within_store():
+    files = _contexts(
+        {
+            "src/repro/store/codec.py": (
+                "import os\n"
+                "def _salt() -> str:\n"
+                "    return os.urandom(4).hex()\n"
+                "def encode(payload: str) -> str:\n"
+                "    return payload + _salt()\n"
+            ),
+            "src/repro/store/keys.py": (
+                "from repro.store.codec import encode\n"
+                "def derive_key(payload: str) -> str:\n"
+                "    return encode(payload)\n"
+            ),
+        }
+    )
+    result = check_files(files, select=["REP103"])
+    assert len(result.findings) == 1
+    finding = result.findings[0]
+    assert finding.path == "src/repro/store/codec.py"
+    # Every store function is a taint root, so the private helper is
+    # flagged even though only derive_key -> encode -> _salt uses it.
+    assert "os.urandom" in finding.message
+
+
+def test_rep104_cross_package_chain_from_store_root():
+    # The store's key path reaches an impure helper that lives in
+    # another package; the finding lands on the helper's file.
+    files = _contexts(
+        {
+            "src/repro/store/keys.py": (
+                "import repro.analysis.ident as ident\n"
+                "def derive_key(payload: str) -> str:\n"
+                "    return payload + ident.tag()\n"
+            ),
+            "src/repro/analysis/ident.py": (
+                "import os\n"
+                "def _pid() -> int:\n"
+                "    return os.getpid()\n"
+                "def tag() -> str:\n"
+                "    return str(_pid())\n"
+            ),
+        }
+    )
+    result = check_files(files, select=["REP103", "REP104"])
+    assert {f.rule for f in result.findings} == {"REP104"}
+    assert result.findings[0].path == "src/repro/analysis/ident.py"
+    assert "derive_key" in result.findings[0].message
+
+
+def test_rep201_validation_through_aliased_cross_module_call():
+    files = _contexts(
+        {
+            "src/repro/memdev/gates.py": (
+                "from repro.core.errors import validate_vdd\n"
+                "def gate(vdd: float) -> float:\n"
+                "    return validate_vdd(vdd, 'gate')\n"
+            ),
+            "src/repro/memdev/cells.py": (
+                "import repro.memdev.gates as g\n"
+                "def read_cell(vdd: float) -> float:\n"
+                "    return g.gate(vdd) * 2.0\n"
+            ),
+        }
+    )
+    result = check_files(files, select=["REP201"])
+    assert result.findings == [], [f.message for f in result.findings]
+
+
+def test_rep201_recursive_vdd_function_terminates_and_flags():
+    files = _contexts(
+        {
+            "src/repro/memdev/spin.py": (
+                "def settle(vdd: float) -> float:\n"
+                "    return settle(vdd) if vdd > 1.0 else vdd\n"
+            ),
+        }
+    )
+    result = check_files(files, select=["REP201"])
+    assert [f.rule for f in result.findings] == ["REP201"]
+
+
+# ----------------------------------------------------------------------
+# REP503 against the real job server
+# ----------------------------------------------------------------------
+def test_rep503_real_serving_layer_is_clean():
+    result = run_check(
+        [str(REPO_ROOT / "src" / "repro" / "serve")],
+        select=["REP503"],
+    )
+    assert result.findings == [], [f.message for f in result.findings]
+
+
+# ----------------------------------------------------------------------
+# Parse cache
+# ----------------------------------------------------------------------
+def _write_module(tree: Path, text: str) -> Path:
+    tree.mkdir(parents=True, exist_ok=True)
+    target = tree / "mod.py"
+    target.write_text(text, encoding="utf-8")
+    return target
+
+
+def test_parse_cache_round_trip_and_hit_counters(tmp_path):
+    target = _write_module(
+        tmp_path / "repro" / "analysis", "X = 1\n"
+    )
+    cache = ParseCache(tmp_path / "cache")
+    first = run_check([str(tmp_path)], cache=cache)
+    assert cache.hits == 0
+    second = run_check([str(tmp_path)], cache=cache)
+    assert cache.hits == 1
+    assert first.findings == second.findings
+    assert target.exists()
+
+
+def test_parse_cache_touch_same_content_still_hits(tmp_path):
+    # CI restores the cache onto a fresh checkout: every mtime is new
+    # but the bytes match, so the content-hash fallback keeps the hit.
+    target = _write_module(
+        tmp_path / "repro" / "analysis", "X = 1\n"
+    )
+    cache = ParseCache(tmp_path / "cache")
+    run_check([str(tmp_path)], cache=cache)
+    stat = target.stat()
+    os.utime(
+        target, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000)
+    )
+    assert run_check([str(tmp_path)], cache=cache).findings == []
+    assert cache.hits == 1
+
+
+def test_parse_cache_stale_entry_reparsed(tmp_path):
+    tree = tmp_path / "repro" / "analysis"
+    target = _write_module(tree, "X = 1\n")
+    cache = ParseCache(tmp_path / "cache")
+    assert run_check([str(tmp_path)], cache=cache).findings == []
+    # The edit introduces a violation; a stale cache hit would hide it.
+    target.write_text(
+        "import numpy as np\nRNG = np.random.default_rng()\n",
+        encoding="utf-8",
+    )
+    result = run_check([str(tmp_path)], cache=cache)
+    assert {f.rule for f in result.findings} == {"REP101"}
+
+
+def test_parse_cache_poisoned_entries_are_misses(tmp_path):
+    tree = tmp_path / "repro" / "analysis"
+    target = _write_module(
+        tree,
+        "import numpy as np\nRNG = np.random.default_rng()\n",
+    )
+    cache = ParseCache(tmp_path / "cache")
+    baseline = run_check([str(tmp_path)], cache=cache)
+    assert {f.rule for f in baseline.findings} == {"REP101"}
+    entries = list((tmp_path / "cache").glob("*.pkl"))
+    assert entries, "cache wrote no entries"
+
+    poisons = [
+        b"garbage, not a pickle",
+        pickle.dumps(["not", "a", "dict"]),
+        pickle.dumps({"schema": SCHEMA_VERSION - 1}),
+        pickle.dumps(
+            {
+                "schema": SCHEMA_VERSION,
+                "stat": (0, 0),
+                "rel_path": "somewhere/else.py",
+                "context": None,
+            }
+        ),
+    ]
+    for poison in poisons:
+        for entry in entries:
+            entry.write_bytes(poison)
+        poisoned = ParseCache(tmp_path / "cache")
+        result = run_check([str(tmp_path)], cache=poisoned)
+        assert poisoned.hits == 0, poison[:30]
+        assert {f.rule for f in result.findings} == {"REP101"}
+    assert target.exists()
+
+
+def test_parse_cache_unwritable_directory_is_harmless(tmp_path):
+    _write_module(
+        tmp_path / "repro" / "analysis", "X = 1\n"
+    )
+    blocker = tmp_path / "cache"
+    blocker.write_text("a file where the cache dir should go")
+    cache = ParseCache(blocker)
+    result = run_check([str(tmp_path)], cache=cache)
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# --changed-only report filtering
+# ----------------------------------------------------------------------
+def test_report_only_filters_findings_but_indexes_everything(tmp_path):
+    tree = tmp_path / "repro" / "analysis"
+    tree.mkdir(parents=True)
+    (tree / "one.py").write_text(
+        "import numpy as np\nRNG1 = np.random.default_rng()\n",
+        encoding="utf-8",
+    )
+    (tree / "two.py").write_text(
+        "import numpy as np\nRNG2 = np.random.default_rng()\n",
+        encoding="utf-8",
+    )
+    full = run_check([str(tmp_path)])
+    assert len(full.findings) == 2
+
+    one_rel = (tree / "one.py").as_posix()
+    filtered = run_check([str(tmp_path)], report_only=[one_rel])
+    assert [f.path for f in filtered.findings] == [one_rel]
+    # The whole project was still parsed and counted.
+    assert filtered.files_checked == full.files_checked
+
+
+def test_report_only_keeps_cross_file_cause_visible(tmp_path):
+    # The impure helper is the *changed* file; the store root that
+    # makes it a violation is unchanged.  Indexing the whole project
+    # means the changed-file run still reports it.
+    tree = tmp_path / "repro"
+    (tree / "store").mkdir(parents=True)
+    (tree / "analysis").mkdir(parents=True)
+    (tree / "store" / "keys.py").write_text(
+        "import repro.analysis.ident as ident\n"
+        "def derive_key(payload: str) -> str:\n"
+        "    return payload + ident.tag()\n",
+        encoding="utf-8",
+    )
+    helper = tree / "analysis" / "ident.py"
+    helper.write_text(
+        "import os\ndef tag() -> str:\n    return str(os.getpid())\n",
+        encoding="utf-8",
+    )
+    result = run_check(
+        [str(tmp_path)], report_only=[helper.as_posix()]
+    )
+    assert {f.rule for f in result.findings} == {"REP104"}
